@@ -1,0 +1,129 @@
+// Ablation: why pipelining must condense strongly connected components
+// (§4.2, design choice called out in DESIGN.md).
+//
+// If the compiler ignored the state pair edges and scheduled a state read
+// and its write into different stages, packets in flight between those
+// stages would read stale state — lost updates, broken transactional
+// semantics.  We demonstrate this quantitatively with a hand-built "split
+// counter" machine, then show how many corpus algorithms would be
+// mis-scheduled by a pair-edge-free dependency graph.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "algorithms/corpus.h"
+#include "banzai/sim.h"
+#include "bench_util.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/pipeline.h"
+#include "core/sema.h"
+
+namespace {
+
+// The dependency graph WITHOUT the state pair edges: read-after-write only.
+domino::DepGraph graph_without_pair_edges(const domino::TacProgram& tac) {
+  domino::DepGraph g;
+  g.edges.assign(tac.stmts.size(), {});
+  std::map<std::string, int> def_of;
+  for (std::size_t i = 0; i < tac.stmts.size(); ++i)
+    if (auto w = tac.stmts[i].field_written())
+      def_of[*w] = static_cast<int>(i);
+  for (std::size_t i = 0; i < tac.stmts.size(); ++i)
+    for (const auto& f : tac.stmts[i].fields_read())
+      if (auto it = def_of.find(f); it != def_of.end())
+        g.edges[static_cast<std::size_t>(it->second)].push_back(
+            static_cast<int>(i));
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  bench_util::header(
+      "Ablation — SCC condensation (state pair edges) vs naive scheduling");
+
+  // 1. Quantitative demonstration: counter split across stages 1 and 3.
+  {
+    banzai::FieldTable ft;
+    const auto f_old = ft.intern("old");
+    banzai::Machine m(banzai::MachineSpec{"split", "none", 3, 300, 10},
+                      banzai::FieldTable{});
+    m.state().declare("c", 1, true, 0);
+    m.stages().resize(3);
+    banzai::ConfiguredAtom reader;
+    reader.kind = banzai::AtomKind::kStateful;
+    reader.exec = [f_old](const banzai::Packet&, banzai::Packet& out,
+                          banzai::StateStore& st) {
+      out.set(f_old, st.var("c").load_scalar());
+    };
+    banzai::ConfiguredAtom writer;
+    writer.kind = banzai::AtomKind::kStateful;
+    writer.exec = [f_old](const banzai::Packet& in, banzai::Packet&,
+                          banzai::StateStore& st) {
+      st.var("c").store_scalar(in.get(f_old) + 1);
+    };
+    m.stages()[0].atoms.push_back(reader);
+    m.stages()[2].atoms.push_back(writer);
+    m.fields() = std::move(ft);
+
+    const int n = 10000;
+    banzai::PipelineSim sim(m);
+    for (int i = 0; i < n; ++i) sim.enqueue(banzai::Packet(m.fields().size()));
+    sim.drain();
+    const auto final_count = m.state().var("c").load_scalar();
+    std::printf(
+        "split counter (read in stage 1, increment written in stage 3):\n"
+        "  %d packets -> counter = %d (sequential semantics require %d)\n"
+        "  lost updates: %d (%.1f%%) — exactly the §2.3 atomicity violation\n\n",
+        n, final_count, n, n - final_count,
+        100.0 * (n - final_count) / n);
+    if (final_count == n) {
+      std::printf("UNEXPECTED: no updates lost\n");
+      return 1;
+    }
+  }
+
+  // 2. How much of the corpus a pair-edge-free schedule would mis-compile.
+  const std::vector<int> widths = {16, 16, 16, 20};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"Algorithm", "SCCs (with)", "SCCs (without)",
+                                 "state split stages?"});
+  bench_util::print_rule(widths);
+  int broken = 0, stateful_algs = 0;
+  for (const auto& alg : algorithms::corpus()) {
+    domino::Program p = domino::parse(alg.source);
+    domino::analyze(p);
+    auto tac = domino::normalize(p).tac;
+
+    auto with = domino::strongly_connected_components(
+        domino::build_dep_graph(tac));
+    auto without = domino::strongly_connected_components(
+        graph_without_pair_edges(tac));
+
+    // Does any state variable's read and write end up in different SCCs
+    // without pair edges?
+    bool split = false;
+    std::map<std::string, std::set<std::size_t>> comp_of_var;
+    for (std::size_t k = 0; k < without.size(); ++k)
+      for (int v : without[k]) {
+        const auto& s = tac.stmts[static_cast<std::size_t>(v)];
+        if (s.touches_state()) comp_of_var[s.state_var].insert(k);
+      }
+    for (const auto& [var, comps] : comp_of_var)
+      if (comps.size() > 1) split = true;
+    if (!comp_of_var.empty()) ++stateful_algs;
+    if (split) ++broken;
+
+    bench_util::print_row(widths, {alg.name, std::to_string(with.size()),
+                                   std::to_string(without.size()),
+                                   split ? "YES (broken)" : "no"});
+  }
+  bench_util::print_rule(widths);
+  std::printf(
+      "\n%d of %d stateful algorithms would have state split across stages\n"
+      "without pair edges; SCC condensation is what keeps every state\n"
+      "variable inside a single atom.\n",
+      broken, stateful_algs);
+  return broken > 0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Ablation: synthesis search strategy (DESIGN.md substitution #1).
+//
+// Compares (a) constant-hole seeding from codelet constants (our default,
+// mirroring how SKETCH is "helped" by the paper's 5-bit restriction) against
+// full-range enumeration, and (b) the candidate-count growth across the atom
+// hierarchy — the price of the richer templates.
+#include <cstdio>
+
+#include "algorithms/corpus.h"
+#include "bench_util.h"
+#include "core/compiler.h"
+
+int main() {
+  bench_util::header(
+      "Ablation — synthesis: seeded vs enumerated constant holes");
+
+  const std::vector<int> widths = {16, 14, 14, 14, 14};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"Algorithm", "seeded cands", "seeded s",
+                                 "enum cands", "enum s"});
+  bench_util::print_rule(widths);
+
+  const auto pairs = *atoms::find_target("banzai-pairs");
+  double seeded_total = 0, enumerated_total = 0;
+  for (const auto& alg : algorithms::corpus()) {
+    if (alg.paper_least_atom == "Doesn't map") continue;
+
+    domino::CompileOptions seeded;
+    domino::CompileOptions enumerated;
+    enumerated.synth.seed_constants = false;
+    enumerated.synth.const_bits = 5;
+
+    auto run = [&](const domino::CompileOptions& o, std::size_t* cands) {
+      auto r = domino::compile(alg.source, pairs, o);
+      *cands = 0;
+      for (const auto& rep : r.codegen.reports)
+        *cands += rep.synth_stats.candidates_tried;
+      return r.codegen.synth_seconds;
+    };
+    std::size_t c1 = 0, c2 = 0;
+    const double s1 = run(seeded, &c1);
+    const double s2 = run(enumerated, &c2);
+    seeded_total += s1;
+    enumerated_total += s2;
+    bench_util::print_row(widths, {alg.name, std::to_string(c1),
+                                   bench_util::fmt(s1, 4),
+                                   std::to_string(c2),
+                                   bench_util::fmt(s2, 4)});
+  }
+  bench_util::print_rule(widths);
+  std::printf("\nTotal synthesis time: seeded %.3f s, enumerated %.3f s\n",
+              seeded_total, enumerated_total);
+
+  bench_util::header(
+      "Candidate growth across the hierarchy (flowlets' saved_hop codelet)");
+  const std::vector<int> w2 = {12, 16, 12, 12};
+  bench_util::print_rule(w2);
+  bench_util::print_row(w2, {"Atom", "candidates", "preds", "accepted"});
+  bench_util::print_rule(w2);
+  const auto& flowlets = algorithms::algorithm("flowlets");
+  for (const auto& t : atoms::paper_targets()) {
+    std::size_t cands = 0, preds = 0;
+    bool ok = true;
+    try {
+      auto r = domino::compile(flowlets.source, t);
+      for (const auto& rep : r.codegen.reports) {
+        cands += rep.synth_stats.candidates_tried;
+        preds += rep.synth_stats.unique_predicates;
+      }
+    } catch (const domino::CompileError&) {
+      ok = false;
+    }
+    bench_util::print_row(
+        w2, {atoms::stateful_kind_name(t.stateful_atom),
+             ok ? std::to_string(cands) : "-",
+             ok ? std::to_string(preds) : "-", ok ? "yes" : "no"});
+  }
+  bench_util::print_rule(w2);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Table 3: "Atom areas in a 32 nm standard-cell library.  All
+// atoms meet timing at 1 GHz."
+//
+// The paper's numbers come from Synopsys Design Compiler; ours come from the
+// calibrated gate-level cost model (src/atoms/circuit.*, substitution #2 in
+// DESIGN.md).  The bench prints model vs paper side by side plus the
+// per-template primitive inventory.
+#include <cstdio>
+
+#include "atoms/circuit.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace atoms;
+  bench_util::header(
+      "Table 3 — Atom areas (um^2, 32 nm), model vs paper");
+
+  const std::vector<int> widths = {12, 56, 12, 12, 8};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"Atom", "Description (paper)", "Model um^2",
+                                 "Paper um^2", "err %"});
+  bench_util::print_rule(widths);
+
+  const std::vector<std::pair<std::string, std::string>> desc = {
+      {"Stateless", "arith/logic/relational/conditional on packet fields"},
+      {"Write", "read/write packet field/constant into state"},
+      {"RAW", "add to state OR write state"},
+      {"PRAW", "RAW predicated on a condition, else unchanged"},
+      {"IfElseRAW", "two RAWs: one each for predicate true/false"},
+      {"Sub", "IfElseRAW plus subtraction in the update"},
+      {"Nested", "Sub plus a second predication level (4-way)"},
+      {"Pairs", "Nested over a pair of state variables"},
+  };
+
+  for (const auto& row : paper_atom_table()) {
+    Circuit c = row.name == "Stateless"
+                    ? stateless_circuit()
+                    : [&] {
+                        for (const auto& t : stateful_hierarchy())
+                          if (t.name == row.name)
+                            return stateful_circuit(t.kind);
+                        return stateless_circuit();
+                      }();
+    std::string d;
+    for (const auto& [n, text] : desc)
+      if (n == row.name) d = text;
+    const double err =
+        100.0 * (c.area_um2() - row.area_um2) / row.area_um2;
+    bench_util::print_row(
+        widths, {row.name, d, bench_util::fmt(c.area_um2(), 0),
+                 bench_util::fmt(row.area_um2, 0), bench_util::fmt(err, 1)});
+  }
+  bench_util::print_rule(widths);
+
+  std::printf("\nPer-template primitive inventories (model internals):\n");
+  for (const auto& t : stateful_hierarchy()) {
+    Circuit c = stateful_circuit(t.kind);
+    std::printf("  %-10s:", t.name.c_str());
+    for (const auto& [p, n] : c.inventory)
+      std::printf(" %dx%s", n, primitive_name(p));
+    std::printf("\n");
+  }
+
+  std::printf("\nAll atoms meet timing at 1 GHz: ");
+  bool ok = stateless_circuit().min_delay_ps() < 1000.0;
+  for (const auto& t : stateful_hierarchy())
+    ok = ok && stateful_circuit(t.kind).min_delay_ps() < 1000.0;
+  std::printf("%s\n", ok ? "yes" : "NO (model violates the paper's claim!)");
+  return ok ? 0 : 1;
+}

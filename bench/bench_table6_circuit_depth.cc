@@ -1,0 +1,44 @@
+// Reproduces Table 6: "Minimum delay of an atom increases with circuit
+// depth" — the Write / RAW / PRAW circuits and their critical paths.
+#include <cstdio>
+
+#include "atoms/circuit.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace atoms;
+  bench_util::header("Table 6 — Circuit depth vs minimum delay");
+
+  const StatefulKind rows[] = {StatefulKind::kWrite, StatefulKind::kRAW,
+                               StatefulKind::kPRAW};
+  const double paper_delay[] = {176, 316, 393};
+
+  const std::vector<int> widths = {10, 64, 7, 12, 12};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"Atom", "Critical path (model)", "depth",
+                                 "delay ps", "paper ps"});
+  bench_util::print_rule(widths);
+
+  int prev_depth = 0;
+  double prev_delay = 0;
+  bool monotone = true;
+  for (int i = 0; i < 3; ++i) {
+    Circuit c = stateful_circuit(rows[i]);
+    std::string path;
+    for (std::size_t k = 0; k < c.critical_path.size(); ++k) {
+      if (k) path += " -> ";
+      path += primitive_name(c.critical_path[k]);
+    }
+    bench_util::print_row(widths, {c.name, path, std::to_string(c.depth()),
+                                   bench_util::fmt(c.min_delay_ps(), 0),
+                                   bench_util::fmt(paper_delay[i], 0)});
+    if (c.depth() < prev_depth || c.min_delay_ps() < prev_delay)
+      monotone = false;
+    prev_depth = c.depth();
+    prev_delay = c.min_delay_ps();
+  }
+  bench_util::print_rule(widths);
+  std::printf("\nDelay grows with circuit depth: %s\n",
+              monotone ? "yes" : "NO");
+  return monotone ? 0 : 1;
+}

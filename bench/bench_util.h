@@ -1,0 +1,41 @@
+// Shared table-printing helpers for the benchmark/reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench_util {
+
+inline void print_rule(const std::vector<int>& widths) {
+  std::printf("+");
+  for (int w : widths) {
+    for (int i = 0; i < w + 2; ++i) std::printf("-");
+    std::printf("+");
+  }
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<int>& widths,
+                      const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string& c = i < cells.size() ? cells[i] : "";
+    std::printf(" %-*s |", widths[i], c.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench_util

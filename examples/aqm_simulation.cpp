@@ -1,0 +1,122 @@
+// Active queue management in the data plane: HULL's phantom queue (Table 4)
+// and CoDel on the LUT-extended target (§5.3's future-work direction), both
+// compiled from Domino and driven by the same queue traces.
+//
+// Demonstrates the intro's motivating scenario: AQM algorithms that today
+// require new silicon, expressed in ~25 lines of Domino each and swapped on
+// the same programmable switch.
+#include <cstdio>
+
+#include "algorithms/corpus.h"
+#include "banzai/sim.h"
+#include "bench/bench_util.h"
+#include "core/compiler.h"
+#include "sim/queue.h"
+#include "sim/tracegen.h"
+
+namespace {
+
+struct MarkStats {
+  long packets = 0;
+  long marks = 0;
+  double fraction() const {
+    return packets ? static_cast<double>(marks) / packets : 0;
+  }
+};
+
+MarkStats run_hull(const std::vector<netsim::QueueSample>& samples) {
+  auto compiled = domino::compile(algorithms::algorithm("hull").source,
+                                  *atoms::find_target("banzai-sub"));
+  auto& m = compiled.machine();
+  banzai::PipelineSim sim(m);
+  for (const auto& s : samples) {
+    banzai::Packet p(m.fields().size());
+    p.set(m.fields().id_of("now"), s.arrival);
+    p.set(m.fields().id_of("size_bytes"), s.size_bytes);
+    sim.enqueue(p);
+  }
+  sim.drain();
+  MarkStats st;
+  const auto mark = m.fields().id_of(compiled.output_map().at("mark"));
+  for (const auto& p : sim.egress()) {
+    ++st.packets;
+    st.marks += p.get(mark);
+  }
+  return st;
+}
+
+MarkStats run_codel(const std::vector<netsim::QueueSample>& samples) {
+  auto compiled = domino::compile(algorithms::algorithm("codel").source,
+                                  atoms::lut_extended_target());
+  auto& m = compiled.machine();
+  banzai::PipelineSim sim(m);
+  for (const auto& s : samples) {
+    banzai::Packet p(m.fields().size());
+    p.set(m.fields().id_of("now"), s.arrival);
+    p.set(m.fields().id_of("qdelay"), s.sojourn);
+    sim.enqueue(p);
+  }
+  sim.drain();
+  MarkStats st;
+  const auto mark = m.fields().id_of(compiled.output_map().at("mark"));
+  for (const auto& p : sim.egress()) {
+    ++st.packets;
+    st.marks += p.get(mark);
+  }
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  bench_util::header(
+      "AQM in the data plane: HULL (banzai-sub) and CoDel (banzai-pairs-lut)");
+
+  const std::vector<int> widths = {8, 12, 14, 14, 14};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"load", "mean delay", "HULL mark %",
+                                 "CoDel mark %", "packets"});
+  bench_util::print_rule(widths);
+
+  double hull_light = -1, hull_heavy = -1;
+  double codel_light = -1, codel_heavy = -1;
+  for (double load : {0.4, 0.8, 1.2, 2.0}) {
+    netsim::ArrivalTraceConfig tc;
+    tc.num_packets = 30000;
+    tc.load = load;
+    tc.seed = 31337;
+    netsim::QueueConfig qc;
+    qc.bytes_per_tick = 1000;
+    const auto samples =
+        netsim::simulate_queue(netsim::generate_arrival_trace(tc), qc);
+    double mean_delay = 0;
+    for (const auto& s : samples) mean_delay += s.sojourn;
+    mean_delay /= static_cast<double>(samples.size());
+
+    const MarkStats hull = run_hull(samples);
+    const MarkStats codel = run_codel(samples);
+    bench_util::print_row(
+        widths, {bench_util::fmt(load, 1), bench_util::fmt(mean_delay, 1),
+                 bench_util::fmt(100 * hull.fraction(), 2),
+                 bench_util::fmt(100 * codel.fraction(), 2),
+                 std::to_string(hull.packets)});
+    if (load == 0.4) {
+      hull_light = hull.fraction();
+      codel_light = codel.fraction();
+    }
+    if (load == 2.0) {
+      hull_heavy = hull.fraction();
+      codel_heavy = codel.fraction();
+    }
+  }
+  bench_util::print_rule(widths);
+
+  const bool shape = hull_heavy > hull_light && codel_heavy >= codel_light;
+  std::printf(
+      "\nBoth AQMs are quiet at low load and signal congestion under\n"
+      "overload: %s.  HULL marks on instantaneous phantom-queue depth;\n"
+      "CoDel on persistent sojourn time — different algorithms, same\n"
+      "switch, no new hardware.\n",
+      shape ? "yes" : "NO");
+  return shape ? 0 : 1;
+}

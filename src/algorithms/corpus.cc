@@ -1,0 +1,582 @@
+#include "algorithms/corpus.h"
+
+#include <stdexcept>
+
+namespace algorithms {
+namespace {
+
+// --------------------------------------------------------------------------
+// 1. Bloom filter (3 hash functions) — set membership bit on every packet.
+// --------------------------------------------------------------------------
+const char* kBloomFilter = R"(
+#define NUM_ENTRIES 1024
+
+struct Packet {
+  int sport;
+  int dport;
+  int idx0;
+  int idx1;
+  int idx2;
+  int member;
+};
+
+int filter0[NUM_ENTRIES] = {0};
+int filter1[NUM_ENTRIES] = {0};
+int filter2[NUM_ENTRIES] = {0};
+
+void bloom_filter(struct Packet pkt) {
+  pkt.idx0 = hash2(pkt.sport, pkt.dport) % NUM_ENTRIES;
+  pkt.idx1 = hash3(pkt.sport, pkt.dport, 1) % NUM_ENTRIES;
+  pkt.idx2 = hash3(pkt.sport, pkt.dport, 2) % NUM_ENTRIES;
+  pkt.member = filter0[pkt.idx0] & filter1[pkt.idx1] & filter2[pkt.idx2];
+  filter0[pkt.idx0] = 1;
+  filter1[pkt.idx1] = 1;
+  filter2[pkt.idx2] = 1;
+}
+)";
+
+// --------------------------------------------------------------------------
+// 2. Heavy hitters — increment a Count-Min Sketch on every packet and flag
+//    flows whose estimated count exceeds a threshold.
+// --------------------------------------------------------------------------
+const char* kHeavyHitters = R"(
+#define NUM_ENTRIES 4096
+#define THRESHOLD 100
+
+struct Packet {
+  int srcip;
+  int dstip;
+  int sport;
+  int dport;
+  int proto;
+  int idx0;
+  int idx1;
+  int idx2;
+  int c0;
+  int c1;
+  int c2;
+  int min01;
+  int count;
+  int heavy;
+};
+
+int cms0[NUM_ENTRIES] = {0};
+int cms1[NUM_ENTRIES] = {0};
+int cms2[NUM_ENTRIES] = {0};
+
+void heavy_hitters(struct Packet pkt) {
+  pkt.idx0 = hash4(pkt.srcip, pkt.dstip, pkt.sport, pkt.dport) % NUM_ENTRIES;
+  pkt.idx1 = hash4(pkt.dstip, pkt.srcip, pkt.dport, pkt.sport) % NUM_ENTRIES;
+  pkt.idx2 = hash3(pkt.srcip, pkt.dstip, pkt.proto) % NUM_ENTRIES;
+  cms0[pkt.idx0] = cms0[pkt.idx0] + 1;
+  cms1[pkt.idx1] = cms1[pkt.idx1] + 1;
+  cms2[pkt.idx2] = cms2[pkt.idx2] + 1;
+  pkt.c0 = cms0[pkt.idx0];
+  pkt.c1 = cms1[pkt.idx1];
+  pkt.c2 = cms2[pkt.idx2];
+  pkt.min01 = (pkt.c0 < pkt.c1) ? pkt.c0 : pkt.c1;
+  pkt.count = (pkt.min01 < pkt.c2) ? pkt.min01 : pkt.c2;
+  pkt.heavy = pkt.count > THRESHOLD;
+}
+)";
+
+// --------------------------------------------------------------------------
+// 3. Flowlet switching — Figure 3a, verbatim modulo whitespace.
+// --------------------------------------------------------------------------
+const char* kFlowlets = R"(
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+
+struct Packet {
+  int sport;
+  int dport;
+  int new_hop;
+  int arrival;
+  int next_hop;
+  int id; // array index
+};
+
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport,
+                      pkt.dport,
+                      pkt.arrival)
+                % NUM_HOPS;
+
+  pkt.id = hash2(pkt.sport,
+                 pkt.dport)
+           % NUM_FLOWLETS;
+
+  if (pkt.arrival - last_time[pkt.id]
+      > THRESHOLD)
+  { saved_hop[pkt.id] = pkt.new_hop; }
+
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+)";
+
+// --------------------------------------------------------------------------
+// 4. RCP — accumulate RTT sum if the RTT is under the maximum allowable RTT.
+// --------------------------------------------------------------------------
+const char* kRcp = R"(
+#define MAX_ALLOWABLE_RTT 30
+
+struct Packet {
+  int size_bytes;
+  int rtt;
+};
+
+int input_traffic_bytes = 0;
+int sum_rtt = 0;
+int num_pkts_with_rtt = 0;
+
+void rcp(struct Packet pkt) {
+  input_traffic_bytes += pkt.size_bytes;
+  if (pkt.rtt < MAX_ALLOWABLE_RTT) {
+    sum_rtt += pkt.rtt;
+    num_pkts_with_rtt += 1;
+  }
+}
+)";
+
+// --------------------------------------------------------------------------
+// 5. Sampled NetFlow — sample one packet in N; reset the counter at N.
+// --------------------------------------------------------------------------
+const char* kSampledNetflow = R"(
+#define SAMPLE_THRESHOLD 29
+
+struct Packet {
+  int srcip;
+  int dstip;
+  int old_count;
+  int sample;
+};
+
+int count = 0;
+
+void sampled_netflow(struct Packet pkt) {
+  pkt.old_count = count;
+  if (count == SAMPLE_THRESHOLD) {
+    count = 0;
+  } else {
+    count = count + 1;
+  }
+  pkt.sample = pkt.old_count == SAMPLE_THRESHOLD;
+}
+)";
+
+// --------------------------------------------------------------------------
+// 6. HULL — phantom (virtual) queue: drains at a virtual capacity below line
+//    rate (DRAIN_SHIFT: 512 bytes/tick against a 1000 bytes/tick link) and
+//    marks ECN when the phantom queue exceeds the threshold.  Elapsed time
+//    comes from a last-arrival state variable, like flowlets' last_time.
+// --------------------------------------------------------------------------
+const char* kHull = R"(
+#define DRAIN_SHIFT 9
+#define ECN_THRESH 3000
+
+struct Packet {
+  int now;
+  int size_bytes;
+  int prev;
+  int drain;
+  int cur_q;
+  int mark;
+};
+
+int last_arr = 0;
+int vq = 0;
+
+void hull(struct Packet pkt) {
+  pkt.prev = last_arr;
+  last_arr = pkt.now;
+  pkt.drain = ((pkt.now - pkt.prev) << DRAIN_SHIFT) - pkt.size_bytes;
+  if (vq < pkt.drain) {
+    vq = 0;
+  } else {
+    vq = vq - pkt.drain;
+  }
+  pkt.cur_q = vq;
+  pkt.mark = pkt.cur_q > ECN_THRESH;
+}
+)";
+
+// --------------------------------------------------------------------------
+// 7. Adaptive Virtual Queue — adapt the virtual capacity to the measured
+//    queue, drain a virtual queue with it, mark when the virtual queue grows.
+// --------------------------------------------------------------------------
+const char* kAvq = R"(
+#define TARGET_QLEN 100
+#define ALPHA 4
+#define VCAP_MIN 10
+#define VCAP_MAX 1000
+
+struct Packet {
+  int size_bytes;
+  int qlen;
+  int vcap_old;
+  int drain;
+  int vq_now;
+  int mark;
+};
+
+int vcap = 100;
+int vq = 0;
+
+void avq(struct Packet pkt) {
+  pkt.vcap_old = vcap;
+  if (pkt.qlen > TARGET_QLEN) {
+    if (vcap > VCAP_MIN) {
+      vcap = vcap - ALPHA;
+    }
+  } else {
+    if (vcap < VCAP_MAX) {
+      vcap = vcap + ALPHA;
+    }
+  }
+  pkt.drain = pkt.vcap_old - pkt.size_bytes;
+  if (vq < pkt.drain) {
+    vq = 0;
+  } else {
+    vq = vq - pkt.drain;
+  }
+  pkt.vq_now = vq;
+  pkt.mark = pkt.vq_now > TARGET_QLEN;
+}
+)";
+
+// --------------------------------------------------------------------------
+// 8. WFQ priority computation (start-time fair queueing) — a packet's
+//    virtual start time is the max of its flow's last finish time and now.
+// --------------------------------------------------------------------------
+const char* kStfq = R"(
+#define NUM_FLOWS 1024
+
+struct Packet {
+  int flow;
+  int len;
+  int now;
+  int idx;
+  int last;
+  int start;
+};
+
+int last_finish[NUM_FLOWS] = {0};
+
+void stfq(struct Packet pkt) {
+  pkt.idx = hash2(pkt.flow, 1) % NUM_FLOWS;
+  pkt.last = last_finish[pkt.idx];
+  if (pkt.last == 0) {
+    last_finish[pkt.idx] = pkt.now + pkt.len;
+  } else if (pkt.last > pkt.now) {
+    last_finish[pkt.idx] = pkt.last + pkt.len;
+  } else {
+    last_finish[pkt.idx] = pkt.now + pkt.len;
+  }
+  pkt.start = (pkt.last > pkt.now) ? pkt.last : pkt.now;
+}
+)";
+
+// --------------------------------------------------------------------------
+// 9. DNS TTL change tracking — count, per domain, how often the announced
+//    TTL changes (EXPOSURE uses this as a malicious-domain feature).
+// --------------------------------------------------------------------------
+const char* kDnsTtl = R"(
+#define NUM_DOMAINS 4096
+
+struct Packet {
+  int domain;
+  int ttl;
+  int idx;
+  int old_ttl;
+  int changes_now;
+};
+
+int last_ttl[NUM_DOMAINS] = {0};
+int num_changes[NUM_DOMAINS] = {0};
+
+void dns_ttl_tracker(struct Packet pkt) {
+  pkt.idx = hash2(pkt.domain, 7) % NUM_DOMAINS;
+  pkt.old_ttl = last_ttl[pkt.idx];
+  last_ttl[pkt.idx] = pkt.ttl;
+  if (pkt.old_ttl != 0) {
+    if (pkt.old_ttl != pkt.ttl) {
+      num_changes[pkt.idx] = num_changes[pkt.idx] + 1;
+    }
+  }
+  pkt.changes_now = num_changes[pkt.idx];
+}
+)";
+
+// --------------------------------------------------------------------------
+// 10. CONGA — §5.3's pair-update example, verbatim structure: track the best
+//     (least utilized) path per destination.
+// --------------------------------------------------------------------------
+const char* kConga = R"(
+#define NUM_DESTS 256
+#define INFINITE_UTIL 2147483647
+
+struct Packet {
+  int src;
+  int util;
+  int path_id;
+  int best_util_now;
+  int best_path_now;
+};
+
+int best_path_util[NUM_DESTS] = {INFINITE_UTIL};
+int best_path[NUM_DESTS] = {0};
+
+void conga(struct Packet pkt) {
+  if (pkt.util < best_path_util[pkt.src]) {
+    best_path_util[pkt.src] = pkt.util;
+    best_path[pkt.src] = pkt.path_id;
+  } else if (pkt.path_id == best_path[pkt.src]) {
+    best_path_util[pkt.src] = pkt.util;
+  }
+  pkt.best_util_now = best_path_util[pkt.src];
+  pkt.best_path_now = best_path[pkt.src];
+}
+)";
+
+// --------------------------------------------------------------------------
+// 11. CoDel — the AQM control law: when the sojourn time stays above target,
+//     mark at intervals that shrink as INTERVAL/sqrt(count).  Needs a square
+//     root, which no paper atom provides -> "Doesn't map" (§5.3); the
+//     LUT-extension target runs it.
+// --------------------------------------------------------------------------
+const char* kCodel = R"(
+#define TARGET 5
+#define INTERVAL 4096
+
+struct Packet {
+  int now;
+  int qdelay;
+  int above;
+  int next_old;
+  int count_now;
+  int mark;
+};
+
+int next_mark = 0;
+int count = 0;
+
+void codel(struct Packet pkt) {
+  pkt.above = pkt.qdelay > TARGET;
+  pkt.next_old = next_mark;
+  if (pkt.above == 0) {
+    count = 0;
+    next_mark = pkt.now + INTERVAL;
+  } else {
+    if (pkt.now >= next_mark) {
+      count = count + 1;
+      next_mark = sqrt_interval(count) + pkt.now;
+    }
+  }
+  pkt.count_now = count;
+  pkt.mark = pkt.above && (pkt.now >= pkt.next_old);
+}
+)";
+
+// --------------------------------------------------------------------------
+// Workload generators (all deterministic under the caller's seed).
+// --------------------------------------------------------------------------
+
+WorkloadGen flow_tuple_workload(int num_flows) {
+  return [num_flows](std::mt19937& rng, int, std::map<std::string, Value>& f) {
+    // Zipf-ish skew: a few hot flows, a long tail.
+    std::uniform_int_distribution<int> coin(0, 9);
+    std::uniform_int_distribution<int> hot(0, 3);
+    std::uniform_int_distribution<int> cold(0, num_flows - 1);
+    const int flow = coin(rng) < 7 ? hot(rng) : cold(rng);
+    f["sport"] = 1000 + flow;
+    f["dport"] = 80 + (flow % 7);
+    f["srcip"] = 0x0a000000 + flow;
+    f["dstip"] = 0x0a800000 + (flow % 16);
+    f["proto"] = (flow % 2) ? 6 : 17;
+    f["flow"] = flow;
+    f["domain"] = flow;
+  };
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& corpus() {
+  static const std::vector<AlgorithmInfo> kCorpus = [] {
+    std::vector<AlgorithmInfo> v;
+
+    v.push_back({"bloom_filter",
+                 "Set membership bit on every packet (3 hash functions)",
+                 kBloomFilter, "Either", "Write", 4, 3, 29, 104,
+                 {"sport", "dport"},
+                 flow_tuple_workload(512)});
+
+    v.push_back({"heavy_hitters",
+                 "Increment Count-Min Sketch on every packet",
+                 kHeavyHitters, "Either", "RAW", 10, 9, 35, 192,
+                 {"srcip", "dstip", "sport", "dport", "proto"},
+                 flow_tuple_workload(256)});
+
+    {
+      AlgorithmInfo a{"flowlets",
+                      "Update saved next hop if flowlet threshold is exceeded",
+                      kFlowlets, "Ingress", "PRAW", 6, 2, 37, 107,
+                      {"sport", "dport", "arrival"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> flow(0, 19);
+        std::uniform_int_distribution<int> gap(0, 9);
+        f["sport"] = 1000 + flow(rng);
+        f["dport"] = 80;
+        // bursty arrivals: mostly back-to-back, occasionally a long gap
+        f["arrival"] = i * 2 + (gap(rng) == 0 ? 50 : 0);
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"rcp",
+                      "Accumulate RTT sum if RTT is under maximum allowable",
+                      kRcp, "Egress", "PRAW", 3, 3, 23, 75,
+                      {"size_bytes", "rtt"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> size(64, 1500);
+        std::uniform_int_distribution<int> rtt(1, 60);
+        f["size_bytes"] = size(rng);
+        f["rtt"] = rtt(rng);
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"sampled_netflow",
+                      "Sample a packet if count reaches N; reset count at N",
+                      kSampledNetflow, "Either", "IfElseRAW", 4, 2, 18, 70,
+                      {"srcip", "dstip"},
+                      flow_tuple_workload(64)};
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"hull",
+                      "Update counter for virtual queue",
+                      kHull, "Egress", "Sub", 7, 1, 26, 95,
+                      {"now", "size_bytes"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> size(64, 1500);
+        std::uniform_int_distribution<int> jitter(0, 1);
+        f["now"] = i * 2 + jitter(rng);  // monotone arrival clock
+        f["size_bytes"] = size(rng);
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"avq",
+                      "Update virtual queue size and virtual capacity",
+                      kAvq, "Ingress", "Nested", 7, 3, 36, 147,
+                      {"size_bytes", "qlen"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> size(64, 1500);
+        std::uniform_int_distribution<int> qlen(0, 250);
+        f["size_bytes"] = size(rng);
+        f["qlen"] = qlen(rng);
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"stfq",
+                      "Compute packet's virtual start time from the finish "
+                      "time of the last packet in its flow",
+                      kStfq, "Ingress", "Nested", 4, 2, 29, 87,
+                      {"flow", "len", "now"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> flow(0, 31);
+        std::uniform_int_distribution<int> len(64, 1500);
+        f["flow"] = flow(rng);
+        f["len"] = len(rng);
+        f["now"] = i * 3;
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"dns_ttl_tracker",
+                      "Track number of changes in announced TTL per domain",
+                      kDnsTtl, "Ingress", "Nested", 6, 3, 27, 119,
+                      {"domain", "ttl"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> domain(0, 99);
+        std::uniform_int_distribution<int> ttl_change(0, 9);
+        std::uniform_int_distribution<int> ttl_val(1, 5);
+        f["domain"] = domain(rng);
+        // most domains keep a stable TTL; some flip-flop
+        f["ttl"] = (ttl_change(rng) == 0) ? ttl_val(rng) * 60 : 300;
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"conga",
+                      "Update best path's utilization/id if we see a better "
+                      "path; update utilization alone if it changes",
+                      kConga, "Ingress", "Pairs", 4, 2, 32, 89,
+                      {"src", "util", "path_id"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> src(0, 15);
+        std::uniform_int_distribution<int> util(0, 1000);
+        std::uniform_int_distribution<int> path(0, 7);
+        f["src"] = src(rng);
+        f["util"] = util(rng);
+        f["path_id"] = path(rng);
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"codel",
+                      "Track marking state, next mark time and mark count "
+                      "(control law needs INTERVAL/sqrt(count))",
+                      kCodel, "Egress", "Doesn't map", 15, 3, 57, 271,
+                      {"now", "qdelay"},
+                      {}};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> delay(0, 12);
+        f["now"] = i * 7;
+        // sustained standing queue with occasional dips below target
+        f["qdelay"] = delay(rng);
+      };
+      v.push_back(std::move(a));
+    }
+
+    return v;
+  }();
+  return kCorpus;
+}
+
+const AlgorithmInfo& algorithm(const std::string& name) {
+  for (const auto& a : corpus())
+    if (a.name == name) return a;
+  throw std::out_of_range("unknown algorithm: " + name);
+}
+
+}  // namespace algorithms

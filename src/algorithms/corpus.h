@@ -1,0 +1,51 @@
+// The data-plane algorithm corpus of Table 4: every algorithm the paper
+// evaluates, written in Domino, with the paper's published expectations
+// (least expressive atom, stage counts, pipeline location, lines of code)
+// and a deterministic workload generator for differential testing and the
+// benchmark harnesses.
+//
+// Formulation note: the paper's exact sources are not published for every
+// algorithm; each program here implements the published pseudocode of the
+// underlying algorithm and is written in the decoupled read-flank style the
+// Domino compiler expects (observable values are read from a state variable's
+// pre/post-update value, never from intermediate predicates).  EXPERIMENTS.md
+// records measured-vs-paper for every row.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "banzai/value.h"
+
+namespace algorithms {
+
+using banzai::Value;
+
+// Fills the input packet fields for the i-th packet of a seeded workload.
+using WorkloadGen =
+    std::function<void(std::mt19937&, int i, std::map<std::string, Value>&)>;
+
+struct AlgorithmInfo {
+  std::string name;
+  std::string description;        // Table 4 "Description" column
+  std::string source;             // the Domino program
+  std::string pipeline_location;  // "Ingress", "Egress" or "Either"
+  std::string paper_least_atom;   // Table 4, "Doesn't map" for CoDel
+  int paper_stages;
+  int paper_max_atoms_per_stage;
+  int paper_domino_loc;
+  int paper_p4_loc;
+  std::vector<std::string> input_fields;  // fields the workload populates
+  WorkloadGen workload;
+};
+
+// All eleven algorithms, in Table 4 order.
+const std::vector<AlgorithmInfo>& corpus();
+
+// Lookup by name; throws std::out_of_range if unknown.
+const AlgorithmInfo& algorithm(const std::string& name);
+
+}  // namespace algorithms

@@ -1,0 +1,77 @@
+// Gate-level cost model for atoms: the substitute for the paper's Synopsys
+// Design Compiler runs on a 32 nm standard-cell library (§5.2, Tables 3/5/6).
+//
+// Each atom template lowers to an inventory of hardware primitives (muxes,
+// adders, relational units, state flops, ...) plus a critical-path chain.
+// Per-primitive area and delay constants are calibrated so that the model
+// reproduces the paper's published numbers; what the model must preserve is
+// the *shape* the evaluation relies on:
+//   - area grows monotonically along the containment hierarchy (Table 3),
+//   - delay grows with circuit depth (Table 6),
+//   - max line rate = 1 / delay falls as programmability rises (Table 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atoms/stateful.h"
+
+namespace atoms {
+
+enum class Primitive {
+  kStateReg,   // 32-bit state flop bank + write-back
+  kMux2,
+  kMux3,
+  kMux4,
+  kAdder,
+  kSubtractor,
+  kCsa,        // 3:2 carry-save compressor stage
+  kRelop,      // 32-bit relational unit
+  kShifter,    // barrel shifter (stateless ALU)
+  kLogicUnit,  // and/or/xor unit (stateless ALU)
+  kPredGlue,   // predicate combine / enable logic
+  kXbarTap,    // crossbar tap for cross-state-variable routing (Pairs)
+  kLutRom,     // look-up-table ROM in the update path (extension atom)
+};
+
+const char* primitive_name(Primitive p);
+
+// Area in um^2 (32 nm standard cells, calibrated).
+double primitive_area(Primitive p);
+// Delay contribution in ps when the primitive sits on the critical path.
+double primitive_delay(Primitive p);
+
+struct Circuit {
+  std::string name;
+  // Inventory: (primitive, count) pairs.
+  std::vector<std::pair<Primitive, int>> inventory;
+  // Critical path as a chain of primitives; a final register-setup allowance
+  // is added by min_delay_ps().
+  std::vector<Primitive> critical_path;
+
+  double area_um2() const;
+  double min_delay_ps() const;
+  int depth() const { return static_cast<int>(critical_path.size()); }
+
+  // Maximum line rate in billion packets per second (Table 5): the inverse of
+  // the critical-path delay.
+  double max_line_rate_gpps() const { return 1000.0 / min_delay_ps(); }
+
+  std::string str() const;
+};
+
+// Circuit for one stateful atom template.
+Circuit stateful_circuit(StatefulKind kind);
+// Circuit for the stateless ALU atom.
+Circuit stateless_circuit();
+
+// Paper-published reference values, for calibration tests and benches.
+struct PaperAtomRow {
+  std::string name;
+  double area_um2;      // Table 3
+  double min_delay_ps;  // Table 5 (stateful atoms only; 0 = not reported)
+};
+const std::vector<PaperAtomRow>& paper_atom_table();
+
+}  // namespace atoms

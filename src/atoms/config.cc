@@ -1,0 +1,85 @@
+#include "atoms/config.h"
+
+#include <sstream>
+
+namespace atoms {
+
+const char* rel_str(RelKind r) {
+  switch (r) {
+    case RelKind::kAlways: return "true";
+    case RelKind::kLt: return "<";
+    case RelKind::kLe: return "<=";
+    case RelKind::kGt: return ">";
+    case RelKind::kGe: return ">=";
+    case RelKind::kEq: return "==";
+    case RelKind::kNe: return "!=";
+  }
+  return "?";
+}
+
+std::string OperandSel::str(std::span<const std::string> field_names) const {
+  switch (kind) {
+    case Kind::kState: return "x" + std::to_string(state_idx);
+    case Kind::kField: {
+      auto pos = static_cast<std::size_t>(field_pos);
+      if (pos < field_names.size()) return "pkt." + field_names[pos];
+      return "pkt.?" + std::to_string(field_pos);
+    }
+    case Kind::kConst: return std::to_string(cst);
+  }
+  return "?";
+}
+
+std::string PredConfig::str(std::span<const std::string> field_names) const {
+  if (rel == RelKind::kAlways) return "true";
+  return a.str(field_names) + " " + rel_str(rel) + " " + b.str(field_names);
+}
+
+std::string ArmConfig::str(std::span<const std::string> field_names) const {
+  switch (mode) {
+    case ArmMode::kKeep: return "x";
+    case ArmMode::kSet: return src1.str(field_names);
+    case ArmMode::kAdd: return "x + " + src1.str(field_names);
+    case ArmMode::kSubt: return "x - " + src1.str(field_names);
+    case ArmMode::kSetAdd:
+      return src1.str(field_names) + " + " + src2.str(field_names);
+    case ArmMode::kSetSub:
+      return src1.str(field_names) + " - " + src2.str(field_names);
+    case ArmMode::kAddSub:
+      return "x + " + src1.str(field_names) + " - " + src2.str(field_names);
+    case ArmMode::kLutAdd:
+      return "lut(" + src1.str(field_names) + ") + " + src2.str(field_names);
+  }
+  return "?";
+}
+
+std::string StatefulConfig::str(
+    std::span<const std::string> field_names) const {
+  const auto& t = template_info(kind);
+  std::ostringstream os;
+  os << t.name << "{";
+  auto leaf_str = [&](std::size_t leaf) {
+    std::string s;
+    for (std::size_t k = 0; k < leaves[leaf].size(); ++k) {
+      if (k) s += ", ";
+      s += "x" + std::to_string(k) + "' = " +
+           leaves[leaf][k].str(field_names);
+    }
+    return s;
+  };
+  if (t.pred_levels == 0) {
+    os << leaf_str(0);
+  } else if (t.pred_levels == 1) {
+    os << "if (" << preds[0].str(field_names) << ") {" << leaf_str(0)
+       << "} else {" << leaf_str(1) << "}";
+  } else {
+    os << "if (" << preds[0].str(field_names) << ") { if ("
+       << preds[1].str(field_names) << ") {" << leaf_str(0) << "} else {"
+       << leaf_str(1) << "} } else { if (" << preds[2].str(field_names)
+       << ") {" << leaf_str(2) << "} else {" << leaf_str(3) << "} }";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace atoms

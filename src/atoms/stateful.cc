@@ -1,0 +1,68 @@
+#include "atoms/stateful.h"
+
+#include "banzai/value.h"
+#include "ir/intrinsics.h"
+
+#include <stdexcept>
+
+namespace atoms {
+namespace {
+
+std::vector<StatefulTemplateInfo> build_templates() {
+  using M = ArmMode;
+  const std::vector<M> write_modes = {M::kKeep, M::kSet};
+  const std::vector<M> raw_modes = {M::kKeep, M::kSet, M::kAdd};
+  const std::vector<M> sub_modes = {M::kKeep, M::kSet,    M::kAdd,   M::kSubt,
+                                    M::kSetAdd, M::kSetSub, M::kAddSub};
+  std::vector<M> lut_modes = sub_modes;
+  lut_modes.push_back(M::kLutAdd);
+  return {
+      {StatefulKind::kWrite, "Write", 1, 0, false, write_modes, 0},
+      {StatefulKind::kRAW, "RAW", 1, 0, false, raw_modes, 1},
+      {StatefulKind::kPRAW, "PRAW", 1, 1, true, raw_modes, 2},
+      {StatefulKind::kIfElseRAW, "IfElseRAW", 1, 1, false, raw_modes, 3},
+      {StatefulKind::kSub, "Sub", 1, 1, false, sub_modes, 4},
+      {StatefulKind::kNested, "Nested", 1, 2, false, sub_modes, 5},
+      {StatefulKind::kPairs, "Pairs", 2, 2, false, sub_modes, 6},
+      {StatefulKind::kLutPairs, "LutPairs", 2, 2, false, lut_modes, 7},
+  };
+}
+
+}  // namespace
+
+const std::vector<StatefulTemplateInfo>& all_templates() {
+  static const std::vector<StatefulTemplateInfo> kAll = build_templates();
+  return kAll;
+}
+
+const std::vector<StatefulTemplateInfo>& stateful_hierarchy() {
+  static const std::vector<StatefulTemplateInfo> kHierarchy = [] {
+    auto v = build_templates();
+    v.pop_back();  // drop the LUT extension: not one of the paper's targets
+    return v;
+  }();
+  return kHierarchy;
+}
+
+const StatefulTemplateInfo& template_info(StatefulKind kind) {
+  for (const auto& t : all_templates())
+    if (t.kind == kind) return t;
+  throw std::logic_error("unknown stateful template kind");
+}
+
+const char* stateful_kind_name(StatefulKind kind) {
+  return template_info(kind).name.c_str();
+}
+
+std::int32_t lut_eval(std::int32_t c) {
+  // The ROM is programmed with the post-increment CoDel control law: when an
+  // atom arm computes `next_mark = lut(count_old) + now` in the same cycle
+  // that another arm computes `count = count_old + 1`, the table must hold
+  // gap(count_old) = sqrt_interval(count_old + 1).  Sharing the intrinsic's
+  // canned implementation keeps the interpreter, synthesis and the simulator
+  // bit-identical.
+  return domino::eval_intrinsic(
+      "sqrt_interval", {banzai::wrap_add(c, 1)});
+}
+
+}  // namespace atoms

@@ -1,0 +1,93 @@
+// The containment hierarchy of stateful atom templates (§5.2, Table 3).
+//
+// Each template is a parameterized program ("atom template", Figure 2b): a
+// decision tree of predicates over {state, packet operands, constants} whose
+// leaves update the state variable(s).  The holes (configuration parameters)
+// are: the relational operator and operands of each predicate, and the mode
+// and operands of each update arm.  Filling the holes yields a concrete atom.
+//
+// The hierarchy (each level can express everything below it):
+//
+//   Write       x' = x | src                                 (no predicate)
+//   RAW         x' = x | src | x + src                       (no predicate)
+//   PRAW        if (pred) RAW-arm else x' = x
+//   IfElseRAW   if (pred) RAW-arm else RAW-arm
+//   Sub         if (pred) Sub-arm else Sub-arm               (arms may subtract)
+//   Nested      if (p1) { if (p2) arm : arm } else { if (p3) arm : arm }
+//   Pairs       Nested over two state variables; predicates see both;
+//               every leaf updates both.
+//
+// A Sub-arm is `x' = base + addend - subtrahend` (a carry-save chain in
+// hardware), which is what lets e.g. HULL's `counter + pkt.size - DRAIN`
+// map to a single atom.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atoms {
+
+enum class StatefulKind {
+  kWrite,
+  kRAW,
+  kPRAW,
+  kIfElseRAW,
+  kSub,
+  kNested,
+  kPairs,
+  // Extension (§5.3 future work): Pairs plus a look-up table in the update
+  // path, approximating mathematical functions such as CoDel's
+  // interval/sqrt(count).  Not part of the paper's seven targets.
+  kLutPairs,
+};
+
+// Update-arm modes.  Modes involving subtraction or two sources are only
+// available from the Sub template upward; kLutAdd only exists in the
+// LUT-extended template.
+enum class ArmMode {
+  kKeep,    // x' = x
+  kSet,     // x' = src1
+  kAdd,     // x' = x + src1
+  kSubt,    // x' = x - src1
+  kSetAdd,  // x' = src1 + src2
+  kSetSub,  // x' = src1 - src2
+  kAddSub,  // x' = x + src1 - src2
+  kLutAdd,  // x' = lut(src1) + src2
+};
+
+struct StatefulTemplateInfo {
+  StatefulKind kind;
+  std::string name;
+  int num_states;        // state variables the atom owns (1, or 2 for Pairs)
+  int pred_levels;       // 0 (Write/RAW), 1 (PRAW..Sub), 2 (Nested/Pairs)
+  bool false_leaf_keep;  // PRAW: the predicate-false leaf must leave x alone
+  std::vector<ArmMode> allowed_modes;
+  int hierarchy_rank;    // 0 = Write ... 6 = Pairs
+};
+
+// The seven paper templates, ordered by hierarchy_rank.
+const std::vector<StatefulTemplateInfo>& stateful_hierarchy();
+// The paper templates plus the LUT extension.
+const std::vector<StatefulTemplateInfo>& all_templates();
+
+const StatefulTemplateInfo& template_info(StatefulKind kind);
+const char* stateful_kind_name(StatefulKind kind);
+
+// The canned look-up table of the extension atom: an approximation of
+// CoDel's control law gap(c) = INTERVAL / sqrt(c + 1), in the same time
+// units as packet arrival timestamps.  Total on every 32-bit input.
+std::int32_t lut_eval(std::int32_t c);
+
+// Number of decision-tree leaves for a template (1, 2 or 4).
+inline int num_leaves(const StatefulTemplateInfo& t) {
+  return 1 << t.pred_levels;
+}
+
+// Number of predicates (0, 1 or 3: p1 plus p2/p3 for two levels).
+inline int num_preds(const StatefulTemplateInfo& t) {
+  return t.pred_levels == 0 ? 0 : (t.pred_levels == 1 ? 1 : 3);
+}
+
+}  // namespace atoms

@@ -1,0 +1,62 @@
+#include "atoms/stateless.h"
+
+namespace atoms {
+
+using domino::BinOp;
+using domino::TacStmt;
+
+namespace {
+
+bool alu_binop(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kShl:
+    case BinOp::kShr:
+    case BinOp::kBitAnd:
+    case BinOp::kBitOr:
+    case BinOp::kBitXor:
+    case BinOp::kLAnd:
+    case BinOp::kLOr:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kEq:
+    case BinOp::kNe:
+      return true;
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool stateless_alu_supports(const TacStmt& stmt) {
+  return !stateless_alu_reject_reason(stmt).has_value();
+}
+
+std::optional<std::string> stateless_alu_reject_reason(const TacStmt& stmt) {
+  switch (stmt.kind) {
+    case TacStmt::Kind::kCopy:
+    case TacStmt::Kind::kUnary:
+    case TacStmt::Kind::kTernary:
+      return std::nullopt;
+    case TacStmt::Kind::kBinary:
+      if (alu_binop(stmt.op)) return std::nullopt;
+      return std::string("operator '") + domino::binop_str(stmt.op) +
+             "' is not provided by the stateless ALU";
+    case TacStmt::Kind::kIntrinsic:
+      return std::string("intrinsic '") + stmt.intrinsic +
+             "' requires an accelerator unit, not the stateless ALU";
+    case TacStmt::Kind::kReadState:
+    case TacStmt::Kind::kWriteState:
+      return std::string("state access requires a stateful atom");
+  }
+  return std::string("unknown statement kind");
+}
+
+}  // namespace atoms

@@ -1,0 +1,28 @@
+// The stateless atom (§5.2): an ALU supporting simple arithmetic (add,
+// subtract, shifts), logical (and/or/xor), relational and conditional
+// operations on packet fields and constants.  Stateless operations can be
+// spread across stages without violating atomicity (§2.3), so one stateless
+// codelet is always a single three-address-code statement and mapping is a
+// structural check rather than a synthesis problem.
+//
+// Deliberately NOT supported (faithful to the paper): multiply, divide,
+// modulo and square root.  `hashK(...) % CONST` is a hash-unit intrinsic, not
+// an ALU modulo.  This is exactly why CoDel fails to map (§5.3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/tac.h"
+
+namespace atoms {
+
+// True if the single statement fits the stateless ALU.
+bool stateless_alu_supports(const domino::TacStmt& stmt);
+
+// If the statement is unsupported, a human-readable reason; nullopt if it is
+// supported.  (Intrinsics are judged by unit availability elsewhere.)
+std::optional<std::string> stateless_alu_reject_reason(
+    const domino::TacStmt& stmt);
+
+}  // namespace atoms

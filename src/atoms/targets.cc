@@ -1,0 +1,75 @@
+#include "atoms/targets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atoms {
+
+const std::vector<BanzaiTarget>& paper_targets() {
+  static const std::vector<BanzaiTarget> kTargets = [] {
+    std::vector<BanzaiTarget> t;
+    for (const auto& info : stateful_hierarchy()) {
+      BanzaiTarget bt;
+      std::string lower = info.name;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      bt.name = "banzai-" + lower;
+      bt.stateful_atom = info.kind;
+      t.push_back(bt);
+    }
+    return t;
+  }();
+  return kTargets;
+}
+
+std::optional<BanzaiTarget> find_target(const std::string& name) {
+  for (const auto& t : paper_targets())
+    if (t.name == name) return t;
+  if (name == lut_extended_target().name) return lut_extended_target();
+  return std::nullopt;
+}
+
+BanzaiTarget lut_extended_target() {
+  BanzaiTarget bt;
+  bt.name = "banzai-pairs-lut";
+  bt.stateful_atom = StatefulKind::kLutPairs;
+  bt.has_math_unit = true;
+  return bt;
+}
+
+ResourceBudget compute_resource_budget(StatefulKind stateful_atom,
+                                       double chip_area_mm2) {
+  ResourceBudget rb;
+  rb.chip_area_mm2 = chip_area_mm2;
+  rb.num_stages = 32;
+
+  // Stateless atoms: 7% of chip area (the RMT action-unit overhead) buys
+  // area / stateless_atom_area instances; paper: ~10000 total, ~300/stage.
+  rb.stateless_overhead_frac = 0.07;
+  const double stateless_area_um2 = stateless_circuit().area_um2();
+  const double budget_um2 = chip_area_mm2 * 1e6 * rb.stateless_overhead_frac;
+  rb.stateless_total = static_cast<std::size_t>(budget_um2 / stateless_area_um2);
+  rb.stateless_per_stage = rb.stateless_total / rb.num_stages;
+
+  // Stateful atoms: area would allow ~70/stage for Pairs, but per-stage
+  // memory banking limits it; the paper settles on ~10/stage (~1% overhead).
+  rb.stateful_per_stage = 10;
+  const double stateful_area_um2 = stateful_circuit(stateful_atom).area_um2();
+  rb.stateful_overhead_frac =
+      (stateful_area_um2 * static_cast<double>(rb.stateful_per_stage) *
+       static_cast<double>(rb.num_stages)) /
+      (chip_area_mm2 * 1e6);
+
+  // Crossbar: RMT reports 6 mm^2 for 224 action units over 32 stages; scale
+  // linearly to ~300 units -> ~8 mm^2, ~4% of a 200 mm^2 chip.
+  rb.crossbar_area_mm2 =
+      6.0 * (static_cast<double>(rb.stateless_per_stage) / 224.0);
+  rb.crossbar_overhead_frac = rb.crossbar_area_mm2 / chip_area_mm2;
+
+  rb.total_overhead_frac = rb.stateless_overhead_frac +
+                           rb.stateful_overhead_frac +
+                           rb.crossbar_overhead_frac;
+  return rb;
+}
+
+}  // namespace atoms

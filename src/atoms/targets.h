@@ -1,0 +1,75 @@
+// The concrete compiler targets (§5.2): one Banzai machine per stateful atom
+// in the containment hierarchy, each also containing the single stateless
+// atom, hash units, and the paper's resource limits — 32 stages, ~300
+// stateless and ~10 stateful atom slots per stage.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atoms/circuit.h"
+#include "atoms/stateful.h"
+#include "banzai/machine.h"
+#include "ir/intrinsics.h"
+
+namespace atoms {
+
+struct BanzaiTarget {
+  std::string name;           // e.g. "banzai-praw"
+  StatefulKind stateful_atom;
+  bool has_math_unit = false; // LUT extension target only (§5.3 future work)
+
+  std::size_t pipeline_depth = 32;
+  std::size_t stateless_per_stage = 300;
+  std::size_t stateful_per_stage = 10;
+
+  banzai::MachineSpec machine_spec() const {
+    banzai::MachineSpec m;
+    m.name = name;
+    m.stateful_template = template_info(stateful_atom).name;
+    m.pipeline_depth = pipeline_depth;
+    m.stateless_per_stage = stateless_per_stage;
+    m.stateful_per_stage = stateful_per_stage;
+    return m;
+  }
+
+  bool provides_unit(domino::IntrinsicUnit unit) const {
+    switch (unit) {
+      case domino::IntrinsicUnit::kHash: return true;
+      case domino::IntrinsicUnit::kMath: return has_math_unit;
+    }
+    return false;
+  }
+};
+
+// The seven paper targets, ordered by hierarchy rank (Write .. Pairs).
+const std::vector<BanzaiTarget>& paper_targets();
+
+// The target named `banzai-<atom>`, if it exists.
+std::optional<BanzaiTarget> find_target(const std::string& name);
+
+// The look-up-table extension target: Pairs atoms plus a math unit that
+// approximates sqrt — the paper's proposed direction for supporting CoDel.
+BanzaiTarget lut_extended_target();
+
+// Chip-area budget analysis (§5.2 "Resource limits"): derives the atom
+// counts per stage and total area overhead from a chip area and the atom
+// circuit models, reproducing the 7% + 1% + 4% ~= 12% overhead argument.
+struct ResourceBudget {
+  double chip_area_mm2;             // 200 mm^2, smallest in Gibb et al.
+  double stateless_overhead_frac;   // 0.07 (RMT action-unit overhead)
+  std::size_t num_stages;           // 32
+  std::size_t stateless_total;      // atoms affordable within the overhead
+  std::size_t stateless_per_stage;
+  std::size_t stateful_per_stage;   // limited by memory banking, ~10
+  double stateful_overhead_frac;
+  double crossbar_area_mm2;         // scaled from RMT's 6 mm^2 / 224 units
+  double crossbar_overhead_frac;
+  double total_overhead_frac;
+};
+
+ResourceBudget compute_resource_budget(StatefulKind stateful_atom,
+                                       double chip_area_mm2 = 200.0);
+
+}  // namespace atoms

@@ -1,0 +1,41 @@
+// A configured atom instance: one processing unit in one Banzai stage.
+//
+// Code generation (src/core/codegen.*) lowers each codelet to a closure over
+// the atom-template evaluator plus its synthesized configuration.  The Banzai
+// simulator itself is agnostic to how the closure was produced: an atom is
+// "a body of sequential code that completes before the next packet" (§2.3),
+// here literally a function executed atomically within one simulated cycle.
+//
+// Execution semantics within a stage: all atoms of a stage run in parallel on
+// the packet as it *entered* the stage (reads from `in`), producing writes
+// into `out`.  Each atom owns disjoint output fields and disjoint state, which
+// code generation guarantees.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "banzai/packet.h"
+#include "banzai/state.h"
+
+namespace banzai {
+
+enum class AtomKind {
+  kStateless,  // pure packet-field computation
+  kStateful,   // reads and/or writes one or two state variables
+  kIntrinsic,  // hardware accelerator (hash unit, lookup table)
+};
+
+struct ConfiguredAtom {
+  std::string label;  // human-readable description (for dumps/benches)
+  AtomKind kind = AtomKind::kStateless;
+  // State variables this atom owns (empty for stateless atoms).
+  std::vector<std::string> state_vars;
+  // Packet fields this atom writes (used to verify disjointness).
+  std::vector<FieldId> output_fields;
+  // The atom body.  Must be total: no exceptions on any input.
+  std::function<void(const Packet& in, Packet& out, StateStore& state)> exec;
+};
+
+}  // namespace banzai

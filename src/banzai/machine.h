@@ -1,0 +1,85 @@
+// The Banzai machine: a pipeline of stages, each a vector of atoms executing
+// in parallel on every clock cycle (Figure 1, bottom half).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "banzai/atom.h"
+#include "banzai/packet.h"
+#include "banzai/state.h"
+
+namespace banzai {
+
+// Resource limits of a Banzai machine (§2.4 "Resource limits" and §5.2).
+struct MachineSpec {
+  std::string name;                      // e.g. "praw" target
+  std::string stateful_template;         // name of the stateful atom template
+  std::size_t pipeline_depth = 32;       // number of stages
+  std::size_t stateless_per_stage = 300; // stateless atom slots per stage
+  std::size_t stateful_per_stage = 10;   // stateful atom slots per stage
+};
+
+// One pipeline stage: atoms that execute in parallel each cycle.
+struct Stage {
+  std::vector<ConfiguredAtom> atoms;
+
+  // Executes the stage on one packet: all atoms observe the packet as it
+  // entered the stage and apply their writes to a copy that leaves the stage.
+  Packet execute(const Packet& in, StateStore& state) const {
+    Packet out = in;
+    for (const ConfiguredAtom& a : atoms) a.exec(in, out, state);
+    return out;
+  }
+};
+
+// A fully configured machine: the output of Domino code generation.
+class Machine {
+ public:
+  Machine() = default;
+  Machine(MachineSpec spec, FieldTable fields)
+      : spec_(std::move(spec)), fields_(std::move(fields)) {}
+
+  MachineSpec& spec() { return spec_; }
+  const MachineSpec& spec() const { return spec_; }
+
+  FieldTable& fields() { return fields_; }
+  const FieldTable& fields() const { return fields_; }
+
+  std::vector<Stage>& stages() { return stages_; }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  StateStore& state() { return state_; }
+  const StateStore& state() const { return state_; }
+
+  std::size_t num_stages() const { return stages_.size(); }
+
+  std::size_t num_atoms() const {
+    std::size_t n = 0;
+    for (const Stage& s : stages_) n += s.atoms.size();
+    return n;
+  }
+
+  std::size_t max_atoms_per_stage() const {
+    std::size_t m = 0;
+    for (const Stage& s : stages_) m = std::max(m, s.atoms.size());
+    return m;
+  }
+
+  // Runs one packet through all stages back-to-back (functionally equivalent
+  // to the pipelined execution; see PipelineSim for the cycle-accurate form).
+  Packet process(Packet pkt) {
+    for (const Stage& s : stages_) pkt = s.execute(pkt, state_);
+    return pkt;
+  }
+
+ private:
+  MachineSpec spec_;
+  FieldTable fields_;
+  std::vector<Stage> stages_;
+  StateStore state_;
+};
+
+}  // namespace banzai

@@ -1,0 +1,93 @@
+// Persistent switch state: scalar registers and register arrays.
+//
+// In the Banzai machine model every piece of state is local to exactly one
+// atom in one stage (Section 2.3 of the paper); the StateStore here is a
+// program-wide map so that the sequential interpreter and the pipeline
+// simulator can be compared state-for-state, but the simulator enforces the
+// locality discipline (each state variable is touched by exactly one atom).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "banzai/value.h"
+
+namespace banzai {
+
+// A single state variable: scalar (size == 1, accessed without an index) or
+// a register array.
+class StateVar {
+ public:
+  StateVar() : scalar_(true), cells_(1, 0) {}
+  StateVar(std::size_t size, bool scalar, Value init = 0)
+      : scalar_(scalar), cells_(size == 0 ? 1 : size, init) {}
+
+  bool is_scalar() const { return scalar_; }
+  std::size_t size() const { return cells_.size(); }
+
+  Value load(Value index) const { return cells_[clamp(index)]; }
+  void store(Value index, Value v) { cells_[clamp(index)] = v; }
+
+  Value load_scalar() const { return cells_[0]; }
+  void store_scalar(Value v) { cells_[0] = v; }
+
+  void fill(Value v) { cells_.assign(cells_.size(), v); }
+  const std::vector<Value>& cells() const { return cells_; }
+
+  bool operator==(const StateVar&) const = default;
+
+ private:
+  // Out-of-range indices wrap (hardware truncates the address lines).  The
+  // Domino front end always produces `hash % size` indices so this only
+  // matters for hostile inputs.
+  std::size_t clamp(Value index) const {
+    std::size_t n = cells_.size();
+    auto u = static_cast<std::uint64_t>(static_cast<std::uint32_t>(index));
+    return static_cast<std::size_t>(u % n);
+  }
+
+  bool scalar_;
+  std::vector<Value> cells_;
+};
+
+// All state variables of one program instance.
+class StateStore {
+ public:
+  void declare(std::string_view name, std::size_t size, bool scalar,
+               Value init = 0) {
+    vars_.insert_or_assign(std::string(name), StateVar(size, scalar, init));
+  }
+
+  StateVar& var(std::string_view name) {
+    auto it = vars_.find(std::string(name));
+    if (it == vars_.end())
+      throw std::out_of_range("unknown state variable: " + std::string(name));
+    return it->second;
+  }
+
+  const StateVar& var(std::string_view name) const {
+    auto it = vars_.find(std::string(name));
+    if (it == vars_.end())
+      throw std::out_of_range("unknown state variable: " + std::string(name));
+    return it->second;
+  }
+
+  bool contains(std::string_view name) const {
+    return vars_.count(std::string(name)) > 0;
+  }
+
+  const std::unordered_map<std::string, StateVar>& vars() const {
+    return vars_;
+  }
+
+  bool operator==(const StateStore&) const = default;
+
+ private:
+  std::unordered_map<std::string, StateVar> vars_;
+};
+
+}  // namespace banzai

@@ -1,0 +1,60 @@
+// Value semantics shared by the Domino interpreter, the synthesis engine and
+// the Banzai machine simulator.
+//
+// All Domino values are 32-bit signed integers (the paper's `int`).  Every
+// arithmetic operation is defined to be total so that the sequential
+// interpreter, the three-address-code evaluator, synthesized atoms and the
+// pipeline simulator agree bit-for-bit on every input:
+//   - add/sub/mul wrap modulo 2^32 (two's complement),
+//   - division and modulo by zero yield zero,
+//   - INT_MIN / -1 yields INT_MIN (wraps),
+//   - shifts use only the low 5 bits of the shift amount,
+//   - relational and logical operators yield 0 or 1.
+#pragma once
+
+#include <cstdint>
+
+namespace banzai {
+
+using Value = std::int32_t;
+
+// Wrapping arithmetic via unsigned intermediate (defined behaviour in C++).
+inline Value wrap_add(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) +
+                            static_cast<std::uint32_t>(b));
+}
+
+inline Value wrap_sub(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) -
+                            static_cast<std::uint32_t>(b));
+}
+
+inline Value wrap_mul(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) *
+                            static_cast<std::uint32_t>(b));
+}
+
+inline Value total_div(Value a, Value b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return INT32_MIN;
+  return a / b;
+}
+
+inline Value total_mod(Value a, Value b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return 0;
+  return a % b;
+}
+
+inline Value shift_left(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a)
+                            << (static_cast<std::uint32_t>(b) & 31u));
+}
+
+// Arithmetic right shift (implementation-defined pre-C++20; guaranteed for
+// C++20 two's complement).
+inline Value shift_right(Value a, Value b) {
+  return a >> (static_cast<std::uint32_t>(b) & 31u);
+}
+
+}  // namespace banzai

@@ -1,0 +1,364 @@
+#include "core/codegen.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <set>
+
+#include "atoms/stateless.h"
+#include "ir/intrinsics.h"
+
+namespace domino {
+
+using banzai::AtomKind;
+using banzai::ConfiguredAtom;
+using banzai::FieldId;
+using banzai::FieldTable;
+using banzai::Packet;
+using banzai::StateStore;
+using banzai::Value;
+
+namespace {
+
+// An operand with the field name pre-resolved to a FieldId.
+struct ROp {
+  bool is_const = true;
+  Value cst = 0;
+  FieldId id = 0;
+
+  static ROp resolve(const Operand& o, FieldTable& ft) {
+    ROp r;
+    if (o.is_const()) {
+      r.is_const = true;
+      r.cst = o.cst;
+    } else {
+      r.is_const = false;
+      r.id = ft.intern(o.field);
+    }
+    return r;
+  }
+
+  Value get(const Packet& p) const { return is_const ? cst : p.get(id); }
+};
+
+// Compiled form of a single stateless statement.
+struct CompiledStmt {
+  TacStmt::Kind kind;
+  FieldId dst = 0;
+  ROp a, b, c;
+  UnOp un_op = UnOp::kNeg;
+  BinOp op = BinOp::kAdd;
+  std::string intrinsic;
+  std::vector<ROp> args;
+  Value mod = 0;
+
+  static CompiledStmt compile(const TacStmt& s, FieldTable& ft) {
+    CompiledStmt c;
+    c.kind = s.kind;
+    if (auto w = s.field_written()) c.dst = ft.intern(*w);
+    c.a = ROp::resolve(s.a, ft);
+    c.b = ROp::resolve(s.b, ft);
+    c.c = ROp::resolve(s.c, ft);
+    c.un_op = s.un_op;
+    c.op = s.op;
+    c.intrinsic = s.intrinsic;
+    for (const auto& arg : s.args) c.args.push_back(ROp::resolve(arg, ft));
+    c.mod = s.intrinsic_mod;
+    return c;
+  }
+
+  void exec(const Packet& in, Packet& out) const {
+    switch (kind) {
+      case TacStmt::Kind::kCopy:
+        out.set(dst, a.get(in));
+        break;
+      case TacStmt::Kind::kUnary:
+        out.set(dst, eval_unop(un_op, a.get(in)));
+        break;
+      case TacStmt::Kind::kBinary:
+        out.set(dst, eval_binop(op, a.get(in), b.get(in)));
+        break;
+      case TacStmt::Kind::kTernary:
+        out.set(dst, a.get(in) != 0 ? b.get(in) : c.get(in));
+        break;
+      case TacStmt::Kind::kIntrinsic: {
+        std::vector<Value> argv;
+        argv.reserve(args.size());
+        for (const auto& arg : args) argv.push_back(arg.get(in));
+        Value v = eval_intrinsic(intrinsic, argv);
+        if (mod > 0) v = banzai::total_mod(v, mod);
+        out.set(dst, v);
+        break;
+      }
+      default:
+        break;  // state statements never reach stateless execution
+    }
+  }
+};
+
+// One owned state slot of a stateful atom at run time.
+struct StateSlot {
+  std::string var;
+  bool is_array = false;
+  std::optional<FieldId> index;
+};
+
+class CodeGenerator {
+ public:
+  CodeGenerator(const CodeletPipeline& pvsm, const Program& prog,
+                const atoms::BanzaiTarget& target,
+                const std::map<std::string, std::string>& final_names,
+                const synthesis::SynthOptions& synth_opts)
+      : pvsm_(pvsm),
+        prog_(prog),
+        target_(target),
+        final_names_(final_names),
+        synth_opts_(synth_opts) {}
+
+  CodegenResult run() {
+    CodegenResult result;
+    result.fitted = fit_resources();
+
+    FieldTable fields;
+    pre_intern_fields(fields);
+    compute_liveouts();
+
+    banzai::Machine machine(target_.machine_spec(), FieldTable{});
+    std::vector<banzai::Stage> stages;
+
+    for (std::size_t si = 0; si < result.fitted.stages.size(); ++si) {
+      banzai::Stage stage;
+      for (const auto& codelet : result.fitted.stages[si]) {
+        CodeletReport report;
+        report.stage = static_cast<int>(si) + 1;
+        report.description = codelet.str();
+        stage.atoms.push_back(
+            build_atom(codelet, fields, report, result.synth_seconds));
+        result.reports.push_back(std::move(report));
+      }
+      stages.push_back(std::move(stage));
+    }
+
+    machine.fields() = std::move(fields);
+    machine.stages() = std::move(stages);
+    for (const auto& d : prog_.state_vars)
+      machine.state().declare(d.name, static_cast<std::size_t>(d.size),
+                              !d.is_array, d.init);
+    result.machine = std::move(machine);
+    return result;
+  }
+
+ private:
+  // Width fitting (§4.3 "Resource limits"): if a stage exceeds the pipeline
+  // width, spread its codelets over as many new stages as required.  Codelets
+  // within one PVSM stage are mutually independent, so any split preserves
+  // dependencies.  Rejects the program if the pipeline depth is exceeded.
+  CodeletPipeline fit_resources() {
+    CodeletPipeline fitted;
+    for (const auto& stage : pvsm_.stages) {
+      std::size_t stateless = 0, stateful = 0;
+      PvsmStage current;
+      auto flush = [&]() {
+        if (!current.empty()) {
+          fitted.stages.push_back(std::move(current));
+          current.clear();
+          stateless = stateful = 0;
+        }
+      };
+      for (const auto& c : stage) {
+        const bool is_stateful = c.is_stateful();
+        if ((is_stateful && stateful + 1 > target_.stateful_per_stage) ||
+            (!is_stateful && stateless + 1 > target_.stateless_per_stage))
+          flush();
+        (is_stateful ? stateful : stateless) += 1;
+        current.push_back(c);
+      }
+      flush();
+    }
+    if (fitted.stages.size() > target_.pipeline_depth)
+      throw CompileError(
+          CompilePhase::kResource,
+          "program needs " + std::to_string(fitted.stages.size()) +
+              " pipeline stages but target '" + target_.name +
+              "' provides only " + std::to_string(target_.pipeline_depth));
+    return fitted;
+  }
+
+  void pre_intern_fields(FieldTable& fields) {
+    // User-declared fields first so examples can address them by name.
+    for (const auto& f : prog_.packet_fields) fields.intern(f.name);
+  }
+
+  void compute_liveouts() {
+    // Fields read by each codelet, and the set of observable outputs.
+    std::set<std::string> outputs;
+    for (const auto& [user, ssa] : final_names_) outputs.insert(ssa);
+
+    std::vector<const Codelet*> all;
+    for (const auto& st : pvsm_.stages)
+      for (const auto& c : st) all.push_back(&c);
+
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      std::set<std::string> read_elsewhere;
+      for (std::size_t j = 0; j < all.size(); ++j) {
+        if (i == j) continue;
+        for (const auto& s : all[j]->stmts)
+          for (const auto& f : s.fields_read()) read_elsewhere.insert(f);
+      }
+      std::vector<std::string> lo;
+      for (const auto& w : all[i]->fields_written())
+        if (read_elsewhere.count(w) || outputs.count(w)) lo.push_back(w);
+      liveouts_[all[i]->str()] = std::move(lo);
+    }
+  }
+
+  ConfiguredAtom build_atom(const Codelet& codelet, FieldTable& fields,
+                            CodeletReport& report, double& synth_seconds) {
+    if (!codelet.is_stateful()) {
+      if (codelet.stmts.size() != 1)
+        throw CompileError(CompilePhase::kMapping,
+                           "stateless codelet with multiple statements: " +
+                               codelet.str());
+      return build_stateless_atom(codelet.stmts[0], fields, report);
+    }
+    return build_stateful_atom(codelet, fields, report, synth_seconds);
+  }
+
+  ConfiguredAtom build_stateless_atom(const TacStmt& stmt, FieldTable& fields,
+                                      CodeletReport& report) {
+    ConfiguredAtom atom;
+    atom.label = stmt.str();
+    if (stmt.kind == TacStmt::Kind::kIntrinsic) {
+      const auto info = intrinsic_info(stmt.intrinsic);
+      if (!info.has_value())
+        throw CompileError(CompilePhase::kMapping,
+                           "unknown intrinsic '" + stmt.intrinsic + "'");
+      if (!target_.provides_unit(info->unit))
+        throw CompileError(
+            CompilePhase::kMapping,
+            "intrinsic '" + stmt.intrinsic + "' needs a unit that target '" +
+                target_.name + "' does not provide");
+      atom.kind = AtomKind::kIntrinsic;
+      report.intrinsic = true;
+      report.atom = info->unit == IntrinsicUnit::kHash ? "hash-unit"
+                                                       : "math-unit";
+    } else {
+      if (auto why = atoms::stateless_alu_reject_reason(stmt))
+        throw CompileError(CompilePhase::kMapping,
+                           *why + " (in: " + stmt.str() + ")");
+      atom.kind = AtomKind::kStateless;
+      report.atom = "Stateless";
+    }
+    CompiledStmt cs = CompiledStmt::compile(stmt, fields);
+    atom.output_fields = {cs.dst};
+    atom.exec = [cs](const Packet& in, Packet& out, StateStore&) {
+      cs.exec(in, out);
+    };
+    return atom;
+  }
+
+  ConfiguredAtom build_stateful_atom(const Codelet& codelet,
+                                     FieldTable& fields, CodeletReport& report,
+                                     double& synth_seconds) {
+    report.stateful = true;
+    const auto& lo = liveouts_.at(codelet.str());
+    synthesis::CodeletSpec spec(codelet, lo);
+    synthesis::SynthResult synth =
+        synthesis::synthesize(spec, target_.stateful_atom, synth_opts_);
+    synth_seconds += synth.stats.seconds;
+    report.synth_stats = synth.stats;
+    if (!synth.success)
+      throw CompileError(
+          CompilePhase::kMapping,
+          "codelet { " + codelet.str() + " } cannot be mapped to the " +
+              std::string(atoms::stateful_kind_name(target_.stateful_atom)) +
+              " atom: " + synth.failure_reason);
+    report.atom = atoms::stateful_kind_name(target_.stateful_atom);
+    report.config = synth.config.str(synth.input_fields);
+
+    // Resolve run-time bindings.
+    std::vector<StateSlot> slots;
+    for (const auto& var : spec.state_vars()) {
+      StateSlot slot;
+      slot.var = var;
+      for (const auto& s : codelet.stmts) {
+        if (s.touches_state() && s.state_var == var) {
+          slot.is_array = s.state_is_array;
+          if (s.state_is_array) slot.index = fields.intern(s.index.field);
+          break;
+        }
+      }
+      slots.push_back(std::move(slot));
+    }
+    std::vector<FieldId> input_ids;
+    for (const auto& f : synth.input_fields) input_ids.push_back(fields.intern(f));
+    struct LiveOutRt {
+      FieldId id;
+      int state_idx;
+      bool use_new;
+    };
+    std::vector<LiveOutRt> liveouts_rt;
+    for (const auto& b : synth.liveouts)
+      liveouts_rt.push_back({fields.intern(b.field), b.state_idx, b.use_new});
+
+    ConfiguredAtom atom;
+    atom.kind = AtomKind::kStateful;
+    atom.label = report.atom + " atom: " + codelet.str();
+    for (const auto& s : slots) atom.state_vars.push_back(s.var);
+    for (const auto& l : liveouts_rt) atom.output_fields.push_back(l.id);
+
+    const atoms::StatefulConfig config = synth.config;
+    atom.exec = [slots, input_ids, liveouts_rt, config](
+                    const Packet& in, Packet& out, StateStore& store) {
+      std::array<Value, 2> states_in{0, 0}, states_out{0, 0};
+      std::array<Value, 2> idx{0, 0};
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        auto& var = store.var(slots[k].var);
+        if (slots[k].is_array) {
+          idx[k] = in.get(*slots[k].index);
+          states_in[k] = var.load(idx[k]);
+        } else {
+          states_in[k] = var.load_scalar();
+        }
+      }
+      std::vector<Value> field_vals(input_ids.size());
+      for (std::size_t i = 0; i < input_ids.size(); ++i)
+        field_vals[i] = in.get(input_ids[i]);
+
+      config.eval(std::span<const Value>(states_in.data(), slots.size()),
+                  field_vals,
+                  std::span<Value>(states_out.data(), slots.size()));
+
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        auto& var = store.var(slots[k].var);
+        if (slots[k].is_array)
+          var.store(idx[k], states_out[k]);
+        else
+          var.store_scalar(states_out[k]);
+      }
+      for (const auto& l : liveouts_rt) {
+        const auto k = static_cast<std::size_t>(l.state_idx);
+        out.set(l.id, l.use_new ? states_out[k] : states_in[k]);
+      }
+    };
+    return atom;
+  }
+
+  const CodeletPipeline& pvsm_;
+  const Program& prog_;
+  const atoms::BanzaiTarget& target_;
+  const std::map<std::string, std::string>& final_names_;
+  synthesis::SynthOptions synth_opts_;
+  std::map<std::string, std::vector<std::string>> liveouts_;
+};
+
+}  // namespace
+
+CodegenResult generate_code(const CodeletPipeline& pvsm, const Program& prog,
+                            const atoms::BanzaiTarget& target,
+                            const std::map<std::string, std::string>& final_names,
+                            const synthesis::SynthOptions& synth_opts) {
+  return CodeGenerator(pvsm, prog, target, final_names, synth_opts).run();
+}
+
+}  // namespace domino

@@ -1,0 +1,46 @@
+// Code generation (§4.3): maps the PVSM codelet pipeline onto a concrete
+// Banzai target, enforcing its resource limits (pipeline width and depth) and
+// computational limits (the atom templates), and emitting a runnable
+// banzai::Machine.  All-or-nothing: any codelet that cannot be mapped, or any
+// resource overflow, raises CompileError — there is no degraded mode.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atoms/targets.h"
+#include "banzai/machine.h"
+#include "ir/ast.h"
+#include "ir/pvsm.h"
+#include "synthesis/synthesizer.h"
+
+namespace domino {
+
+struct CodeletReport {
+  int stage = 0;               // physical stage after resource fitting
+  std::string description;     // codelet text
+  bool stateful = false;
+  bool intrinsic = false;
+  std::string atom;            // atom/unit that implements the codelet
+  std::string config;          // synthesized configuration (stateful only)
+  synthesis::SynthStats synth_stats;
+};
+
+struct CodegenResult {
+  banzai::Machine machine;
+  CodeletPipeline fitted;  // pipeline after width fitting
+  std::vector<CodeletReport> reports;
+  double synth_seconds = 0.0;
+
+  std::size_t stages_used() const { return fitted.num_stages(); }
+};
+
+// `final_names` maps each user packet field to the SSA field carrying its
+// final value (the machine's observable outputs).
+CodegenResult generate_code(const CodeletPipeline& pvsm, const Program& prog,
+                            const atoms::BanzaiTarget& target,
+                            const std::map<std::string, std::string>& final_names,
+                            const synthesis::SynthOptions& synth_opts = {});
+
+}  // namespace domino

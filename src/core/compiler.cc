@@ -1,0 +1,67 @@
+#include "core/compiler.h"
+
+#include <chrono>
+
+#include "core/parser.h"
+#include "core/pipeline.h"
+#include "core/sema.h"
+
+namespace domino {
+
+Program parse_and_check(std::string_view source) {
+  Program p = parse(source);
+  analyze(p);
+  return p;
+}
+
+CompileResult compile(std::string_view source,
+                      const atoms::BanzaiTarget& target,
+                      const CompileOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CompileResult r;
+  r.program = parse_and_check(source);
+  r.normalized = normalize(r.program);
+  r.pvsm = pipeline_schedule(r.normalized.tac);
+  r.codegen = generate_code(r.pvsm, r.normalized.ssa, target,
+                            r.normalized.final_names, options.synth);
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+std::size_t count_loc(std::string_view source) {
+  std::size_t loc = 0;
+  std::size_t pos = 0;
+  bool in_block_comment = false;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view line =
+        source.substr(pos, eol == std::string_view::npos ? source.size() - pos
+                                                         : eol - pos);
+    // Strip comments (good enough for LOC counting of our corpus).
+    std::string stripped;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (i + 1 < line.size() && line[i] == '*' && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '/') break;
+      if (i + 1 < line.size() && line[i] == '/' && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      stripped.push_back(line[i]);
+    }
+    if (stripped.find_first_not_of(" \t\r") != std::string::npos) ++loc;
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return loc;
+}
+
+}  // namespace domino

@@ -1,0 +1,69 @@
+#include "core/interp.h"
+
+#include "ir/intrinsics.h"
+#include "ir/ops.h"
+
+namespace domino {
+
+Interpreter::Interpreter(const Program& prog) : prog_(prog.clone()) {
+  for (const auto& f : prog_.packet_fields) fields_.intern(f.name);
+  for (const auto& s : prog_.state_vars)
+    state_.declare(s.name, static_cast<std::size_t>(s.size), !s.is_array,
+                   s.init);
+}
+
+banzai::Value Interpreter::eval(const Expr& e, const banzai::Packet& pkt) {
+  switch (e.kind) {
+    case Expr::Kind::kIntLit:
+      return e.int_value;
+    case Expr::Kind::kField:
+      return pkt.get(fields_.id_of(e.name));
+    case Expr::Kind::kState: {
+      const auto& var = state_.var(e.name);
+      return e.index ? var.load(eval(*e.index, pkt)) : var.load_scalar();
+    }
+    case Expr::Kind::kUnary:
+      return eval_unop(e.un_op, eval(*e.a, pkt));
+    case Expr::Kind::kBinary:
+      return eval_binop(e.bin_op, eval(*e.a, pkt), eval(*e.b, pkt));
+    case Expr::Kind::kTernary:
+      return eval(*e.cond, pkt) != 0 ? eval(*e.a, pkt) : eval(*e.b, pkt);
+    case Expr::Kind::kCall: {
+      std::vector<banzai::Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(eval(*a, pkt));
+      return eval_intrinsic(e.name, args);
+    }
+  }
+  return 0;
+}
+
+void Interpreter::exec(const Stmt& s, banzai::Packet& pkt) {
+  switch (s.kind) {
+    case Stmt::Kind::kAssign: {
+      const banzai::Value v = eval(*s.value, pkt);
+      if (s.target->kind == Expr::Kind::kField) {
+        pkt.set(fields_.id_of(s.target->name), v);
+      } else {
+        auto& var = state_.var(s.target->name);
+        if (s.target->index)
+          var.store(eval(*s.target->index, pkt), v);
+        else
+          var.store_scalar(v);
+      }
+      break;
+    }
+    case Stmt::Kind::kIf: {
+      const auto& body =
+          eval(*s.cond, pkt) != 0 ? s.then_body : s.else_body;
+      for (const auto& t : body) exec(*t, pkt);
+      break;
+    }
+  }
+}
+
+void Interpreter::run(banzai::Packet& pkt) {
+  for (const auto& s : prog_.transaction.body) exec(*s, pkt);
+}
+
+}  // namespace domino

@@ -1,0 +1,55 @@
+// Sequential reference interpreter for packet transactions (§3.1):
+// "Conceptually, the switch invokes the packet transaction function one
+// packet at a time, with no concurrent packet processing."
+//
+// This is the semantic ground truth.  Differential tests run the same trace
+// through a compiled Banzai pipeline (with packets overlapped in flight) and
+// require identical packet fields and state.
+#pragma once
+
+#include <string>
+
+#include "banzai/packet.h"
+#include "banzai/state.h"
+#include "ir/ast.h"
+
+namespace domino {
+
+class Interpreter {
+ public:
+  // Builds a field table containing the program's packet fields and a state
+  // store initialized from the program's state declarations.
+  explicit Interpreter(const Program& prog);
+
+  banzai::FieldTable& fields() { return fields_; }
+  const banzai::FieldTable& fields() const { return fields_; }
+  banzai::StateStore& state() { return state_; }
+  const banzai::StateStore& state() const { return state_; }
+
+  // Creates a packet with all fields zeroed.
+  banzai::Packet make_packet() const {
+    return banzai::Packet(fields_.size());
+  }
+
+  // Runs the transaction to completion on one packet.
+  void run(banzai::Packet& pkt);
+
+  // Convenience accessors by field name.
+  banzai::Value get(const banzai::Packet& pkt, const std::string& field) const {
+    return pkt.get(fields_.id_of(field));
+  }
+  void set(banzai::Packet& pkt, const std::string& field,
+           banzai::Value v) const {
+    pkt.set(fields_.id_of(field), v);
+  }
+
+ private:
+  banzai::Value eval(const Expr& e, const banzai::Packet& pkt);
+  void exec(const Stmt& s, banzai::Packet& pkt);
+
+  Program prog_;
+  banzai::FieldTable fields_;
+  banzai::StateStore state_;
+};
+
+}  // namespace domino

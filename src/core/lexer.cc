@@ -1,0 +1,255 @@
+#include "core/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace domino {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEnd: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kStruct: return "'struct'";
+    case Tok::kInt: return "'int'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kDefine: return "'#define'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kDo: return "'do'";
+    case Tok::kGoto: return "'goto'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kDot: return "'.'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kColon: return "':'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kIncrement: return "'++'";
+    case Tok::kDecrement: return "'--'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kAmpAmp: return "'&&'";
+    case Tok::kPipePipe: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kTilde: return "'~'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"struct", Tok::kStruct},   {"int", Tok::kInt},
+      {"void", Tok::kVoid},       {"if", Tok::kIf},
+      {"else", Tok::kElse},       {"while", Tok::kWhile},
+      {"for", Tok::kFor},         {"do", Tok::kDo},
+      {"goto", Tok::kGoto},       {"break", Tok::kBreak},
+      {"continue", Tok::kContinue}, {"return", Tok::kReturn},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_ws_and_comments();
+      if (pos_ >= src_.size()) break;
+      out.push_back(next_token());
+    }
+    Token end;
+    end.kind = Tok::kEnd;
+    end.loc = loc();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  SourceLoc loc() const { return {line_, col_}; }
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(peek())))
+        advance();
+      if (peek() == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        SourceLoc start = loc();
+        advance();
+        advance();
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (pos_ >= src_.size())
+          throw CompileError(CompilePhase::kLex, start,
+                             "unterminated block comment");
+        advance();
+        advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token next_token() {
+    Token t;
+    t.loc = loc();
+    char c = peek();
+
+    if (c == '#') {
+      advance();
+      skip_ws_and_comments();
+      Token word = next_token();
+      if (word.kind != Tok::kIdent || word.text != "define")
+        throw CompileError(CompilePhase::kLex, t.loc,
+                           "only #define is supported");
+      t.kind = Tok::kDefine;
+      return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        ident.push_back(advance());
+      auto it = keywords().find(ident);
+      t.kind = it != keywords().end() ? it->second : Tok::kIdent;
+      t.text = std::move(ident);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+          char d = advance();
+          v = v * 16 + (std::isdigit(static_cast<unsigned char>(d))
+                            ? d - '0'
+                            : std::tolower(d) - 'a' + 10);
+          v &= 0xffffffffll;
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          v = v * 10 + (advance() - '0');
+          if (v > 0xffffffffll)
+            throw CompileError(CompilePhase::kLex, t.loc,
+                               "integer literal does not fit 32 bits");
+        }
+      }
+      t.kind = Tok::kNumber;
+      t.number = static_cast<banzai::Value>(static_cast<std::uint32_t>(v));
+      return t;
+    }
+
+    advance();
+    auto two = [this](char second, Tok yes, Tok no) {
+      if (peek() == second) {
+        advance();
+        return yes;
+      }
+      return no;
+    };
+    switch (c) {
+      case '{': t.kind = Tok::kLBrace; return t;
+      case '}': t.kind = Tok::kRBrace; return t;
+      case '(': t.kind = Tok::kLParen; return t;
+      case ')': t.kind = Tok::kRParen; return t;
+      case '[': t.kind = Tok::kLBracket; return t;
+      case ']': t.kind = Tok::kRBracket; return t;
+      case ';': t.kind = Tok::kSemi; return t;
+      case ',': t.kind = Tok::kComma; return t;
+      case '.': t.kind = Tok::kDot; return t;
+      case '?': t.kind = Tok::kQuestion; return t;
+      case ':': t.kind = Tok::kColon; return t;
+      case '~': t.kind = Tok::kTilde; return t;
+      case '^': t.kind = Tok::kCaret; return t;
+      case '*': t.kind = Tok::kStar; return t;
+      case '/': t.kind = Tok::kSlash; return t;
+      case '%': t.kind = Tok::kPercent; return t;
+      case '+':
+        if (peek() == '+') { advance(); t.kind = Tok::kIncrement; return t; }
+        t.kind = two('=', Tok::kPlusAssign, Tok::kPlus);
+        return t;
+      case '-':
+        if (peek() == '-') { advance(); t.kind = Tok::kDecrement; return t; }
+        t.kind = two('=', Tok::kMinusAssign, Tok::kMinus);
+        return t;
+      case '=': t.kind = two('=', Tok::kEqEq, Tok::kAssign); return t;
+      case '!': t.kind = two('=', Tok::kNe, Tok::kBang); return t;
+      case '<':
+        if (peek() == '<') { advance(); t.kind = Tok::kShl; return t; }
+        t.kind = two('=', Tok::kLe, Tok::kLt);
+        return t;
+      case '>':
+        if (peek() == '>') { advance(); t.kind = Tok::kShr; return t; }
+        t.kind = two('=', Tok::kGe, Tok::kGt);
+        return t;
+      case '&': t.kind = two('&', Tok::kAmpAmp, Tok::kAmp); return t;
+      case '|': t.kind = two('|', Tok::kPipePipe, Tok::kPipe); return t;
+      default:
+        throw CompileError(CompilePhase::kLex, t.loc,
+                           std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace domino

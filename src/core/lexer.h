@@ -1,0 +1,16 @@
+// Hand-written lexer for Domino.  Handles //- and /**/-comments and the
+// `#define NAME value` preprocessor form (the only directive Domino needs).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/token.h"
+
+namespace domino {
+
+// Tokenizes the whole source; throws CompileError(kLex) on bad input.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace domino

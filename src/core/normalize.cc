@@ -1,0 +1,579 @@
+#include "core/normalize.h"
+
+#include <functional>
+#include <set>
+
+#include "ir/diag.h"
+#include "ir/intrinsics.h"
+
+namespace domino {
+namespace {
+
+// Fresh packet-field names that cannot collide with user identifiers: user
+// fields come from C-like identifiers, which never contain '.', and we strip
+// the "pkt." prefix — so a leading underscore plus a reserved stem suffices
+// as long as we check against the declared field list.
+std::string fresh_name(Program& prog, const std::string& stem) {
+  int n = 0;
+  for (;;) {
+    std::string candidate = stem + std::to_string(n);
+    if (!prog.has_packet_field(candidate)) {
+      prog.packet_fields.push_back({candidate, SourceLoc{}});
+      return candidate;
+    }
+    ++n;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 1: branch removal (Figure 5)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void flatten_into(Program& prog, std::vector<StmtPtr>& out,
+                  const std::vector<StmtPtr>& body,
+                  std::set<std::string>& cond_fields) {
+  for (const auto& s : body) {
+    if (s->kind == Stmt::Kind::kAssign) {
+      out.push_back(s->clone());
+      continue;
+    }
+    // if-statement: hoist the condition into a fresh field, then guard every
+    // assignment of both branches with the conditional operator.  Recursing
+    // first flattens inner ifs ("starting from the innermost if and recursing
+    // outwards").  Hoisted conditions themselves stay unguarded: evaluating a
+    // condition is side-effect free, and guarding it would make the inner
+    // condition field read its own uninitialized value on the untaken path.
+    const std::string cond_field = fresh_name(prog, "_br");
+    cond_fields.insert(cond_field);
+    out.push_back(
+        make_assign(make_field(cond_field, s->loc), s->cond->clone(), s->loc));
+
+    std::vector<StmtPtr> then_flat, else_flat;
+    flatten_into(prog, then_flat, s->then_body, cond_fields);
+    flatten_into(prog, else_flat, s->else_body, cond_fields);
+
+    for (auto& t : then_flat) {
+      if (cond_fields.count(t->target->name)) {
+        out.push_back(std::move(t));
+        continue;
+      }
+      ExprPtr guarded =
+          make_ternary(make_field(cond_field, t->loc), std::move(t->value),
+                       t->target->clone(), t->loc);
+      out.push_back(
+          make_assign(std::move(t->target), std::move(guarded), t->loc));
+    }
+    for (auto& t : else_flat) {
+      if (cond_fields.count(t->target->name)) {
+        out.push_back(std::move(t));
+        continue;
+      }
+      ExprPtr guarded =
+          make_ternary(make_field(cond_field, t->loc), t->target->clone(),
+                       std::move(t->value), t->loc);
+      out.push_back(
+          make_assign(std::move(t->target), std::move(guarded), t->loc));
+    }
+  }
+}
+
+}  // namespace
+
+Program remove_branches(const Program& prog) {
+  Program out = prog.clone();
+  std::vector<StmtPtr> flat;
+  std::set<std::string> cond_fields;
+  flatten_into(out, flat, prog.transaction.body, cond_fields);
+  out.transaction.body = std::move(flat);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: read/write flanks (Figure 6)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void walk_exprs(const ExprPtr& e, const std::function<void(const Expr&)>& fn) {
+  if (!e) return;
+  fn(*e);
+  walk_exprs(e->a, fn);
+  walk_exprs(e->b, fn);
+  walk_exprs(e->cond, fn);
+  walk_exprs(e->index, fn);
+  for (const auto& a : e->args) walk_exprs(a, fn);
+}
+
+void rewrite_state_reads(ExprPtr& e, const std::string& var,
+                         const std::string& field) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::kState && e->name == var) {
+    e = make_field(field, e->loc);
+    return;
+  }
+  rewrite_state_reads(e->a, var, field);
+  rewrite_state_reads(e->b, var, field);
+  rewrite_state_reads(e->cond, var, field);
+  rewrite_state_reads(e->index, var, field);
+  for (auto& a : e->args) rewrite_state_reads(a, var, field);
+}
+
+struct VarUse {
+  int first_stmt = -1;
+  bool written = false;
+  ExprPtr index;  // for arrays: the (unique, sema-checked) index expression
+};
+
+}  // namespace
+
+Program rewrite_state_vars(const Program& prog) {
+  Program out = prog.clone();
+  auto& body = out.transaction.body;
+
+  // Collect first use, writes and index expression per state variable.
+  std::vector<std::string> order;  // first-use order, for deterministic output
+  std::map<std::string, VarUse> uses;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Stmt& s = *body[i];
+    if (s.kind != Stmt::Kind::kAssign)
+      throw CompileError(CompilePhase::kNormalize, s.loc,
+                         "rewrite_state_vars requires straight-line code");
+    auto touch = [&](const Expr& e, bool write) {
+      if (e.kind != Expr::Kind::kState) return;
+      auto [it, inserted] = uses.try_emplace(e.name);
+      if (inserted) {
+        order.push_back(e.name);
+        it->second.first_stmt = static_cast<int>(i);
+        if (e.index) it->second.index = e.index->clone();
+      }
+      it->second.written |= write;
+    };
+    touch(*s.target, /*write=*/true);
+    walk_exprs(s.value, [&](const Expr& e) { touch(e, false); });
+    // State reads inside the target's index expression.
+    if (s.target->index)
+      walk_exprs(s.target->index, [&](const Expr& e) { touch(e, false); });
+  }
+
+  // For each variable: a read flank before its first use, substitution of a
+  // packet temporary everywhere, and a write flank at the end.
+  std::map<std::string, std::string> temp_of, idx_field_of;
+  std::map<int, std::vector<StmtPtr>> flank_before;  // stmt index -> flanks
+  std::vector<StmtPtr> write_flanks;
+
+  for (const auto& name : order) {
+    VarUse& u = uses[name];
+    const StateDecl* decl = out.find_state(name);
+    const std::string temp = fresh_name(out, "_" + name + "_");
+    temp_of[name] = temp;
+
+    std::vector<StmtPtr>& pre = flank_before[u.first_stmt];
+    ExprPtr idx_expr;
+    if (decl && decl->is_array) {
+      // Move the index expression into the read flank: give it its own field
+      // unless it is already a bare field.
+      if (u.index && u.index->kind == Expr::Kind::kField) {
+        idx_field_of[name] = u.index->name;
+      } else {
+        const std::string idx_field = fresh_name(out, "_idx_" + name + "_");
+        pre.push_back(make_assign(make_field(idx_field), u.index->clone()));
+        idx_field_of[name] = idx_field;
+      }
+      idx_expr = make_field(idx_field_of[name]);
+    }
+    pre.push_back(make_assign(
+        make_field(temp),
+        make_state(name, idx_expr ? idx_expr->clone() : nullptr)));
+
+    if (u.written) {
+      write_flanks.push_back(make_assign(
+          make_state(name, idx_expr ? idx_expr->clone() : nullptr),
+          make_field(temp)));
+    }
+  }
+
+  // Rebuild the body with flanks inserted and state references rewritten.
+  std::vector<StmtPtr> rebuilt;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (auto it = flank_before.find(static_cast<int>(i));
+        it != flank_before.end())
+      for (auto& f : it->second) rebuilt.push_back(std::move(f));
+
+    StmtPtr s = std::move(body[i]);
+    for (const auto& [var, temp] : temp_of) {
+      rewrite_state_reads(s->value, var, temp);
+      if (s->target->kind == Expr::Kind::kState && s->target->name == var)
+        s->target = make_field(temp, s->target->loc);
+      else if (s->target->index)
+        rewrite_state_reads(s->target->index, var, temp);
+    }
+    rebuilt.push_back(std::move(s));
+  }
+  for (auto& f : write_flanks) rebuilt.push_back(std::move(f));
+  out.transaction.body = std::move(rebuilt);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: SSA (Figure 7)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void rename_reads(ExprPtr& e,
+                  const std::map<std::string, std::string>& current) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::kField) {
+    if (auto it = current.find(e->name); it != current.end())
+      e->name = it->second;
+    return;
+  }
+  rename_reads(e->a, current);
+  rename_reads(e->b, current);
+  rename_reads(e->cond, current);
+  rename_reads(e->index, current);
+  for (auto& a : e->args) rename_reads(a, current);
+}
+
+}  // namespace
+
+Program to_ssa(const Program& prog,
+               std::map<std::string, std::string>* final_names) {
+  Program out = prog.clone();
+  std::map<std::string, std::string> current;  // user name -> live SSA name
+
+  for (auto& s : out.transaction.body) {
+    if (s->kind != Stmt::Kind::kAssign)
+      throw CompileError(CompilePhase::kNormalize, s->loc,
+                         "to_ssa requires straight-line code");
+    rename_reads(s->value, current);
+    if (s->target->kind == Expr::Kind::kField) {
+      const std::string base = s->target->name;
+      const std::string ssa_name = fresh_name(out, base + "_v");
+      current[base] = ssa_name;
+      s->target->name = ssa_name;
+    } else if (s->target->index) {
+      rename_reads(s->target->index, current);
+    }
+  }
+
+  if (final_names != nullptr) {
+    final_names->clear();
+    for (const auto& f : prog.packet_fields) {
+      auto it = current.find(f.name);
+      (*final_names)[f.name] = it != current.end() ? it->second : f.name;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: three-address code (Figure 8)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class TacBuilder {
+ public:
+  explicit TacBuilder(const Program& prog) : prog_(prog.clone()) {}
+
+  TacProgram run() {
+    for (const auto& s : prog_.transaction.body) {
+      if (s->kind != Stmt::Kind::kAssign)
+        throw CompileError(CompilePhase::kNormalize, s->loc,
+                           "to_tac requires straight-line code");
+      lower_assign(*s);
+    }
+    return std::move(tac_);
+  }
+
+ private:
+  std::string fresh_temp() {
+    return fresh_name(prog_, "_t");
+  }
+
+  // Lowers `e` to an operand, emitting statements for compound expressions.
+  Operand lower(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return Operand::make_const(e.int_value);
+      case Expr::Kind::kField:
+        return Operand::make_field(e.name);
+      case Expr::Kind::kState:
+        throw CompileError(CompilePhase::kNormalize, e.loc,
+                           "state reference survived flank rewriting: " +
+                               e.str());
+      case Expr::Kind::kUnary: {
+        Operand a = lower(*e.a);
+        if (a.is_const())
+          return Operand::make_const(eval_unop(e.un_op, a.cst));
+        TacStmt s;
+        s.kind = TacStmt::Kind::kUnary;
+        s.loc = e.loc;
+        s.dst = fresh_temp();
+        s.un_op = e.un_op;
+        s.a = a;
+        tac_.stmts.push_back(s);
+        return Operand::make_field(s.dst);
+      }
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kTernary:
+      case Expr::Kind::kCall: {
+        TacStmt s = lower_compound_to(fresh_temp(), e);
+        tac_.stmts.push_back(s);
+        return Operand::make_field(s.dst);
+      }
+    }
+    throw CompileError(CompilePhase::kNormalize, e.loc, "unreachable");
+  }
+
+  // Builds (without emitting) the statement computing `e` into field `dst`.
+  TacStmt lower_compound_to(const std::string& dst, const Expr& e) {
+    TacStmt s;
+    s.loc = e.loc;
+    s.dst = dst;
+    if (e.kind == Expr::Kind::kBinary) {
+      // hashK(...) % CONST folds into the hash unit (it produces an index
+      // into a memory of that size).
+      const bool mod_of_call = e.bin_op == BinOp::kMod &&
+                               e.a->kind == Expr::Kind::kCall &&
+                               e.b->kind == Expr::Kind::kIntLit &&
+                               e.b->int_value > 0;
+      if (mod_of_call) {
+        s = lower_call(dst, *e.a);
+        s.intrinsic_mod = e.b->int_value;
+        return s;
+      }
+      Operand a = lower(*e.a);
+      Operand b = lower(*e.b);
+      if (a.is_const() && b.is_const()) {
+        s.kind = TacStmt::Kind::kCopy;
+        s.a = Operand::make_const(eval_binop(e.bin_op, a.cst, b.cst));
+        return s;
+      }
+      s.kind = TacStmt::Kind::kBinary;
+      s.op = e.bin_op;
+      s.a = a;
+      s.b = b;
+      return s;
+    }
+    if (e.kind == Expr::Kind::kTernary) {
+      s.kind = TacStmt::Kind::kTernary;
+      s.a = lower(*e.cond);
+      s.b = lower(*e.a);
+      s.c = lower(*e.b);
+      return s;
+    }
+    if (e.kind == Expr::Kind::kCall) return lower_call(dst, e);
+    throw CompileError(CompilePhase::kNormalize, e.loc,
+                       "not a compound expression");
+  }
+
+  TacStmt lower_call(const std::string& dst, const Expr& call) {
+    TacStmt s;
+    s.loc = call.loc;
+    s.dst = dst;
+    s.kind = TacStmt::Kind::kIntrinsic;
+    s.intrinsic = call.name;
+    for (const auto& a : call.args) s.args.push_back(lower(*a));
+    return s;
+  }
+
+  void lower_assign(const Stmt& st) {
+    const Expr& target = *st.target;
+    const Expr& value = *st.value;
+
+    if (target.kind == Expr::Kind::kState) {
+      TacStmt s;
+      s.kind = TacStmt::Kind::kWriteState;
+      s.loc = st.loc;
+      s.state_var = target.name;
+      if (target.index) {
+        s.state_is_array = true;
+        if (target.index->kind != Expr::Kind::kField)
+          throw CompileError(CompilePhase::kNormalize, st.loc,
+                             "array index must be a packet field after "
+                             "flank rewriting");
+        s.index = Operand::make_field(target.index->name);
+      }
+      s.a = lower(value);
+      tac_.stmts.push_back(s);
+      return;
+    }
+
+    // target is a packet field
+    if (value.kind == Expr::Kind::kState) {
+      TacStmt s;
+      s.kind = TacStmt::Kind::kReadState;
+      s.loc = st.loc;
+      s.dst = target.name;
+      s.state_var = value.name;
+      if (value.index) {
+        s.state_is_array = true;
+        if (value.index->kind != Expr::Kind::kField)
+          throw CompileError(CompilePhase::kNormalize, st.loc,
+                             "array index must be a packet field after "
+                             "flank rewriting");
+        s.index = Operand::make_field(value.index->name);
+      }
+      tac_.stmts.push_back(s);
+      return;
+    }
+
+    switch (value.kind) {
+      case Expr::Kind::kIntLit:
+      case Expr::Kind::kField: {
+        TacStmt s;
+        s.kind = TacStmt::Kind::kCopy;
+        s.loc = st.loc;
+        s.dst = target.name;
+        s.a = lower(value);
+        tac_.stmts.push_back(s);
+        return;
+      }
+      case Expr::Kind::kUnary: {
+        Operand a = lower(*value.a);
+        TacStmt s;
+        s.loc = st.loc;
+        s.dst = target.name;
+        if (a.is_const()) {
+          s.kind = TacStmt::Kind::kCopy;
+          s.a = Operand::make_const(eval_unop(value.un_op, a.cst));
+        } else {
+          s.kind = TacStmt::Kind::kUnary;
+          s.un_op = value.un_op;
+          s.a = a;
+        }
+        tac_.stmts.push_back(s);
+        return;
+      }
+      default:
+        tac_.stmts.push_back(lower_compound_to(target.name, value));
+        return;
+    }
+  }
+
+  Program prog_;
+  TacProgram tac_;
+};
+
+}  // namespace
+
+TacProgram to_tac(const Program& prog) { return TacBuilder(prog).run(); }
+
+TacProgram optimize_tac(const TacProgram& tac,
+                        const std::set<std::string>& outputs) {
+  // Copy propagation: under SSA, a read of the destination of `dst = src`
+  // can always be replaced by `src` (resolved transitively).
+  std::map<std::string, Operand> copy_of;
+  auto resolve = [&copy_of](Operand o) {
+    while (o.is_field()) {
+      auto it = copy_of.find(o.field);
+      if (it == copy_of.end()) break;
+      o = it->second;
+    }
+    return o;
+  };
+
+  TacProgram propagated;
+  for (TacStmt s : tac.stmts) {
+    s.a = resolve(s.a);
+    s.b = resolve(s.b);
+    s.c = resolve(s.c);
+    s.index = resolve(s.index);
+    for (auto& arg : s.args) arg = resolve(arg);
+    if (s.kind == TacStmt::Kind::kCopy) copy_of[s.dst] = s.a;
+    propagated.stmts.push_back(std::move(s));
+  }
+
+  // Dead-code elimination, backwards: keep state writes, observable outputs
+  // and everything they transitively read.
+  std::set<std::string> needed(outputs.begin(), outputs.end());
+  std::vector<bool> keep(propagated.stmts.size(), false);
+  for (std::size_t i = propagated.stmts.size(); i-- > 0;) {
+    const TacStmt& s = propagated.stmts[i];
+    bool live = s.writes_state();
+    if (auto w = s.field_written(); w && needed.count(*w)) live = true;
+    if (!live) continue;
+    keep[i] = true;
+    for (const auto& f : s.fields_read()) needed.insert(f);
+  }
+
+  TacProgram out;
+  for (std::size_t i = 0; i < propagated.stmts.size(); ++i)
+    if (keep[i]) out.stmts.push_back(propagated.stmts[i]);
+
+  // Copy coalescing: a surviving copy `output = f` where f is a compiler
+  // temporary defined exactly once can be eliminated by renaming f's defining
+  // statement to write the output directly (rewriting all readers of f).
+  // This gives TAC the shape of Figure 8, where e.g. pkt.next_hop is the
+  // direct target of the conditional operator rather than a copy of it.
+  for (std::size_t i = 0; i < out.stmts.size();) {
+    TacStmt& s = out.stmts[i];
+    if (s.kind != TacStmt::Kind::kCopy || !s.a.is_field() ||
+        !outputs.count(s.dst) || outputs.count(s.a.field)) {
+      ++i;
+      continue;
+    }
+    const std::string from = s.a.field, to = s.dst;
+    int defs = 0;
+    bool state_adjacent = false;
+    for (const auto& t : out.stmts) {
+      if (t.field_written() == std::optional<std::string>(from)) {
+        ++defs;
+        if (t.touches_state()) state_adjacent = true;
+      }
+      if (t.touches_state())
+        for (const auto& f : t.fields_read())
+          if (f == from) state_adjacent = true;
+    }
+    // Renaming into or out of a stateful strongly-connected component would
+    // change which codelet produces the output (and hence the Figure 3b
+    // pipeline shape); only coalesce pure stateless chains.
+    if (defs != 1 || state_adjacent) {
+      ++i;
+      continue;
+    }
+    auto rename = [&](Operand& o) {
+      if (o.is_field() && o.field == from) o.field = to;
+    };
+    for (auto& t : out.stmts) {
+      if (t.field_written() == std::optional<std::string>(from)) t.dst = to;
+      rename(t.a);
+      rename(t.b);
+      rename(t.c);
+      rename(t.index);
+      for (auto& arg : t.args) rename(arg);
+    }
+    out.stmts.erase(out.stmts.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return out;
+}
+
+Normalized normalize(const Program& prog) {
+  Normalized n;
+  n.branch_removed = remove_branches(prog);
+  n.flanked = rewrite_state_vars(n.branch_removed);
+  n.ssa = to_ssa(n.flanked, &n.final_names);
+  // Only user-declared fields are observable outputs; compiler temporaries
+  // (_br conditions, flank temporaries) must not be forced to survive, or
+  // code generation would demand atoms output them.
+  std::map<std::string, std::string> user_finals;
+  for (const auto& f : prog.packet_fields) {
+    auto it = n.final_names.find(f.name);
+    user_finals[f.name] =
+        it != n.final_names.end() ? it->second : f.name;
+  }
+  n.final_names = std::move(user_finals);
+  n.tac_raw = to_tac(n.ssa);
+  std::set<std::string> outputs;
+  for (const auto& [user, ssa] : n.final_names) outputs.insert(ssa);
+  n.tac = optimize_tac(n.tac_raw, outputs);
+  return n;
+}
+
+}  // namespace domino

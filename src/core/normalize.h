@@ -1,0 +1,65 @@
+// Normalization (§4.1): the four passes that turn a packet transaction into
+// straight-line three-address code while preserving its sequential semantics.
+//
+//   1. remove_branches    — if-conversion to conditional assignments,
+//                           innermost-out (Figure 5)
+//   2. rewrite_state_vars — read/write flanks; afterwards the only operations
+//                           on state are reads and writes (Figure 6)
+//   3. to_ssa             — static single assignment on straight-line code;
+//                           only read-after-write dependencies remain
+//                           (Figure 7)
+//   4. to_tac             — flatten expressions into three-address code
+//                           (Figure 8)
+//
+// Each pass returns a new program so that tests can check them individually;
+// every pass preserves the transaction's observable behaviour (verified by
+// the pass-preservation differential tests).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/ast.h"
+#include "ir/tac.h"
+
+namespace domino {
+
+// Pass 1: eliminate if-statements.  The resulting body is straight-line
+// assignments; each hoisted branch condition lands in a fresh packet field.
+Program remove_branches(const Program& prog);
+
+// Pass 2: insert read/write flanks around state variables; all arithmetic
+// afterwards happens on packet temporaries.  Requires straight-line code.
+Program rewrite_state_vars(const Program& prog);
+
+// Pass 3: static single assignment.  Every packet field is assigned at most
+// once; `final_names` (if non-null) receives, for every field, the SSA name
+// holding its final value at transaction end.
+Program to_ssa(const Program& prog,
+               std::map<std::string, std::string>* final_names);
+
+// Pass 4: flatten to three-address code.  Folds `hashK(...) % CONST` into a
+// single hash-unit statement (the hardware computes table indices directly).
+TacProgram to_tac(const Program& prog);
+
+// Pass 5: copy propagation plus dead-code elimination on the (SSA) TAC.
+// `outputs` are fields whose final values are observable and must survive.
+// This removes the copies introduced by flank rewriting so codelets take the
+// shapes shown in Figure 8.
+TacProgram optimize_tac(const TacProgram& tac,
+                        const std::set<std::string>& outputs);
+
+// The whole normalization pipeline.
+struct Normalized {
+  Program branch_removed;
+  Program flanked;
+  Program ssa;
+  TacProgram tac_raw;  // straight out of flattening
+  TacProgram tac;      // after copy propagation + DCE
+  std::map<std::string, std::string> final_names;
+};
+
+Normalized normalize(const Program& prog);
+
+}  // namespace domino

@@ -1,0 +1,466 @@
+#include "core/parser.h"
+
+#include <unordered_map>
+
+#include "core/lexer.h"
+#include "ir/intrinsics.h"
+
+namespace domino {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Program run() {
+    while (!at(Tok::kEnd)) top_level();
+    if (!saw_function_)
+      throw CompileError(CompilePhase::kParse, cur().loc,
+                         "program has no packet transaction function");
+    return std::move(prog_);
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  bool at(Tok t) const { return cur().kind == t; }
+
+  Token eat() { return toks_[pos_++]; }
+
+  Token expect(Tok t, const std::string& what) {
+    if (!at(t))
+      throw CompileError(CompilePhase::kParse, cur().loc,
+                         "expected " + std::string(tok_name(t)) + " " + what +
+                             ", found " + std::string(tok_name(cur().kind)));
+    return eat();
+  }
+
+  [[noreturn]] void forbidden(const Token& t, const std::string& what) {
+    throw CompileError(CompilePhase::kParse, t.loc,
+                       what + " is not allowed in Domino (Table 1)");
+  }
+
+  void top_level() {
+    switch (cur().kind) {
+      case Tok::kDefine: parse_define(); return;
+      case Tok::kStruct: parse_struct(); return;
+      case Tok::kInt: parse_state_decl(); return;
+      case Tok::kVoid: parse_function(); return;
+      case Tok::kWhile:
+      case Tok::kFor:
+      case Tok::kDo:
+        forbidden(cur(), "iteration (while/for/do-while)");
+      case Tok::kGoto:
+        forbidden(cur(), "goto");
+      default:
+        throw CompileError(CompilePhase::kParse, cur().loc,
+                           "expected a declaration, found " +
+                               std::string(tok_name(cur().kind)));
+    }
+  }
+
+  void parse_define() {
+    eat();  // #define
+    Token name = expect(Tok::kIdent, "after #define");
+    Value v = parse_const_value("in #define value");
+    prog_.defines.push_back({name.text, v, name.loc});
+    defines_[name.text] = v;
+  }
+
+  Value parse_const_value(const std::string& ctx) {
+    bool neg = false;
+    if (at(Tok::kMinus)) {
+      eat();
+      neg = true;
+    }
+    if (at(Tok::kNumber)) {
+      Value v = eat().number;
+      return neg ? banzai::wrap_sub(0, v) : v;
+    }
+    if (at(Tok::kIdent)) {
+      Token id = eat();
+      auto it = defines_.find(id.text);
+      if (it == defines_.end())
+        throw CompileError(CompilePhase::kParse, id.loc,
+                           "unknown constant '" + id.text + "' " + ctx);
+      return neg ? banzai::wrap_sub(0, it->second) : it->second;
+    }
+    throw CompileError(CompilePhase::kParse, cur().loc,
+                       "expected a constant " + ctx);
+  }
+
+  void parse_struct() {
+    Token kw = eat();  // struct
+    Token name = expect(Tok::kIdent, "after 'struct'");
+    if (name.text != "Packet")
+      throw CompileError(CompilePhase::kParse, name.loc,
+                         "the only struct allowed is 'struct Packet'");
+    if (!prog_.packet_fields.empty())
+      throw CompileError(CompilePhase::kParse, kw.loc,
+                         "duplicate 'struct Packet' declaration");
+    expect(Tok::kLBrace, "to open struct Packet");
+    while (!at(Tok::kRBrace)) {
+      expect(Tok::kInt, "field type (all packet fields are int)");
+      if (at(Tok::kStar)) forbidden(cur(), "a pointer field");
+      Token f = expect(Tok::kIdent, "field name");
+      expect(Tok::kSemi, "after field");
+      prog_.packet_fields.push_back({f.text, f.loc});
+    }
+    eat();  // }
+    expect(Tok::kSemi, "after struct Packet");
+    saw_struct_ = true;
+  }
+
+  void parse_state_decl() {
+    eat();  // int
+    if (at(Tok::kStar)) forbidden(cur(), "a pointer");
+    Token name = expect(Tok::kIdent, "state variable name");
+    StateDecl d;
+    d.name = name.text;
+    d.loc = name.loc;
+    if (at(Tok::kLBracket)) {
+      eat();
+      d.is_array = true;
+      d.size = parse_const_value("as array size");
+      if (d.size <= 0)
+        throw CompileError(CompilePhase::kParse, name.loc,
+                           "array size must be positive");
+      expect(Tok::kRBracket, "after array size");
+    }
+    if (at(Tok::kAssign)) {
+      eat();
+      if (at(Tok::kLBrace)) {
+        eat();
+        d.init = parse_const_value("as initializer");
+        expect(Tok::kRBrace, "after initializer list");
+      } else {
+        d.init = parse_const_value("as initializer");
+      }
+    }
+    expect(Tok::kSemi, "after state declaration");
+    prog_.state_vars.push_back(std::move(d));
+  }
+
+  void parse_function() {
+    Token kw = eat();  // void
+    if (saw_function_)
+      throw CompileError(
+          CompilePhase::kParse, kw.loc,
+          "multiple packet transactions in one file; use a policy to compose "
+          "transactions (Section 3.4)");
+    Token name = expect(Tok::kIdent, "transaction name");
+    expect(Tok::kLParen, "to open parameter list");
+    expect(Tok::kStruct, "parameter type");
+    Token pt = expect(Tok::kIdent, "parameter struct name");
+    if (pt.text != "Packet")
+      throw CompileError(CompilePhase::kParse, pt.loc,
+                         "transaction parameter must be 'struct Packet'");
+    if (at(Tok::kStar)) forbidden(cur(), "a pointer parameter");
+    Token param = expect(Tok::kIdent, "parameter name");
+    expect(Tok::kRParen, "to close parameter list");
+    expect(Tok::kLBrace, "to open transaction body");
+    prog_.transaction.name = name.text;
+    prog_.transaction.packet_param = param.text;
+    prog_.transaction.loc = name.loc;
+    packet_param_ = param.text;
+    while (!at(Tok::kRBrace)) prog_.transaction.body.push_back(parse_stmt());
+    eat();  // }
+    saw_function_ = true;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    std::vector<StmtPtr> body;
+    if (at(Tok::kLBrace)) {
+      eat();
+      while (!at(Tok::kRBrace)) body.push_back(parse_stmt());
+      eat();
+    } else {
+      body.push_back(parse_stmt());
+    }
+    return body;
+  }
+
+  StmtPtr parse_stmt() {
+    switch (cur().kind) {
+      case Tok::kWhile:
+      case Tok::kFor:
+      case Tok::kDo:
+        forbidden(cur(), "iteration (while/for/do-while)");
+      case Tok::kGoto: forbidden(cur(), "goto");
+      case Tok::kBreak: forbidden(cur(), "break");
+      case Tok::kContinue: forbidden(cur(), "continue");
+      case Tok::kReturn:
+        forbidden(cur(), "return (transactions run to completion)");
+      case Tok::kInt:
+        forbidden(cur(), "a local variable declaration (no heap/stack data; "
+                         "use packet fields)");
+      case Tok::kIf: return parse_if();
+      default: return parse_assign();
+    }
+  }
+
+  StmtPtr parse_if() {
+    Token kw = eat();  // if
+    expect(Tok::kLParen, "after 'if'");
+    ExprPtr cond = parse_expr();
+    expect(Tok::kRParen, "after if condition");
+    std::vector<StmtPtr> then_body = parse_block();
+    std::vector<StmtPtr> else_body;
+    if (at(Tok::kElse)) {
+      eat();
+      if (at(Tok::kIf)) {
+        else_body.push_back(parse_if());
+      } else {
+        else_body = parse_block();
+      }
+    }
+    return make_if(std::move(cond), std::move(then_body), std::move(else_body),
+                   kw.loc);
+  }
+
+  StmtPtr parse_assign() {
+    SourceLoc loc = cur().loc;
+    ExprPtr target = parse_lvalue();
+    if (at(Tok::kIncrement) || at(Tok::kDecrement)) {
+      // x++ / x--  ==>  x = x +/- 1
+      BinOp op = at(Tok::kIncrement) ? BinOp::kAdd : BinOp::kSub;
+      eat();
+      expect(Tok::kSemi, "after statement");
+      ExprPtr rhs = make_binary(op, target->clone(), make_int(1, loc), loc);
+      return make_assign(std::move(target), std::move(rhs), loc);
+    }
+    BinOp compound_op = BinOp::kAdd;
+    bool compound = false;
+    if (at(Tok::kPlusAssign)) {
+      compound = true;
+      compound_op = BinOp::kAdd;
+      eat();
+    } else if (at(Tok::kMinusAssign)) {
+      compound = true;
+      compound_op = BinOp::kSub;
+      eat();
+    } else {
+      expect(Tok::kAssign, "in assignment");
+    }
+    ExprPtr value = parse_expr();
+    expect(Tok::kSemi, "after statement");
+    if (compound)
+      value = make_binary(compound_op, target->clone(), std::move(value), loc);
+    return make_assign(std::move(target), std::move(value), loc);
+  }
+
+  // lvalue := pkt '.' field | state | state '[' expr ']'
+  ExprPtr parse_lvalue() {
+    Token id = expect(Tok::kIdent, "in assignment target");
+    return resolve_ident(id, /*lvalue=*/true);
+  }
+
+  ExprPtr resolve_ident(const Token& id, bool lvalue) {
+    if (id.text == packet_param_) {
+      expect(Tok::kDot, "after packet parameter");
+      Token field = expect(Tok::kIdent, "packet field name");
+      return make_field(field.text, id.loc);
+    }
+    if (auto it = defines_.find(id.text); it != defines_.end()) {
+      if (lvalue)
+        throw CompileError(CompilePhase::kParse, id.loc,
+                           "cannot assign to constant '" + id.text + "'");
+      return make_int(it->second, id.loc);
+    }
+    if (!lvalue && at(Tok::kLParen)) {  // intrinsic call
+      eat();
+      std::vector<ExprPtr> args;
+      if (!at(Tok::kRParen)) {
+        args.push_back(parse_expr());
+        while (at(Tok::kComma)) {
+          eat();
+          args.push_back(parse_expr());
+        }
+      }
+      expect(Tok::kRParen, "to close call");
+      return make_call(id.text, std::move(args), id.loc);
+    }
+    // State variable (validated by sema), possibly subscripted.
+    ExprPtr index;
+    if (at(Tok::kLBracket)) {
+      eat();
+      index = parse_expr();
+      expect(Tok::kRBracket, "after array index");
+    }
+    return make_state(id.text, std::move(index), id.loc);
+  }
+
+  // Expression grammar with C precedence.
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_lor();
+    if (!at(Tok::kQuestion)) return cond;
+    SourceLoc loc = eat().loc;
+    ExprPtr a = parse_expr();
+    expect(Tok::kColon, "in conditional expression");
+    ExprPtr b = parse_ternary();
+    return make_ternary(std::move(cond), std::move(a), std::move(b), loc);
+  }
+
+  ExprPtr parse_lor() {
+    ExprPtr e = parse_land();
+    while (at(Tok::kPipePipe)) {
+      SourceLoc loc = eat().loc;
+      e = make_binary(BinOp::kLOr, std::move(e), parse_land(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_land() {
+    ExprPtr e = parse_bitor();
+    while (at(Tok::kAmpAmp)) {
+      SourceLoc loc = eat().loc;
+      e = make_binary(BinOp::kLAnd, std::move(e), parse_bitor(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitor() {
+    ExprPtr e = parse_bitxor();
+    while (at(Tok::kPipe)) {
+      SourceLoc loc = eat().loc;
+      e = make_binary(BinOp::kBitOr, std::move(e), parse_bitxor(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitxor() {
+    ExprPtr e = parse_bitand();
+    while (at(Tok::kCaret)) {
+      SourceLoc loc = eat().loc;
+      e = make_binary(BinOp::kBitXor, std::move(e), parse_bitand(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitand() {
+    ExprPtr e = parse_equality();
+    while (at(Tok::kAmp)) {
+      SourceLoc loc = eat().loc;
+      e = make_binary(BinOp::kBitAnd, std::move(e), parse_equality(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    while (at(Tok::kEqEq) || at(Tok::kNe)) {
+      BinOp op = at(Tok::kEqEq) ? BinOp::kEq : BinOp::kNe;
+      SourceLoc loc = eat().loc;
+      e = make_binary(op, std::move(e), parse_relational(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_shift();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::kLt)) op = BinOp::kLt;
+      else if (at(Tok::kGt)) op = BinOp::kGt;
+      else if (at(Tok::kLe)) op = BinOp::kLe;
+      else if (at(Tok::kGe)) op = BinOp::kGe;
+      else break;
+      SourceLoc loc = eat().loc;
+      e = make_binary(op, std::move(e), parse_shift(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_shift() {
+    ExprPtr e = parse_additive();
+    while (at(Tok::kShl) || at(Tok::kShr)) {
+      BinOp op = at(Tok::kShl) ? BinOp::kShl : BinOp::kShr;
+      SourceLoc loc = eat().loc;
+      e = make_binary(op, std::move(e), parse_additive(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      BinOp op = at(Tok::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      SourceLoc loc = eat().loc;
+      e = make_binary(op, std::move(e), parse_multiplicative(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      BinOp op = at(Tok::kStar)
+                     ? BinOp::kMul
+                     : (at(Tok::kSlash) ? BinOp::kDiv : BinOp::kMod);
+      SourceLoc loc = eat().loc;
+      e = make_binary(op, std::move(e), parse_unary(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(Tok::kMinus)) {
+      SourceLoc loc = eat().loc;
+      ExprPtr e = parse_unary();
+      if (e->kind == Expr::Kind::kIntLit)
+        return make_int(banzai::wrap_sub(0, e->int_value), loc);
+      return make_unary(UnOp::kNeg, std::move(e), loc);
+    }
+    if (at(Tok::kBang)) {
+      SourceLoc loc = eat().loc;
+      return make_unary(UnOp::kLNot, parse_unary(), loc);
+    }
+    if (at(Tok::kTilde)) {
+      SourceLoc loc = eat().loc;
+      return make_unary(UnOp::kBitNot, parse_unary(), loc);
+    }
+    if (at(Tok::kStar)) forbidden(cur(), "pointer dereference");
+    if (at(Tok::kAmp) ) forbidden(cur(), "taking an address");
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::kNumber)) {
+      Token n = eat();
+      return make_int(n.number, n.loc);
+    }
+    if (at(Tok::kLParen)) {
+      eat();
+      ExprPtr e = parse_expr();
+      expect(Tok::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      Token id = eat();
+      return resolve_ident(id, /*lvalue=*/false);
+    }
+    throw CompileError(CompilePhase::kParse, cur().loc,
+                       "expected an expression, found " +
+                           std::string(tok_name(cur().kind)));
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  Program prog_;
+  std::unordered_map<std::string, Value> defines_;
+  std::string packet_param_;
+  bool saw_struct_ = false;
+  bool saw_function_ = false;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace domino

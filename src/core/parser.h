@@ -1,0 +1,27 @@
+// Recursive-descent parser for Domino (§3.1, Figure 3a).
+//
+// Grammar (informally):
+//   program    := (define | struct | state | function)*
+//   define     := '#define' IDENT NUMBER
+//   struct     := 'struct' 'Packet' '{' ('int' IDENT ';')* '}' ';'
+//   state      := 'int' IDENT ('[' constexpr ']')? ('=' init)? ';'
+//   function   := 'void' IDENT '(' 'struct' 'Packet' IDENT ')' '{' stmt* '}'
+//   stmt       := lvalue ('='|'+='|'-=') expr ';' | lvalue ('++'|'--') ';'
+//               | 'if' '(' expr ')' block ('else' (ifstmt | block))?
+//   block      := '{' stmt* '}' | stmt
+//
+// Table 1 restrictions with dedicated syntax (loops, goto/break/continue,
+// pointers) are rejected here with targeted diagnostics; value-level
+// restrictions (same array index per transaction, etc.) are checked in sema.
+#pragma once
+
+#include <string_view>
+
+#include "ir/ast.h"
+
+namespace domino {
+
+// Parses a full Domino program; throws CompileError(kParse / kLex).
+Program parse(std::string_view source);
+
+}  // namespace domino

@@ -1,0 +1,209 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ir/diag.h"
+
+namespace domino {
+
+DepGraph build_dep_graph(const TacProgram& tac) {
+  const auto n = static_cast<int>(tac.stmts.size());
+  DepGraph g;
+  g.edges.assign(static_cast<std::size_t>(n), {});
+
+  // SSA: each field has exactly one defining statement.
+  std::map<std::string, int> def_of;
+  for (int i = 0; i < n; ++i) {
+    if (auto w = tac.stmts[static_cast<std::size_t>(i)].field_written()) {
+      if (def_of.count(*w))
+        throw CompileError(CompilePhase::kPipeline,
+                           "field '" + *w + "' defined twice; SSA violated");
+      def_of[*w] = i;
+    }
+  }
+
+  auto add_edge = [&g](int from, int to) {
+    if (from == to) return;
+    auto& v = g.edges[static_cast<std::size_t>(from)];
+    if (std::find(v.begin(), v.end(), to) == v.end()) v.push_back(to);
+  };
+
+  // Read-after-write edges.
+  for (int i = 0; i < n; ++i) {
+    for (const auto& f : tac.stmts[static_cast<std::size_t>(i)].fields_read()) {
+      auto it = def_of.find(f);
+      if (it != def_of.end()) add_edge(it->second, i);
+    }
+  }
+
+  // Pair edges between statements touching the same state variable: state is
+  // internal to one atom, so its reads and writes must stay together.
+  std::map<std::string, std::vector<int>> touchers;
+  for (int i = 0; i < n; ++i) {
+    const auto& s = tac.stmts[static_cast<std::size_t>(i)];
+    if (s.touches_state()) touchers[s.state_var].push_back(i);
+  }
+  for (const auto& [var, idxs] : touchers) {
+    for (int a : idxs)
+      for (int b : idxs)
+        if (a != b) add_edge(a, b);
+  }
+  return g;
+}
+
+std::vector<std::vector<int>> strongly_connected_components(
+    const DepGraph& g) {
+  const int n = static_cast<int>(g.num_nodes());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int counter = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] =
+        counter++;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (int w : g.edges[static_cast<std::size_t>(v)]) {
+      if (index[static_cast<std::size_t>(w)] == -1) {
+        strongconnect(w);
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     low[static_cast<std::size_t>(w)]);
+      } else if (on_stack[static_cast<std::size_t>(w)]) {
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     index[static_cast<std::size_t>(w)]);
+      }
+    }
+    if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+      std::vector<int> comp;
+      for (;;) {
+        int w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<std::size_t>(w)] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(comp.begin(), comp.end());
+      sccs.push_back(std::move(comp));
+    }
+  };
+
+  for (int v = 0; v < n; ++v)
+    if (index[static_cast<std::size_t>(v)] == -1) strongconnect(v);
+
+  // Tarjan emits components in reverse topological order; flip them.
+  std::reverse(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+namespace {
+
+struct Condensed {
+  std::vector<std::vector<int>> sccs;      // topological order
+  std::vector<int> comp_of;                // node -> scc id
+  std::vector<std::set<int>> dag_edges;    // scc -> successor sccs
+};
+
+Condensed condense(const TacProgram& tac, const DepGraph& g) {
+  Condensed c;
+  c.sccs = strongly_connected_components(g);
+  c.comp_of.assign(g.num_nodes(), -1);
+  for (std::size_t k = 0; k < c.sccs.size(); ++k)
+    for (int v : c.sccs[k]) c.comp_of[static_cast<std::size_t>(v)] =
+        static_cast<int>(k);
+  c.dag_edges.assign(c.sccs.size(), {});
+  for (std::size_t v = 0; v < g.num_nodes(); ++v)
+    for (int w : g.edges[v]) {
+      int a = c.comp_of[v], b = c.comp_of[static_cast<std::size_t>(w)];
+      if (a != b) c.dag_edges[static_cast<std::size_t>(a)].insert(b);
+    }
+  (void)tac;
+  return c;
+}
+
+}  // namespace
+
+CodeletPipeline pipeline_schedule(const TacProgram& tac) {
+  const DepGraph g = build_dep_graph(tac);
+  const Condensed c = condense(tac, g);
+
+  // ASAP levels over the condensed DAG (components are in topological order).
+  std::vector<int> level(c.sccs.size(), 0);
+  for (std::size_t k = 0; k < c.sccs.size(); ++k)
+    for (int succ : c.dag_edges[k])
+      level[static_cast<std::size_t>(succ)] =
+          std::max(level[static_cast<std::size_t>(succ)],
+                   level[k] + 1);
+
+  int max_level = 0;
+  for (int l : level) max_level = std::max(max_level, l);
+
+  CodeletPipeline p;
+  p.stages.assign(static_cast<std::size_t>(max_level) + 1, {});
+  for (std::size_t k = 0; k < c.sccs.size(); ++k) {
+    Codelet cl;
+    for (int v : c.sccs[k])
+      cl.stmts.push_back(tac.stmts[static_cast<std::size_t>(v)]);
+    p.stages[static_cast<std::size_t>(level[k])].push_back(std::move(cl));
+  }
+  // Deterministic order within a stage: by first statement index, which the
+  // construction above already guarantees (SCCs are emitted in topological
+  // order and their statement lists are sorted).
+  return p;
+}
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"') out += "\\\"";
+    else out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string dep_graph_dot(const TacProgram& tac) {
+  const DepGraph g = build_dep_graph(tac);
+  std::ostringstream os;
+  os << "digraph dependencies {\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < tac.stmts.size(); ++i)
+    os << "  n" << i << " [label=\"" << dot_escape(tac.stmts[i].str())
+       << "\"];\n";
+  for (std::size_t i = 0; i < g.num_nodes(); ++i)
+    for (int j : g.edges[i]) os << "  n" << i << " -> n" << j << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string condensed_dag_dot(const TacProgram& tac) {
+  const DepGraph g = build_dep_graph(tac);
+  const Condensed c = condense(tac, g);
+  std::ostringstream os;
+  os << "digraph condensed {\n  node [shape=box];\n";
+  for (std::size_t k = 0; k < c.sccs.size(); ++k) {
+    std::string label;
+    for (int v : c.sccs[k]) {
+      if (!label.empty()) label += "\\n";
+      label += dot_escape(tac.stmts[static_cast<std::size_t>(v)].str());
+    }
+    os << "  c" << k << " [label=\"" << label << "\"];\n";
+  }
+  for (std::size_t k = 0; k < c.sccs.size(); ++k)
+    for (int succ : c.dag_edges[k]) os << "  c" << k << " -> c" << succ
+                                       << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace domino

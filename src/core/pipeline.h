@@ -1,0 +1,43 @@
+// Pipelining (§4.2): turns normalized straight-line three-address code into a
+// PVSM codelet pipeline.
+//
+//   1. Build the dependency graph: read-after-write edges (the only kind left
+//      after branch removal and SSA) plus a pair of edges between reads and
+//      writes of the same state variable, capturing that state must stay
+//      internal to one atom (Figure 9a).
+//   2. Condense strongly connected components into a DAG (Figure 9b).
+//   3. Critical-path (ASAP) scheduling: an operation lands one stage after
+//      the last of its predecessors (Figure 3b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/pvsm.h"
+#include "ir/tac.h"
+
+namespace domino {
+
+struct DepGraph {
+  // adjacency: edges[i] = statements that depend on statement i.
+  std::vector<std::vector<int>> edges;
+  std::size_t num_nodes() const { return edges.size(); }
+};
+
+// Read-after-write field edges plus same-state-variable pair edges.
+DepGraph build_dep_graph(const TacProgram& tac);
+
+// Strongly connected components (Tarjan).  Each component's statement indices
+// are sorted ascending; components are returned in topological order of the
+// condensed DAG.
+std::vector<std::vector<int>> strongly_connected_components(
+    const DepGraph& g);
+
+// Full pipelining: dependency graph -> SCC condensation -> ASAP schedule.
+CodeletPipeline pipeline_schedule(const TacProgram& tac);
+
+// Graphviz renderings of the two halves of Figure 9.
+std::string dep_graph_dot(const TacProgram& tac);
+std::string condensed_dag_dot(const TacProgram& tac);
+
+}  // namespace domino

@@ -1,0 +1,115 @@
+#include "core/policy.h"
+
+#include <set>
+
+#include "ir/diag.h"
+
+namespace domino {
+
+bool GuardClause::matches(banzai::Value v) const {
+  switch (kind) {
+    case Kind::kExact:
+      return v == value;
+    case Kind::kRange:
+      return v >= value && v <= high;
+    case Kind::kTernary:
+      return (v & mask) == (value & mask);
+    case Kind::kPrefix: {
+      if (prefix_len <= 0) return true;
+      const auto shift = static_cast<std::uint32_t>(32 - prefix_len);
+      return (static_cast<std::uint32_t>(v) >> shift) ==
+             (static_cast<std::uint32_t>(value) >> shift);
+    }
+  }
+  return false;
+}
+
+bool Guard::matches(const banzai::Packet& pkt,
+                    const banzai::FieldTable& fields) const {
+  for (const auto& c : clauses) {
+    auto id = fields.try_id_of(c.field);
+    if (!id.has_value()) return false;
+    if (!c.matches(pkt.get(*id))) return false;
+  }
+  return true;
+}
+
+Guard Guard::exact(std::string field, banzai::Value v) {
+  Guard g;
+  g.clauses.push_back({GuardClause::Kind::kExact, std::move(field), v, 0, -1, 32});
+  return g;
+}
+
+Guard Guard::range(std::string field, banzai::Value lo, banzai::Value hi) {
+  Guard g;
+  g.clauses.push_back({GuardClause::Kind::kRange, std::move(field), lo, hi, -1, 32});
+  return g;
+}
+
+Guard Guard::ternary(std::string field, banzai::Value v, banzai::Value mask) {
+  Guard g;
+  g.clauses.push_back({GuardClause::Kind::kTernary, std::move(field), v, 0, mask, 32});
+  return g;
+}
+
+Guard Guard::prefix(std::string field, banzai::Value addr, int len) {
+  Guard g;
+  g.clauses.push_back({GuardClause::Kind::kPrefix, std::move(field), addr, 0, -1, len});
+  return g;
+}
+
+Guard& Guard::and_exact(std::string field, banzai::Value v) {
+  clauses.push_back({GuardClause::Kind::kExact, std::move(field), v, 0, -1, 32});
+  return *this;
+}
+
+Program compose_transactions(const Program& first, const Program& second) {
+  Program out = first.clone();
+
+  // Defines: identical names must agree.
+  for (const auto& d : second.defines) {
+    bool found = false;
+    for (const auto& e : out.defines) {
+      if (e.name == d.name) {
+        if (e.value != d.value)
+          throw CompileError(CompilePhase::kSema, d.loc,
+                             "#define '" + d.name +
+                                 "' differs between composed transactions");
+        found = true;
+      }
+    }
+    if (!found) out.defines.push_back(d);
+  }
+
+  // Packet fields unify by name.
+  for (const auto& f : second.packet_fields)
+    if (!out.has_packet_field(f.name)) out.packet_fields.push_back(f);
+
+  // State must be disjoint: transactions own their state (atoms cannot share
+  // state across codelets).
+  for (const auto& s : second.state_vars) {
+    if (out.find_state(s.name) != nullptr)
+      throw CompileError(CompilePhase::kSema, s.loc,
+                         "state variable '" + s.name +
+                             "' appears in both composed transactions; state "
+                             "cannot be shared");
+    out.state_vars.push_back(s);
+  }
+
+  // Concatenate bodies in user-specified order (§3.4).
+  out.transaction.name = first.transaction.name + "_" + second.transaction.name;
+  Program second_clone = second.clone();
+  for (auto& s : second_clone.transaction.body)
+    out.transaction.body.push_back(std::move(s));
+  return out;
+}
+
+std::vector<std::size_t> Policy::matching_entries(
+    const banzai::Packet& pkt, const banzai::FieldTable& fields) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].guard.matches(pkt, fields)) out.push_back(i);
+  return out;
+}
+
+}  // namespace domino

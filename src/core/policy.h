@@ -1,0 +1,77 @@
+// Guards and policies (§3.3-3.4).
+//
+// A guard is a predicate on packet fields that triggers a transaction; it
+// maps to the match half of a match-action table (exact, ternary, range or
+// longest-prefix, depending on the pipeline's match semantics).  A policy
+// pairs guards with transactions; when guards overlap, the matched
+// transactions compose by concatenating their bodies in policy order —
+// "providing the illusion of a larger transaction".
+//
+// The paper compiles only single transactions (composition is left to future
+// work); this module follows suit: composition produces a single fused
+// Program which is then compiled or interpreted like any other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "banzai/packet.h"
+#include "ir/ast.h"
+
+namespace domino {
+
+struct GuardClause {
+  enum class Kind { kExact, kRange, kTernary, kPrefix };
+  Kind kind = Kind::kExact;
+  std::string field;
+  banzai::Value value = 0;  // exact match / range low / ternary value / prefix
+  banzai::Value high = 0;   // range high (inclusive)
+  banzai::Value mask = -1;  // ternary mask
+  int prefix_len = 32;      // longest-prefix length
+
+  bool matches(banzai::Value v) const;
+};
+
+// A guard is a conjunction of clauses; an empty guard matches everything.
+struct Guard {
+  std::vector<GuardClause> clauses;
+
+  bool matches(const banzai::Packet& pkt,
+               const banzai::FieldTable& fields) const;
+
+  static Guard exact(std::string field, banzai::Value v);
+  static Guard range(std::string field, banzai::Value lo, banzai::Value hi);
+  static Guard ternary(std::string field, banzai::Value v, banzai::Value mask);
+  static Guard prefix(std::string field, banzai::Value addr, int len);
+  Guard& and_exact(std::string field, banzai::Value v);
+};
+
+struct PolicyEntry {
+  Guard guard;
+  Program transaction;
+};
+
+// Fuses two transactions into one program: union of packet fields (same-name
+// fields unify), disjoint state variables (collisions are an error), and the
+// concatenation of the bodies in argument order.
+Program compose_transactions(const Program& first, const Program& second);
+
+// An ordered guard->transaction policy.  `transaction_for` returns the fused
+// program of every matching entry, in order (§3.4's composition semantics),
+// or nullopt when nothing matches.
+class Policy {
+ public:
+  void add(Guard guard, Program transaction) {
+    entries_.push_back({std::move(guard), std::move(transaction)});
+  }
+
+  const std::vector<PolicyEntry>& entries() const { return entries_; }
+
+  std::vector<std::size_t> matching_entries(
+      const banzai::Packet& pkt, const banzai::FieldTable& fields) const;
+
+ private:
+  std::vector<PolicyEntry> entries_;
+};
+
+}  // namespace domino

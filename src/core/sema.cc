@@ -1,0 +1,197 @@
+#include "core/sema.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/intrinsics.h"
+
+namespace domino {
+namespace {
+
+class Sema {
+ public:
+  explicit Sema(const Program& prog) : prog_(prog) {}
+
+  void run() {
+    for (const auto& s : prog_.state_vars) {
+      if (prog_.has_packet_field(s.name))
+        fail(s.loc, "state variable '" + s.name +
+                        "' collides with a packet field of the same name");
+    }
+    for (const auto& stmt : prog_.transaction.body) check_stmt(*stmt);
+    check_index_field_stability();
+  }
+
+ private:
+  [[noreturn]] void fail(SourceLoc loc, const std::string& msg) const {
+    throw CompileError(CompilePhase::kSema, loc, msg);
+  }
+
+  void check_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kAssign: {
+        check_target(*s.target);
+        check_expr(*s.value);
+        if (s.target->kind == Expr::Kind::kField) {
+          assigned_fields_[s.target->name]++;
+          first_assign_stmt_.try_emplace(s.target->name, stmt_counter_);
+        }
+        ++stmt_counter_;
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        check_expr(*s.cond);
+        ++stmt_counter_;
+        for (const auto& t : s.then_body) check_stmt(*t);
+        for (const auto& t : s.else_body) check_stmt(*t);
+        break;
+      }
+    }
+  }
+
+  void check_target(const Expr& e) {
+    if (e.kind == Expr::Kind::kField) {
+      check_field(e);
+      return;
+    }
+    if (e.kind == Expr::Kind::kState) {
+      check_state(e);
+      return;
+    }
+    fail(e.loc, "assignment target must be a packet field or state variable");
+  }
+
+  void check_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return;
+      case Expr::Kind::kField:
+        check_field(e);
+        return;
+      case Expr::Kind::kState:
+        check_state(e);
+        return;
+      case Expr::Kind::kUnary:
+        check_expr(*e.a);
+        return;
+      case Expr::Kind::kBinary:
+        check_expr(*e.a);
+        check_expr(*e.b);
+        return;
+      case Expr::Kind::kTernary:
+        check_expr(*e.cond);
+        check_expr(*e.a);
+        check_expr(*e.b);
+        return;
+      case Expr::Kind::kCall: {
+        auto info = intrinsic_info(e.name);
+        if (!info.has_value())
+          fail(e.loc, "unknown function '" + e.name +
+                          "' (only intrinsics may be called)");
+        if (static_cast<int>(e.args.size()) != info->arity)
+          fail(e.loc, "intrinsic '" + e.name + "' takes " +
+                          std::to_string(info->arity) + " arguments, got " +
+                          std::to_string(e.args.size()));
+        for (const auto& a : e.args) check_expr(*a);
+        return;
+      }
+    }
+  }
+
+  void check_field(const Expr& e) {
+    if (!prog_.has_packet_field(e.name))
+      fail(e.loc, "packet field '" + e.name +
+                      "' is not declared in struct Packet");
+  }
+
+  void check_state(const Expr& e) {
+    const StateDecl* d = prog_.find_state(e.name);
+    if (d == nullptr)
+      fail(e.loc, "undeclared state variable '" + e.name + "'");
+    if (d->is_array && !e.index)
+      fail(e.loc, "state array '" + e.name + "' used without an index");
+    if (!d->is_array && e.index)
+      fail(e.loc, "state scalar '" + e.name + "' used with an index");
+    if (e.index) {
+      check_index_expr(*e.index, e.name);
+      const std::string key = e.index->str();
+      auto [it, inserted] = array_index_.try_emplace(e.name, key);
+      if (!inserted && it->second != key)
+        fail(e.loc, "array '" + e.name +
+                        "' is accessed with two different indices ('" +
+                        it->second + "' and '" + key +
+                        "'); all accesses within a transaction must use the "
+                        "same index (Table 1)");
+      if (inserted) first_array_use_stmt_[e.name] = stmt_counter_;
+      for (const auto& f : index_fields(*e.index))
+        index_fields_of_[e.name].insert(f);
+    }
+  }
+
+  void check_index_expr(const Expr& e, const std::string& array) {
+    if (e.kind == Expr::Kind::kState)
+      fail(e.loc, "index of array '" + array +
+                      "' reads state; indices must depend only on packet "
+                      "fields and constants");
+    if (e.a) check_index_expr(*e.a, array);
+    if (e.b) check_index_expr(*e.b, array);
+    if (e.cond) check_index_expr(*e.cond, array);
+    for (const auto& a : e.args) check_index_expr(*a, array);
+  }
+
+  std::set<std::string> index_fields(const Expr& e) const {
+    std::set<std::string> out;
+    std::function<void(const Expr&)> walk = [&](const Expr& x) {
+      if (x.kind == Expr::Kind::kField) out.insert(x.name);
+      if (x.a) walk(*x.a);
+      if (x.b) walk(*x.b);
+      if (x.cond) walk(*x.cond);
+      for (const auto& a : x.args) walk(*a);
+    };
+    walk(e);
+    return out;
+  }
+
+  // Fields feeding an array index must be assigned at most once, and that
+  // assignment must precede the first access of the array; this plus the
+  // syntactic-identity check makes indices constant per transaction.
+  void check_index_field_stability() const {
+    for (const auto& [array, fields] : index_fields_of_) {
+      const int first_use = first_array_use_stmt_.at(array);
+      for (const auto& f : fields) {
+        auto cnt = assigned_fields_.find(f);
+        if (cnt == assigned_fields_.end()) continue;  // pure input field
+        if (cnt->second > 1)
+          throw CompileError(
+              CompilePhase::kSema,
+              "packet field '" + f +
+                  "' is used in an array index but assigned more than once; "
+                  "the index would not be constant for the transaction "
+                  "(Table 1)");
+        if (first_assign_stmt_.at(f) >= first_use)
+          throw CompileError(
+              CompilePhase::kSema,
+              "packet field '" + f + "' indexes array '" + array +
+                  "' but is assigned at or after the array's first access; "
+                  "the index would not be constant for the transaction "
+                  "(Table 1)");
+      }
+    }
+  }
+
+  const Program& prog_;
+  std::map<std::string, std::string> array_index_;
+  std::map<std::string, int> first_array_use_stmt_;
+  std::map<std::string, int> assigned_fields_;
+  std::map<std::string, int> first_assign_stmt_;
+  std::map<std::string, std::set<std::string>> index_fields_of_;
+  int stmt_counter_ = 0;
+};
+
+}  // namespace
+
+void analyze(const Program& prog) { Sema(prog).run(); }
+
+}  // namespace domino

@@ -1,0 +1,24 @@
+// Semantic analysis: enforces the Domino restrictions of Table 1 that are not
+// already syntactic, plus ordinary name/arity checking.
+//
+// Checks:
+//   - every pkt.field is declared in struct Packet,
+//   - every state variable is declared; arrays are always subscripted and
+//     scalars never are,
+//   - intrinsics exist and are called with the right arity,
+//   - all accesses to a given array within the transaction use the same
+//     (syntactically identical) index expression   [Table 1],
+//   - array index expressions read only packet fields / constants, and every
+//     field they read is assigned at most once, before the first access —
+//     together these make the index constant for the packet's execution,
+//   - assignment targets are packet fields or state variables.
+#pragma once
+
+#include "ir/ast.h"
+
+namespace domino {
+
+// Throws CompileError(kSema) on violation.
+void analyze(const Program& prog);
+
+}  // namespace domino

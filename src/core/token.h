@@ -1,0 +1,38 @@
+// Tokens of the Domino language: C-like syntax (§3.2) restricted per Table 1.
+#pragma once
+
+#include <string>
+
+#include "banzai/value.h"
+#include "ir/diag.h"
+
+namespace domino {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  // keywords
+  kStruct, kInt, kVoid, kIf, kElse, kDefine,
+  // forbidden keywords, recognized to give targeted errors (Table 1)
+  kWhile, kFor, kDo, kGoto, kBreak, kContinue, kReturn,
+  // punctuation
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket,
+  kSemi, kComma, kDot, kQuestion, kColon,
+  // operators
+  kAssign, kPlusAssign, kMinusAssign, kIncrement, kDecrement,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kShl, kShr, kLt, kGt, kLe, kGe, kEqEq, kNe,
+  kAmp, kPipe, kCaret, kAmpAmp, kPipePipe, kBang, kTilde,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  banzai::Value number = 0;
+  SourceLoc loc;
+};
+
+const char* tok_name(Tok t);
+
+}  // namespace domino

@@ -1,0 +1,222 @@
+#include "ir/ast.h"
+
+#include <sstream>
+
+namespace domino {
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  e->int_value = int_value;
+  e->name = name;
+  e->un_op = un_op;
+  e->bin_op = bin_op;
+  if (index) e->index = index->clone();
+  if (a) e->a = a->clone();
+  if (b) e->b = b->clone();
+  if (cond) e->cond = cond->clone();
+  e->args.reserve(args.size());
+  for (const auto& arg : args) e->args.push_back(arg->clone());
+  return e;
+}
+
+std::string Expr::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kIntLit:
+      os << int_value;
+      break;
+    case Kind::kField:
+      os << "pkt." << name;
+      break;
+    case Kind::kState:
+      os << name;
+      if (index) os << "[" << index->str() << "]";
+      break;
+    case Kind::kUnary:
+      os << unop_str(un_op) << "(" << a->str() << ")";
+      break;
+    case Kind::kBinary:
+      os << "(" << a->str() << " " << binop_str(bin_op) << " " << b->str()
+         << ")";
+      break;
+    case Kind::kTernary:
+      os << "(" << cond->str() << " ? " << a->str() << " : " << b->str()
+         << ")";
+      break;
+    case Kind::kCall: {
+      os << name << "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        os << args[i]->str();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+ExprPtr make_int(Value v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kIntLit;
+  e->int_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_field(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kField;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_state(std::string name, ExprPtr index, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kState;
+  e->name = std::move(name);
+  e->index = std::move(index);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr a, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->un_op = op;
+  e->a = std::move(a);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->bin_op = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_ternary(ExprPtr cond, ExprPtr a, ExprPtr b, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kTernary;
+  e->cond = std::move(cond);
+  e->a = std::move(a);
+  e->b = std::move(b);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kCall;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  if (target) s->target = target->clone();
+  if (value) s->value = value->clone();
+  if (cond) s->cond = cond->clone();
+  s->then_body = clone_body(then_body);
+  s->else_body = clone_body(else_body);
+  return s;
+}
+
+std::string Stmt::str(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kAssign:
+      os << pad << target->str() << " = " << value->str() << ";\n";
+      break;
+    case Kind::kIf: {
+      os << pad << "if (" << cond->str() << ") {\n";
+      for (const auto& s : then_body) os << s->str(indent + 1);
+      os << pad << "}";
+      if (!else_body.empty()) {
+        os << " else {\n";
+        for (const auto& s : else_body) os << s->str(indent + 1);
+        os << pad << "}";
+      }
+      os << "\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+StmtPtr make_assign(ExprPtr target, ExprPtr value, SourceLoc loc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kAssign;
+  s->target = std::move(target);
+  s->value = std::move(value);
+  s->loc = loc;
+  return s;
+}
+
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body, SourceLoc loc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kIf;
+  s->cond = std::move(cond);
+  s->then_body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  s->loc = loc;
+  return s;
+}
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(s->clone());
+  return out;
+}
+
+Program Program::clone() const {
+  Program p;
+  p.defines = defines;
+  p.packet_fields = packet_fields;
+  p.state_vars = state_vars;
+  p.transaction.name = transaction.name;
+  p.transaction.packet_param = transaction.packet_param;
+  p.transaction.loc = transaction.loc;
+  p.transaction.body = clone_body(transaction.body);
+  return p;
+}
+
+std::string Program::str() const {
+  std::ostringstream os;
+  for (const auto& d : defines)
+    os << "#define " << d.name << " " << d.value << "\n";
+  os << "\nstruct Packet {\n";
+  for (const auto& f : packet_fields) os << "  int " << f.name << ";\n";
+  os << "};\n\n";
+  for (const auto& s : state_vars) {
+    os << "int " << s.name;
+    if (s.is_array) os << "[" << s.size << "]";
+    os << " = ";
+    if (s.is_array)
+      os << "{" << s.init << "}";
+    else
+      os << s.init;
+    os << ";\n";
+  }
+  os << "\nvoid " << transaction.name << "(struct Packet "
+     << transaction.packet_param << ") {\n";
+  for (const auto& s : transaction.body) os << s->str(1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace domino

@@ -1,0 +1,147 @@
+// Abstract syntax tree for Domino packet transactions (§3.1).
+//
+// A Domino program consists of:
+//   - #define constants,
+//   - a `struct Packet` declaration listing packet fields,
+//   - global state variable declarations (scalars or arrays),
+//   - exactly one packet-transaction function taking `struct Packet pkt`.
+//
+// The AST uses a single tagged node type for expressions and one for
+// statements.  Compiler passes clone and rewrite these trees; the node set is
+// deliberately small because Domino forbids loops, gotos, pointers and heap
+// allocation (Table 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/diag.h"
+#include "ir/ops.h"
+
+namespace domino {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,    // 42
+    kField,     // pkt.f            (name = "f")
+    kState,     // s or s[index]    (name = "s", index != null for arrays)
+    kUnary,     // op a             (a)
+    kBinary,    // a op b           (a, b)
+    kTernary,   // cond ? a : b     (cond, a, b)
+    kCall,      // intrinsic(args...)
+  };
+
+  Kind kind;
+  SourceLoc loc;
+
+  Value int_value = 0;        // kIntLit
+  std::string name;           // kField / kState / kCall
+  ExprPtr index;              // kState array subscript
+  UnOp un_op = UnOp::kNeg;    // kUnary
+  BinOp bin_op = BinOp::kAdd; // kBinary
+  ExprPtr a, b, cond;         // operands
+  std::vector<ExprPtr> args;  // kCall
+
+  ExprPtr clone() const;
+  std::string str() const;
+
+  bool is_field(const std::string& f) const {
+    return kind == Kind::kField && name == f;
+  }
+};
+
+// Convenience constructors.
+ExprPtr make_int(Value v, SourceLoc loc = {});
+ExprPtr make_field(std::string name, SourceLoc loc = {});
+ExprPtr make_state(std::string name, ExprPtr index = nullptr,
+                   SourceLoc loc = {});
+ExprPtr make_unary(UnOp op, ExprPtr a, SourceLoc loc = {});
+ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b, SourceLoc loc = {});
+ExprPtr make_ternary(ExprPtr cond, ExprPtr a, ExprPtr b, SourceLoc loc = {});
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args,
+                  SourceLoc loc = {});
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kAssign,  // target = value;   target is kField or kState
+    kIf,      // if (cond) { then_body } [else { else_body }]
+  };
+
+  Kind kind;
+  SourceLoc loc;
+
+  ExprPtr target;  // kAssign
+  ExprPtr value;   // kAssign
+
+  ExprPtr cond;                    // kIf
+  std::vector<StmtPtr> then_body;  // kIf
+  std::vector<StmtPtr> else_body;  // kIf
+
+  StmtPtr clone() const;
+  std::string str(int indent = 0) const;
+};
+
+StmtPtr make_assign(ExprPtr target, ExprPtr value, SourceLoc loc = {});
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body, SourceLoc loc = {});
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body);
+
+// Declarations -------------------------------------------------------------
+
+struct DefineDecl {
+  std::string name;
+  Value value;
+  SourceLoc loc;
+};
+
+struct FieldDecl {
+  std::string name;
+  SourceLoc loc;
+};
+
+struct StateDecl {
+  std::string name;
+  bool is_array = false;
+  Value size = 1;   // number of cells (1 for scalars)
+  Value init = 0;   // initializer, e.g. `= {0}` or `= 0`
+  SourceLoc loc;
+};
+
+struct TransactionDecl {
+  std::string name;          // function name, e.g. "flowlet"
+  std::string packet_param;  // parameter name, normally "pkt"
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<DefineDecl> defines;
+  std::vector<FieldDecl> packet_fields;
+  std::vector<StateDecl> state_vars;
+  TransactionDecl transaction;
+
+  const StateDecl* find_state(const std::string& name) const {
+    for (const auto& s : state_vars)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  bool has_packet_field(const std::string& name) const {
+    for (const auto& f : packet_fields)
+      if (f.name == name) return true;
+    return false;
+  }
+
+  Program clone() const;
+  std::string str() const;
+};
+
+}  // namespace domino

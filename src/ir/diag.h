@@ -1,0 +1,71 @@
+// Source locations and compiler diagnostics.
+//
+// The Domino compiler is all-or-nothing (§4): any failure — lexical, syntactic,
+// semantic, resource overflow or a codelet that no atom can implement — raises
+// a CompileError carrying the failure phase, so callers can distinguish
+// "your program is ill-formed" from "this target cannot run it at line rate".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace domino {
+
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  std::string str() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+enum class CompilePhase {
+  kLex,
+  kParse,
+  kSema,
+  kNormalize,
+  kPipeline,
+  kResource,   // pipeline width/depth exceeded on the target
+  kMapping,    // a codelet fits no atom template of the target
+};
+
+inline const char* phase_name(CompilePhase p) {
+  switch (p) {
+    case CompilePhase::kLex: return "lex";
+    case CompilePhase::kParse: return "parse";
+    case CompilePhase::kSema: return "sema";
+    case CompilePhase::kNormalize: return "normalize";
+    case CompilePhase::kPipeline: return "pipeline";
+    case CompilePhase::kResource: return "resource";
+    case CompilePhase::kMapping: return "mapping";
+  }
+  return "?";
+}
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(CompilePhase phase, SourceLoc loc, const std::string& message)
+      : std::runtime_error(std::string(phase_name(phase)) + " error at " +
+                           loc.str() + ": " + message),
+        phase_(phase),
+        loc_(loc),
+        message_(message) {}
+
+  CompileError(CompilePhase phase, const std::string& message)
+      : std::runtime_error(std::string(phase_name(phase)) + " error: " +
+                           message),
+        phase_(phase),
+        message_(message) {}
+
+  CompilePhase phase() const { return phase_; }
+  SourceLoc loc() const { return loc_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  CompilePhase phase_;
+  SourceLoc loc_{};
+  std::string message_;
+};
+
+}  // namespace domino

@@ -1,0 +1,43 @@
+// Domino intrinsics (§3.1): hardware accelerators invoked like functions.
+//
+// The compiler uses an intrinsic's signature for dependency analysis and
+// supplies a canned run-time implementation; it does not look inside.  Each
+// intrinsic belongs to a hardware unit class; a Banzai target advertises which
+// unit classes it provides.  All paper targets provide hash units; none
+// provides a math unit — that is why CoDel (which needs a square root) cannot
+// be mapped, and why the look-up-table extension target (§5.3 future work)
+// exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "banzai/value.h"
+
+namespace domino {
+
+enum class IntrinsicUnit {
+  kHash,  // hash generators, available on every Banzai target
+  kMath,  // approximate math (sqrt), only on the LUT-extended target
+};
+
+struct IntrinsicInfo {
+  std::string name;
+  int arity;
+  IntrinsicUnit unit;
+};
+
+// Returns metadata for `name`, or nullopt if not an intrinsic.
+std::optional<IntrinsicInfo> intrinsic_info(const std::string& name);
+
+// Canned implementations.  Deterministic: interpreter, synthesis and the
+// Banzai simulator share these definitions bit-for-bit.
+banzai::Value eval_intrinsic(const std::string& name,
+                             const std::vector<banzai::Value>& args);
+
+// Integer square root (floor), used by the CoDel control law.
+std::int32_t isqrt(std::int32_t v);
+
+}  // namespace domino

@@ -1,0 +1,100 @@
+// Operators shared by the AST, three-address code, atom templates and the
+// synthesis engine, together with their (total) evaluation semantics.
+#pragma once
+
+#include <string>
+
+#include "banzai/value.h"
+
+namespace domino {
+
+using banzai::Value;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr,
+  kBitAnd, kBitOr, kBitXor,
+  kLAnd, kLOr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+};
+
+enum class UnOp { kNeg, kLNot, kBitNot };
+
+inline const char* binop_str(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+inline const char* unop_str(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kLNot: return "!";
+    case UnOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+inline bool is_relational(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: case BinOp::kLe: case BinOp::kGt:
+    case BinOp::kGe: case BinOp::kEq: case BinOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline Value eval_binop(BinOp op, Value a, Value b) {
+  using namespace banzai;
+  switch (op) {
+    case BinOp::kAdd: return wrap_add(a, b);
+    case BinOp::kSub: return wrap_sub(a, b);
+    case BinOp::kMul: return wrap_mul(a, b);
+    case BinOp::kDiv: return total_div(a, b);
+    case BinOp::kMod: return total_mod(a, b);
+    case BinOp::kShl: return shift_left(a, b);
+    case BinOp::kShr: return shift_right(a, b);
+    case BinOp::kBitAnd: return a & b;
+    case BinOp::kBitOr: return a | b;
+    case BinOp::kBitXor: return a ^ b;
+    case BinOp::kLAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case BinOp::kLOr: return (a != 0 || b != 0) ? 1 : 0;
+    case BinOp::kLt: return a < b ? 1 : 0;
+    case BinOp::kLe: return a <= b ? 1 : 0;
+    case BinOp::kGt: return a > b ? 1 : 0;
+    case BinOp::kGe: return a >= b ? 1 : 0;
+    case BinOp::kEq: return a == b ? 1 : 0;
+    case BinOp::kNe: return a != b ? 1 : 0;
+  }
+  return 0;
+}
+
+inline Value eval_unop(UnOp op, Value a) {
+  switch (op) {
+    case UnOp::kNeg: return banzai::wrap_sub(0, a);
+    case UnOp::kLNot: return a == 0 ? 1 : 0;
+    case UnOp::kBitNot: return ~a;
+  }
+  return 0;
+}
+
+}  // namespace domino

@@ -1,0 +1,99 @@
+#include "ir/pvsm.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace domino {
+
+std::set<std::string> Codelet::state_vars() const {
+  std::set<std::string> out;
+  for (const auto& s : stmts)
+    if (s.touches_state()) out.insert(s.state_var);
+  return out;
+}
+
+bool Codelet::has_intrinsic() const {
+  return std::any_of(stmts.begin(), stmts.end(), [](const TacStmt& s) {
+    return s.kind == TacStmt::Kind::kIntrinsic;
+  });
+}
+
+std::string Codelet::intrinsic_name() const {
+  for (const auto& s : stmts)
+    if (s.kind == TacStmt::Kind::kIntrinsic) return s.intrinsic;
+  return {};
+}
+
+std::vector<std::string> Codelet::external_inputs() const {
+  std::vector<std::string> out;
+  std::set<std::string> written;
+  std::set<std::string> seen;
+  for (const auto& s : stmts) {
+    for (const auto& f : s.fields_read()) {
+      if (!written.count(f) && !seen.count(f)) {
+        out.push_back(f);
+        seen.insert(f);
+      }
+    }
+    if (auto w = s.field_written()) written.insert(*w);
+  }
+  return out;
+}
+
+std::vector<std::string> Codelet::fields_written() const {
+  std::vector<std::string> out;
+  for (const auto& s : stmts)
+    if (auto w = s.field_written()) out.push_back(*w);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Codelet::read_flanks() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& s : stmts)
+    if (s.kind == TacStmt::Kind::kReadState)
+      out.emplace_back(s.state_var, s.dst);
+  return out;
+}
+
+std::string Codelet::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    if (i) os << " ";
+    os << stmts[i].str();
+  }
+  return os.str();
+}
+
+std::size_t CodeletPipeline::max_codelets_per_stage() const {
+  std::size_t m = 0;
+  for (const auto& s : stages) m = std::max(m, s.size());
+  return m;
+}
+
+std::size_t CodeletPipeline::num_codelets() const {
+  std::size_t n = 0;
+  for (const auto& s : stages) n += s.size();
+  return n;
+}
+
+std::size_t CodeletPipeline::num_stateful_codelets() const {
+  std::size_t n = 0;
+  for (const auto& s : stages)
+    for (const auto& c : s)
+      if (c.is_stateful()) ++n;
+  return n;
+}
+
+std::string CodeletPipeline::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    os << "=== Stage " << (i + 1) << " ===\n";
+    for (const auto& c : stages[i]) {
+      os << (c.is_stateful() ? "  [stateful] " : "  [stateless] ") << c.str()
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace domino

@@ -1,0 +1,53 @@
+// The Pipelined Virtual Switch Machine (PVSM, §4.2): the compiler's
+// intermediate representation.  A codelet is a sequential block of
+// three-address code statements (one strongly connected component of the
+// dependency graph); the PVSM is a pipeline of codelets with no computational
+// or resource constraints — those are imposed later, during code generation.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/tac.h"
+
+namespace domino {
+
+struct Codelet {
+  std::vector<TacStmt> stmts;  // topologically ordered within the codelet
+
+  // State variables this codelet reads or writes.  Non-empty => stateful.
+  std::set<std::string> state_vars() const;
+  bool is_stateful() const { return !state_vars().empty(); }
+
+  // True if the codelet invokes a hardware accelerator (hash/math unit).
+  bool has_intrinsic() const;
+  // Name of the intrinsic if has_intrinsic().
+  std::string intrinsic_name() const;
+
+  // Packet fields read from outside the codelet (live-ins).
+  std::vector<std::string> external_inputs() const;
+  // Packet fields written by the codelet (in statement order).
+  std::vector<std::string> fields_written() const;
+  // Fields holding the pre-update value of each state variable (read flanks),
+  // keyed in the order of state_vars().
+  std::vector<std::pair<std::string, std::string>> read_flanks() const;
+
+  std::string str() const;
+};
+
+// One stage of the PVSM: codelets that execute in parallel.
+using PvsmStage = std::vector<Codelet>;
+
+struct CodeletPipeline {
+  std::vector<PvsmStage> stages;
+
+  std::size_t num_stages() const { return stages.size(); }
+  std::size_t max_codelets_per_stage() const;
+  std::size_t num_codelets() const;
+  std::size_t num_stateful_codelets() const;
+
+  std::string str() const;
+};
+
+}  // namespace domino

@@ -1,0 +1,172 @@
+#include "ir/tac.h"
+
+#include <sstream>
+
+#include "ir/intrinsics.h"
+
+namespace domino {
+
+std::vector<std::string> TacStmt::fields_read() const {
+  std::vector<std::string> out;
+  auto add = [&out](const Operand& o) {
+    if (o.is_field()) out.push_back(o.field);
+  };
+  switch (kind) {
+    case Kind::kCopy:
+    case Kind::kUnary:
+      add(a);
+      break;
+    case Kind::kBinary:
+      add(a);
+      add(b);
+      break;
+    case Kind::kTernary:
+      add(a);
+      add(b);
+      add(c);
+      break;
+    case Kind::kIntrinsic:
+      for (const auto& arg : args) add(arg);
+      break;
+    case Kind::kReadState:
+      if (state_is_array) add(index);
+      break;
+    case Kind::kWriteState:
+      add(a);
+      if (state_is_array) add(index);
+      break;
+  }
+  return out;
+}
+
+std::optional<std::string> TacStmt::field_written() const {
+  if (kind == Kind::kWriteState) return std::nullopt;
+  return dst;
+}
+
+std::string TacStmt::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kCopy:
+      os << "pkt." << dst << " = " << a.str() << ";";
+      break;
+    case Kind::kUnary:
+      os << "pkt." << dst << " = " << unop_str(un_op) << a.str() << ";";
+      break;
+    case Kind::kBinary:
+      os << "pkt." << dst << " = " << a.str() << " " << binop_str(op) << " "
+         << b.str() << ";";
+      break;
+    case Kind::kTernary:
+      os << "pkt." << dst << " = " << a.str() << " ? " << b.str() << " : "
+         << c.str() << ";";
+      break;
+    case Kind::kIntrinsic: {
+      os << "pkt." << dst << " = " << intrinsic << "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        os << args[i].str();
+      }
+      os << ")";
+      if (intrinsic_mod > 0) os << " % " << intrinsic_mod;
+      os << ";";
+      break;
+    }
+    case Kind::kReadState:
+      os << "pkt." << dst << " = " << state_var;
+      if (state_is_array) os << "[" << index.str() << "]";
+      os << ";";
+      break;
+    case Kind::kWriteState:
+      os << state_var;
+      if (state_is_array) os << "[" << index.str() << "]";
+      os << " = " << a.str() << ";";
+      break;
+  }
+  return os.str();
+}
+
+std::string TacProgram::str() const {
+  std::ostringstream os;
+  for (const auto& s : stmts) os << s.str() << "\n";
+  return os.str();
+}
+
+Value TacEvaluator::read_field(
+    const std::vector<std::pair<std::string, Value>>& fields,
+    const std::string& name) {
+  for (const auto& [k, v] : fields)
+    if (k == name) return v;
+  return 0;
+}
+
+void TacEvaluator::write_field(
+    std::vector<std::pair<std::string, Value>>& fields,
+    const std::string& name, Value v) {
+  for (auto& [k, val] : fields) {
+    if (k == name) {
+      val = v;
+      return;
+    }
+  }
+  fields.emplace_back(name, v);
+}
+
+Value TacEvaluator::eval_operand(
+    const Operand& op,
+    const std::vector<std::pair<std::string, Value>>& fields) {
+  return op.is_const() ? op.cst : read_field(fields, op.field);
+}
+
+void TacEvaluator::exec(const TacStmt& stmt,
+                        std::vector<std::pair<std::string, Value>>& fields,
+                        banzai::StateStore& state) {
+  switch (stmt.kind) {
+    case TacStmt::Kind::kCopy:
+      write_field(fields, stmt.dst, eval_operand(stmt.a, fields));
+      break;
+    case TacStmt::Kind::kUnary:
+      write_field(fields, stmt.dst,
+                  eval_unop(stmt.un_op, eval_operand(stmt.a, fields)));
+      break;
+    case TacStmt::Kind::kBinary:
+      write_field(fields, stmt.dst,
+                  eval_binop(stmt.op, eval_operand(stmt.a, fields),
+                             eval_operand(stmt.b, fields)));
+      break;
+    case TacStmt::Kind::kTernary:
+      write_field(fields, stmt.dst,
+                  eval_operand(stmt.a, fields) != 0
+                      ? eval_operand(stmt.b, fields)
+                      : eval_operand(stmt.c, fields));
+      break;
+    case TacStmt::Kind::kIntrinsic: {
+      std::vector<Value> argv;
+      argv.reserve(stmt.args.size());
+      for (const auto& a : stmt.args) argv.push_back(eval_operand(a, fields));
+      Value v = eval_intrinsic(stmt.intrinsic, argv);
+      if (stmt.intrinsic_mod > 0) v = banzai::total_mod(v, stmt.intrinsic_mod);
+      write_field(fields, stmt.dst, v);
+      break;
+    }
+    case TacStmt::Kind::kReadState: {
+      auto& var = state.var(stmt.state_var);
+      Value v = stmt.state_is_array
+                    ? var.load(eval_operand(stmt.index, fields))
+                    : var.load_scalar();
+      write_field(fields, stmt.dst, v);
+      break;
+    }
+    case TacStmt::Kind::kWriteState: {
+      auto& var = state.var(stmt.state_var);
+      Value v = eval_operand(stmt.a, fields);
+      if (stmt.state_is_array)
+        var.store(eval_operand(stmt.index, fields), v);
+      else
+        var.store_scalar(v);
+      break;
+    }
+  }
+}
+
+}  // namespace domino

@@ -1,0 +1,126 @@
+// Three-address code (§4.1 "Flattening to three-address code").
+//
+// After normalization every instruction is either a read/write of a state
+// variable or an operation on packet fields:
+//     pkt.f = pkt.g op pkt.h;          (binary; operands may be constants)
+//     pkt.f = pkt.c ? pkt.a : pkt.b;   (conditional — 4 arguments)
+//     pkt.f = intrinsic(...) [% mod];  (hash units etc.)
+//     pkt.f = state;  pkt.f = state[pkt.idx];   (read flank)
+//     state = pkt.f;  state[pkt.idx] = pkt.f;   (write flank)
+//
+// The `% mod` attachment on intrinsics reflects hash generator hardware that
+// produces an index into a memory of a given size; the front end folds
+// `hashK(...) % CONST` into a single unit, mirroring the flowlet example
+// (Figure 3b keeps `hash2(...) % NUM_FLOWLETS` as one box).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "banzai/state.h"
+#include "banzai/value.h"
+#include "ir/diag.h"
+#include "ir/ops.h"
+
+namespace domino {
+
+struct Operand {
+  enum class Kind { kField, kConst };
+  Kind kind = Kind::kConst;
+  std::string field;
+  Value cst = 0;
+
+  static Operand make_field(std::string name) {
+    Operand o;
+    o.kind = Kind::kField;
+    o.field = std::move(name);
+    return o;
+  }
+  static Operand make_const(Value v) {
+    Operand o;
+    o.kind = Kind::kConst;
+    o.cst = v;
+    return o;
+  }
+
+  bool is_field() const { return kind == Kind::kField; }
+  bool is_const() const { return kind == Kind::kConst; }
+  std::string str() const {
+    return is_field() ? ("pkt." + field) : std::to_string(cst);
+  }
+  bool operator==(const Operand&) const = default;
+};
+
+struct TacStmt {
+  enum class Kind {
+    kCopy,       // dst = a
+    kUnary,      // dst = un_op a
+    kBinary,     // dst = a op b
+    kTernary,    // dst = a ? b : c
+    kIntrinsic,  // dst = intrinsic(args) [% intrinsic_mod]
+    kReadState,  // dst = state_var[index?]
+    kWriteState, // state_var[index?] = a
+  };
+
+  Kind kind = Kind::kCopy;
+  SourceLoc loc;
+
+  std::string dst;  // destination packet field (empty for kWriteState)
+  Operand a, b, c;
+  UnOp un_op = UnOp::kNeg;
+  BinOp op = BinOp::kAdd;
+
+  std::string state_var;
+  bool state_is_array = false;
+  Operand index;  // a packet field after normalization
+
+  std::string intrinsic;
+  std::vector<Operand> args;
+  Value intrinsic_mod = 0;  // 0 means "no modulus"
+
+  bool reads_state() const { return kind == Kind::kReadState; }
+  bool writes_state() const { return kind == Kind::kWriteState; }
+  bool touches_state() const { return reads_state() || writes_state(); }
+
+  // Packet fields read by this statement (including array indices).
+  std::vector<std::string> fields_read() const;
+  // Packet field written, if any.
+  std::optional<std::string> field_written() const;
+
+  std::string str() const;
+  bool operator==(const TacStmt&) const = default;
+};
+
+// A normalized transaction: straight-line three-address code plus the state
+// declarations it references.
+struct TacProgram {
+  std::vector<TacStmt> stmts;
+  std::string str() const;
+};
+
+// --- Evaluation -------------------------------------------------------------
+
+// Field environment used by TAC evaluation; missing fields read as zero
+// (packet temporaries start uninitialized-as-zero, matching the simulator).
+using FieldEnv = std::vector<std::pair<std::string, Value>>;
+
+class TacEvaluator {
+ public:
+  // Executes `stmt` against a field map and the full state store (arrays
+  // supported; index operands are looked up in the field map).
+  static void exec(const TacStmt& stmt,
+                   std::vector<std::pair<std::string, Value>>& fields,
+                   banzai::StateStore& state);
+
+  static Value read_field(
+      const std::vector<std::pair<std::string, Value>>& fields,
+      const std::string& name);
+  static void write_field(std::vector<std::pair<std::string, Value>>& fields,
+                          const std::string& name, Value v);
+  static Value eval_operand(
+      const Operand& op,
+      const std::vector<std::pair<std::string, Value>>& fields);
+};
+
+}  // namespace domino

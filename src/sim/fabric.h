@@ -1,0 +1,76 @@
+// A miniature leaf-spine fabric model for the CONGA example: a set of paths
+// between leaf pairs whose utilizations evolve as flows are placed on them.
+// This provides the `util` / `path_id` feedback stream CONGA consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace netsim {
+
+class LeafSpineFabric {
+ public:
+  LeafSpineFabric(int num_leaves, int num_paths, std::uint64_t seed)
+      : num_leaves_(num_leaves),
+        util_(static_cast<std::size_t>(num_leaves) *
+                  static_cast<std::size_t>(num_paths),
+              0),
+        num_paths_(num_paths),
+        rng_(seed) {}
+
+  int num_paths() const { return num_paths_; }
+  int num_leaves() const { return num_leaves_; }
+
+  // Adds `bytes` of load to (leaf, path); returns the new utilization.
+  std::int32_t add_load(int leaf, int path, std::int32_t bytes) {
+    auto& u = util_[index(leaf, path)];
+    u += bytes;
+    return u;
+  }
+
+  // Ages all paths by draining a fraction of their load (called per epoch).
+  void drain(std::int32_t bytes) {
+    for (auto& u : util_) u = u > bytes ? u - bytes : 0;
+  }
+
+  // Random background churn: some paths pick up cross-traffic.
+  void churn(std::int32_t max_bytes) {
+    for (auto& u : util_)
+      if (rng_.uniform() < 0.2)
+        u += static_cast<std::int32_t>(rng_.below(
+            static_cast<std::uint64_t>(max_bytes)));
+  }
+
+  std::int32_t utilization(int leaf, int path) const {
+    return util_[index(leaf, path)];
+  }
+
+  // The true best (least utilized) path towards `leaf`.
+  int best_path(int leaf) const {
+    int best = 0;
+    std::int32_t best_util = utilization(leaf, 0);
+    for (int p = 1; p < num_paths_; ++p) {
+      if (utilization(leaf, p) < best_util) {
+        best_util = utilization(leaf, p);
+        best = p;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::size_t index(int leaf, int path) const {
+    return static_cast<std::size_t>(leaf) *
+               static_cast<std::size_t>(num_paths_) +
+           static_cast<std::size_t>(path);
+  }
+
+  int num_leaves_;
+  std::vector<std::int32_t> util_;
+  int num_paths_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace netsim

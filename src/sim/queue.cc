@@ -1,0 +1,45 @@
+#include "sim/queue.h"
+
+#include <algorithm>
+
+namespace netsim {
+
+std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
+                                        const QueueConfig& config) {
+  std::vector<QueueSample> samples;
+  samples.reserve(trace.size());
+
+  // Virtual finish time of the last byte currently in the queue, measured in
+  // "byte-ticks" at the service rate.
+  std::int64_t busy_until = 0;       // tick when the server drains completely
+  std::deque<std::pair<std::int64_t, std::int32_t>> backlog;  // (departs, sz)
+
+  for (const auto& p : trace) {
+    const std::int64_t now = p.arrival;
+    // Drop served packets from the backlog view.
+    while (!backlog.empty() && backlog.front().first <= now)
+      backlog.pop_front();
+
+    std::int64_t qbytes = 0;
+    for (const auto& [dep, sz] : backlog) qbytes += sz;
+
+    const std::int64_t start = std::max<std::int64_t>(now, busy_until);
+    const std::int64_t service_ticks =
+        (p.size_bytes + config.bytes_per_tick - 1) / config.bytes_per_tick;
+    const std::int64_t departs = start + std::max<std::int64_t>(1, service_ticks);
+    busy_until = departs;
+    backlog.emplace_back(departs, p.size_bytes);
+
+    QueueSample s;
+    s.arrival = p.arrival;
+    s.departure = static_cast<std::int32_t>(departs);
+    s.sojourn = static_cast<std::int32_t>(departs - now);
+    s.qlen_bytes = static_cast<std::int32_t>(qbytes);
+    s.qlen_pkts = static_cast<std::int32_t>(backlog.size()) - 1;
+    s.size_bytes = p.size_bytes;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+}  // namespace netsim

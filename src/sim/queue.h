@@ -1,0 +1,31 @@
+// A deterministic FIFO queue simulator: produces per-packet sojourn times and
+// queue lengths for the AQM algorithms (HULL, AVQ, CoDel).  Service is
+// byte-based at a fixed line rate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/tracegen.h"
+
+namespace netsim {
+
+struct QueueSample {
+  std::int32_t arrival = 0;       // packet arrival tick
+  std::int32_t departure = 0;     // tick the packet finished service
+  std::int32_t sojourn = 0;       // departure - arrival (queueing delay)
+  std::int32_t qlen_bytes = 0;    // backlog on arrival, bytes
+  std::int32_t qlen_pkts = 0;     // backlog on arrival, packets
+  std::int32_t size_bytes = 0;
+};
+
+struct QueueConfig {
+  std::int32_t bytes_per_tick = 1000;  // service rate
+};
+
+// Runs the trace through the queue; one sample per packet, in arrival order.
+std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
+                                        const QueueConfig& config);
+
+}  // namespace netsim

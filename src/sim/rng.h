@@ -1,0 +1,72 @@
+// Deterministic random-number generation for workloads.
+//
+// Self-contained SplitMix64 / xoshiro256** implementation so traces are
+// reproducible bit-for-bit across platforms and standard-library versions
+// (std::mt19937 is portable, but distributions are not).
+#pragma once
+
+#include <cstdint>
+
+namespace netsim {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n) without modulo bias for small n (Lemire's method).
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace netsim

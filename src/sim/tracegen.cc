@@ -1,0 +1,71 @@
+#include "sim/tracegen.h"
+
+#include <algorithm>
+
+namespace netsim {
+
+std::vector<TracePacket> generate_flow_trace(const FlowTraceConfig& config) {
+  Xoshiro256 rng(config.seed);
+  Zipf zipf(config.num_flows, config.zipf_skew);
+
+  struct FlowState {
+    std::int32_t next_arrival = 0;
+    bool in_burst = false;
+  };
+  std::vector<FlowState> flows(config.num_flows);
+
+  std::vector<TracePacket> trace;
+  trace.reserve(config.num_packets);
+  std::int32_t clock = 0;
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    const auto f = static_cast<std::int32_t>(zipf.sample(rng));
+    FlowState& st = flows[static_cast<std::size_t>(f)];
+
+    clock += 1;  // global line clock: one packet per tick
+    std::int32_t arrival;
+    if (!st.in_burst || clock - st.next_arrival > config.inter_burst_gap) {
+      // new flowlet: the flow was idle long enough
+      arrival = std::max(clock, st.next_arrival + config.inter_burst_gap);
+      st.in_burst = true;
+    } else {
+      arrival = std::max(clock, st.next_arrival + config.intra_burst_gap);
+    }
+    st.next_arrival = arrival;
+    if (rng.uniform() < config.burst_end_prob) st.in_burst = false;
+
+    TracePacket p;
+    p.arrival = arrival;
+    p.flow_id = f;
+    p.sport = 1024 + (f % 50000);
+    p.dport = (f % 7 == 0) ? 80 : 443;
+    p.srcip = 0x0a000000 + f;
+    p.dstip = 0x0a800000 + (f % 512);
+    p.proto = (f % 10 == 0) ? 17 : 6;
+    p.size_bytes =
+        static_cast<std::int32_t>(rng.uniform() < 0.3 ? 64 : rng.range(200, 1500));
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+std::vector<TracePacket> generate_arrival_trace(const ArrivalTraceConfig& c) {
+  Xoshiro256 rng(c.seed);
+  std::vector<TracePacket> trace;
+  trace.reserve(c.num_packets);
+  std::int32_t clock = 0;
+  for (std::size_t i = 0; i < c.num_packets; ++i) {
+    // Geometric inter-arrival with mean 1/load.
+    const double u = rng.uniform();
+    const int gap = 1 + static_cast<int>(-std::log(1.0 - u) / c.load);
+    clock += gap;
+    TracePacket p;
+    p.arrival = clock;
+    p.flow_id = static_cast<std::int32_t>(rng.below(64));
+    p.size_bytes = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(rng.range(64, 2 * c.mean_size_bytes), 64, 1500));
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+}  // namespace netsim

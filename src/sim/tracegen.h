@@ -1,0 +1,52 @@
+// Synthetic packet traces: the substitutes for production traces (DESIGN.md
+// substitution #4).  All generators are deterministic under their seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/zipf.h"
+
+namespace netsim {
+
+struct TracePacket {
+  std::int32_t arrival = 0;     // ticks
+  std::int32_t flow_id = 0;
+  std::int32_t sport = 0;
+  std::int32_t dport = 0;
+  std::int32_t srcip = 0;
+  std::int32_t dstip = 0;
+  std::int32_t proto = 0;
+  std::int32_t size_bytes = 0;
+};
+
+struct FlowTraceConfig {
+  std::size_t num_packets = 10000;
+  std::size_t num_flows = 1000;
+  double zipf_skew = 1.1;       // flow popularity skew
+  // Flowlet burstiness: packets within a burst are back-to-back; bursts are
+  // separated by idle gaps larger than the flowlet threshold.
+  int intra_burst_gap = 1;      // ticks between packets of one burst
+  int inter_burst_gap = 50;     // idle gap starting a new flowlet
+  double burst_end_prob = 0.15; // P(burst ends after each packet)
+  std::uint64_t seed = 1;
+};
+
+// TCP-like bursty trace with Zipfian flow popularity.  Per-flow arrival
+// clocks advance so that a flow's packets form bursts ("flowlets") separated
+// by gaps, the traffic pattern flowlet switching exploits.
+std::vector<TracePacket> generate_flow_trace(const FlowTraceConfig& config);
+
+// Simple Poisson-ish arrival trace (geometric inter-arrivals) used by the
+// AQM examples.
+struct ArrivalTraceConfig {
+  std::size_t num_packets = 10000;
+  double load = 0.9;            // offered load relative to service rate
+  int mean_size_bytes = 800;
+  std::uint64_t seed = 2;
+};
+
+std::vector<TracePacket> generate_arrival_trace(const ArrivalTraceConfig& c);
+
+}  // namespace netsim

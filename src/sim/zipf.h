@@ -1,0 +1,48 @@
+// Zipfian sampler over {0, ..., n-1}: flow popularity in real traffic is
+// heavy-tailed, which is exactly what sketch-based measurement algorithms
+// (heavy hitters, NetFlow) are designed for.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace netsim {
+
+class Zipf {
+ public:
+  Zipf(std::size_t n, double skew) : cdf_(n) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), skew) / total;
+      cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;
+  }
+
+  std::size_t sample(Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace netsim

@@ -1,0 +1,105 @@
+#include "synthesis/spec.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/intrinsics.h"
+
+namespace synthesis {
+
+using domino::TacStmt;
+
+CodeletSpec::CodeletSpec(const domino::Codelet& codelet,
+                         std::vector<std::string> liveouts)
+    : codelet_(codelet), liveout_fields_(std::move(liveouts)) {
+  // State variables in first-touch order (stable across runs).
+  std::set<std::string> seen;
+  for (const auto& s : codelet_.stmts) {
+    if (s.touches_state() && !seen.count(s.state_var)) {
+      seen.insert(s.state_var);
+      state_vars_.push_back(s.state_var);
+    }
+  }
+  input_fields_ = codelet_.external_inputs();
+}
+
+std::vector<Value> CodeletSpec::constants() const {
+  std::set<Value> consts;
+  auto add = [&consts](const domino::Operand& o) {
+    if (o.is_const()) consts.insert(o.cst);
+  };
+  for (const auto& s : codelet_.stmts) {
+    add(s.a);
+    add(s.b);
+    add(s.c);
+    for (const auto& arg : s.args) add(arg);
+  }
+  return {consts.begin(), consts.end()};
+}
+
+bool CodeletSpec::has_unmappable_op(std::string* reason,
+                                    bool allow_lut_intrinsics) const {
+  for (const auto& s : codelet_.stmts) {
+    if (s.kind == TacStmt::Kind::kIntrinsic && !allow_lut_intrinsics) {
+      if (reason)
+        *reason = "stateful codelet calls intrinsic '" + s.intrinsic +
+                  "', which no stateful atom provides";
+      return true;
+    }
+    if (s.kind == TacStmt::Kind::kBinary &&
+        (s.op == domino::BinOp::kMul || s.op == domino::BinOp::kDiv ||
+         s.op == domino::BinOp::kMod)) {
+      if (reason)
+        *reason = std::string("stateful codelet uses operator '") +
+                  domino::binop_str(s.op) +
+                  "', which no stateful atom provides";
+      return true;
+    }
+  }
+  return false;
+}
+
+void CodeletSpec::eval(std::span<const Value> states_in,
+                       std::span<const Value> fields,
+                       std::span<Value> states_out,
+                       std::span<Value> liveouts) const {
+  // Scalar state view: valid because all accesses to an array within one
+  // transaction use the same index (enforced by sema).
+  std::vector<Value> state_val(states_in.begin(), states_in.end());
+  // Small linear-probed field environment.
+  std::vector<std::pair<std::string, Value>> env;
+  env.reserve(input_fields_.size() + codelet_.stmts.size());
+  for (std::size_t i = 0; i < input_fields_.size(); ++i)
+    env.emplace_back(input_fields_[i], fields[i]);
+
+  auto state_index = [this](const std::string& name) {
+    for (std::size_t k = 0; k < state_vars_.size(); ++k)
+      if (state_vars_[k] == name) return k;
+    return std::size_t{0};
+  };
+
+  using E = domino::TacEvaluator;
+  for (const auto& s : codelet_.stmts) {
+    switch (s.kind) {
+      case TacStmt::Kind::kReadState:
+        E::write_field(env, s.dst, state_val[state_index(s.state_var)]);
+        break;
+      case TacStmt::Kind::kWriteState:
+        state_val[state_index(s.state_var)] = E::eval_operand(s.a, env);
+        break;
+      default: {
+        // Pure packet-field statement; no state store needed.
+        static thread_local banzai::StateStore empty_store;
+        E::exec(s, env, empty_store);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < state_vars_.size(); ++k)
+    states_out[k] = state_val[k];
+  for (std::size_t i = 0; i < liveout_fields_.size(); ++i)
+    liveouts[i] = E::read_field(env, liveout_fields_[i]);
+}
+
+}  // namespace synthesis

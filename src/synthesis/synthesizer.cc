@@ -1,0 +1,624 @@
+#include "synthesis/synthesizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <random>
+#include <set>
+#include <sstream>
+
+namespace synthesis {
+
+using atoms::ArmConfig;
+using atoms::ArmMode;
+using atoms::LiveOutBinding;
+using atoms::OperandSel;
+using atoms::PredConfig;
+using atoms::RelKind;
+using atoms::StatefulConfig;
+using atoms::StatefulTemplateInfo;
+
+namespace {
+
+struct Vec {
+  std::vector<Value> states;
+  std::vector<Value> fields;
+};
+
+struct SpecOut {
+  std::vector<Value> states;
+  std::vector<Value> liveouts;
+};
+
+using Subset = std::vector<int>;  // indices into the vector set
+
+class Search {
+ public:
+  Search(const CodeletSpec& spec, const StatefulTemplateInfo& tmpl,
+         const SynthOptions& opts)
+      : spec_(spec), tmpl_(tmpl), opts_(opts) {}
+
+  SynthResult run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    SynthResult result;
+    result.input_fields = spec_.input_fields();
+
+    const bool has_lut =
+        std::find(tmpl_.allowed_modes.begin(), tmpl_.allowed_modes.end(),
+                  ArmMode::kLutAdd) != tmpl_.allowed_modes.end();
+    std::string reason;
+    if (spec_.num_states() == 0) {
+      result.failure_reason = "codelet touches no state variable";
+    } else if (spec_.num_states() >
+               static_cast<std::size_t>(tmpl_.num_states)) {
+      result.failure_reason =
+          "codelet updates " + std::to_string(spec_.num_states()) +
+          " state variables but the " + tmpl_.name + " atom owns only " +
+          std::to_string(tmpl_.num_states);
+    } else if (spec_.has_unmappable_op(&reason, has_lut)) {
+      result.failure_reason = reason;
+    }
+    if (!result.failure_reason.empty()) {
+      finish(result, t0);
+      return result;
+    }
+
+    build_constant_pools();
+    build_initial_vectors();
+
+    for (int iter = 0; iter < opts_.max_cegis_iters; ++iter) {
+      stats_.cegis_iterations = iter + 1;
+      evaluate_spec();
+
+      std::vector<LiveOutBinding> bindings;
+      if (!bind_liveouts(&bindings)) {
+        result.failure_reason =
+            "live-out field '" + unbindable_liveout_ +
+            "' is neither the old nor the new value of a state variable";
+        finish(result, t0);
+        return result;
+      }
+
+      std::optional<StatefulConfig> config = search_tree();
+      if (!config.has_value()) {
+        result.failure_reason = "no hole assignment of the " + tmpl_.name +
+                                " template matches the codelet";
+        finish(result, t0);
+        return result;
+      }
+
+      Vec counterexample;
+      if (verify(*config, bindings, &counterexample)) {
+        result.success = true;
+        result.config = *config;
+        result.liveouts = bindings;
+        finish(result, t0);
+        return result;
+      }
+      vectors_.push_back(std::move(counterexample));
+    }
+    result.failure_reason = "CEGIS iteration limit exceeded";
+    finish(result, t0);
+    return result;
+  }
+
+ private:
+  void finish(SynthResult& result, std::chrono::steady_clock::time_point t0) {
+    stats_.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    result.stats = stats_;
+  }
+
+  void build_constant_pools() {
+    std::set<Value> pool;
+    if (opts_.seed_constants) {
+      for (Value v : {-2, -1, 0, 1, 2}) pool.insert(v);
+      for (Value c : spec_.constants()) {
+        pool.insert(c);
+        pool.insert(banzai::wrap_add(c, 1));
+        pool.insert(banzai::wrap_sub(c, 1));
+      }
+    } else {
+      const Value lo = -(Value{1} << (opts_.const_bits - 1));
+      const Value hi = (Value{1} << (opts_.const_bits - 1)) - 1;
+      for (Value v = lo; v <= hi; ++v) pool.insert(v);
+      // Constants appearing in the codelet stay available even if they do
+      // not fit const_bits, so that wider programs are still mappable —
+      // the sweep measures cost, not artificial failures.
+      for (Value c : spec_.constants()) pool.insert(c);
+    }
+    const_pool_.assign(pool.begin(), pool.end());
+  }
+
+  void build_initial_vectors() {
+    const std::size_t n = spec_.num_states() + spec_.num_inputs();
+    std::set<Value> base = {0,  1,  -1, 2,  -2,  3,   5,
+                            -16, 15, 30, 99, -100, 1000};
+    for (Value c : spec_.constants()) {
+      base.insert(c);
+      base.insert(banzai::wrap_add(c, 1));
+      base.insert(banzai::wrap_sub(c, 1));
+    }
+    std::vector<Value> b(base.begin(), base.end());
+
+    auto make_vec = [this](auto&& fill) {
+      Vec v;
+      v.states.assign(spec_.num_states(), 0);
+      v.fields.assign(spec_.num_inputs(), 0);
+      fill(v);
+      return v;
+    };
+
+    vectors_.push_back(make_vec([](Vec&) {}));  // all zero
+    for (std::size_t i = 0; i < n; ++i) {
+      for (Value val : b) {
+        vectors_.push_back(make_vec([&](Vec& v) { slot(v, i) = val; }));
+      }
+    }
+    // Seeded small random vectors to break symmetric coincidences early.
+    std::mt19937 rng(opts_.seed);
+    std::uniform_int_distribution<Value> small(-8, 31);
+    std::uniform_int_distribution<Value> wide(INT32_MIN, INT32_MAX);
+    for (int k = 0; k < 30; ++k)
+      vectors_.push_back(make_vec([&](Vec& v) {
+        for (std::size_t i = 0; i < n; ++i) slot(v, i) = small(rng);
+      }));
+    for (int k = 0; k < 10; ++k)
+      vectors_.push_back(make_vec([&](Vec& v) {
+        for (std::size_t i = 0; i < n; ++i) slot(v, i) = wide(rng);
+      }));
+  }
+
+  Value& slot(Vec& v, std::size_t i) {
+    return i < v.states.size() ? v.states[i] : v.fields[i - v.states.size()];
+  }
+
+  void evaluate_spec() {
+    outs_.clear();
+    outs_.reserve(vectors_.size());
+    for (const Vec& v : vectors_) {
+      SpecOut o;
+      o.states.assign(spec_.num_states(), 0);
+      o.liveouts.assign(spec_.liveout_fields().size(), 0);
+      spec_.eval(v.states, v.fields, o.states, o.liveouts);
+      outs_.push_back(std::move(o));
+    }
+    arm_memo_.clear();
+  }
+
+  bool bind_liveouts(std::vector<LiveOutBinding>* bindings) {
+    bindings->clear();
+    for (std::size_t i = 0; i < spec_.liveout_fields().size(); ++i) {
+      bool bound = false;
+      for (std::size_t k = 0; k < spec_.num_states() && !bound; ++k) {
+        bool all_old = true, all_new = true;
+        for (std::size_t vi = 0; vi < vectors_.size(); ++vi) {
+          if (outs_[vi].liveouts[i] != vectors_[vi].states[k])
+            all_old = false;
+          if (outs_[vi].liveouts[i] != outs_[vi].states[k]) all_new = false;
+          if (!all_old && !all_new) break;
+        }
+        if (all_old || all_new) {
+          bindings->push_back({spec_.liveout_fields()[i],
+                               static_cast<int>(k), /*use_new=*/!all_old});
+          bound = true;
+        }
+      }
+      if (!bound) {
+        unbindable_liveout_ = spec_.liveout_fields()[i];
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // --- Predicate enumeration -----------------------------------------------
+
+  struct PredCand {
+    PredConfig cfg;
+    std::vector<char> truth;  // over all vectors_
+  };
+
+  std::vector<OperandSel> pred_operands() const {
+    std::vector<OperandSel> ops;
+    for (std::size_t k = 0; k < spec_.num_states(); ++k)
+      ops.push_back(OperandSel::state(static_cast<int>(k)));
+    for (std::size_t i = 0; i < spec_.num_inputs(); ++i)
+      ops.push_back(OperandSel::field(static_cast<int>(i)));
+    for (Value c : const_pool_) ops.push_back(OperandSel::constant(c));
+    return ops;
+  }
+
+  std::vector<PredCand> enumerate_preds() {
+    std::vector<PredCand> cands;
+    std::set<std::vector<char>> seen;
+
+    // The degenerate predicate first: gives simpler configurations priority
+    // and realizes hierarchy containment (e.g. PRAW with pred=true == RAW).
+    {
+      PredCand always;
+      always.cfg.rel = RelKind::kAlways;
+      always.truth.assign(vectors_.size(), 1);
+      seen.insert(always.truth);
+      cands.push_back(std::move(always));
+    }
+
+    const auto ops = pred_operands();
+    const RelKind rels[] = {RelKind::kLt, RelKind::kLe, RelKind::kGt,
+                            RelKind::kGe, RelKind::kEq, RelKind::kNe};
+    for (RelKind rel : rels) {
+      for (std::size_t ia = 0; ia < ops.size(); ++ia) {
+        for (std::size_t ib = 0; ib < ops.size(); ++ib) {
+          if (ia == ib) continue;
+          // Constant-vs-constant predicates are either kAlways or useless.
+          if (ops[ia].kind == OperandSel::Kind::kConst &&
+              ops[ib].kind == OperandSel::Kind::kConst)
+            continue;
+          ++stats_.candidates_tried;
+          PredCand pc;
+          pc.cfg.rel = rel;
+          pc.cfg.a = ops[ia];
+          pc.cfg.b = ops[ib];
+          pc.truth.resize(vectors_.size());
+          bool all_same = true;
+          for (std::size_t vi = 0; vi < vectors_.size(); ++vi) {
+            pc.truth[vi] = pc.cfg.eval(vectors_[vi].states,
+                                       vectors_[vi].fields)
+                               ? 1
+                               : 0;
+            if (vi > 0 && pc.truth[vi] != pc.truth[0]) all_same = false;
+          }
+          // Constant-truth predicates are subsumed by kAlways / leaf swap.
+          if (all_same && pc.truth[0] == 1) continue;
+          if (seen.insert(pc.truth).second) cands.push_back(std::move(pc));
+        }
+      }
+    }
+    stats_.unique_predicates = cands.size();
+    return cands;
+  }
+
+  // --- Arm synthesis --------------------------------------------------------
+
+  std::vector<OperandSel> arm_operands() const {
+    std::vector<OperandSel> ops;
+    // The LUT extension routes state values into the update path (the ROM
+    // input can be another state variable, e.g. CoDel's count feeding the
+    // next-mark computation); the paper templates take only fields/constants.
+    const bool has_lut =
+        std::find(tmpl_.allowed_modes.begin(), tmpl_.allowed_modes.end(),
+                  ArmMode::kLutAdd) != tmpl_.allowed_modes.end();
+    if (has_lut)
+      for (std::size_t k = 0; k < spec_.num_states(); ++k)
+        ops.push_back(OperandSel::state(static_cast<int>(k)));
+    for (std::size_t i = 0; i < spec_.num_inputs(); ++i)
+      ops.push_back(OperandSel::field(static_cast<int>(i)));
+    for (Value c : const_pool_) ops.push_back(OperandSel::constant(c));
+    return ops;
+  }
+
+  static bool mode_uses_src1(ArmMode m) { return m != ArmMode::kKeep; }
+  static bool mode_uses_src2(ArmMode m) {
+    return m == ArmMode::kSetAdd || m == ArmMode::kSetSub ||
+           m == ArmMode::kAddSub || m == ArmMode::kLutAdd;
+  }
+
+  bool arm_fits(const ArmConfig& arm, std::size_t k, const Subset& S) {
+    for (int vi : S) {
+      const auto ui = static_cast<std::size_t>(vi);
+      const Value got = arm.eval(vectors_[ui].states[k], vectors_[ui].states,
+                                 vectors_[ui].fields);
+      if (got != outs_[ui].states[k]) return false;
+    }
+    return true;
+  }
+
+  std::optional<ArmConfig> find_arm(std::size_t k, const Subset& S) {
+    auto key = std::make_pair(k, S);
+    if (auto it = arm_memo_.find(key); it != arm_memo_.end())
+      return it->second;
+
+    std::optional<ArmConfig> found;
+    const auto ops = arm_operands();
+    for (ArmMode mode : tmpl_.allowed_modes) {
+      ArmConfig arm;
+      arm.mode = mode;
+      if (!mode_uses_src1(mode)) {
+        ++stats_.candidates_tried;
+        if (arm_fits(arm, k, S)) {
+          found = arm;
+          break;
+        }
+        continue;
+      }
+      for (const auto& s1 : ops) {
+        arm.src1 = s1;
+        if (!mode_uses_src2(mode)) {
+          ++stats_.candidates_tried;
+          if (arm_fits(arm, k, S)) {
+            found = arm;
+            break;
+          }
+          continue;
+        }
+        for (const auto& s2 : ops) {
+          arm.src2 = s2;
+          ++stats_.candidates_tried;
+          if (arm_fits(arm, k, S)) {
+            found = arm;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (found) break;
+    }
+    arm_memo_.emplace(std::move(key), found);
+    return found;
+  }
+
+  std::optional<std::vector<ArmConfig>> solve_leaf(const Subset& S) {
+    std::vector<ArmConfig> arms;
+    for (std::size_t k = 0; k < spec_.num_states(); ++k) {
+      auto arm = find_arm(k, S);
+      if (!arm.has_value()) return std::nullopt;
+      arms.push_back(*arm);
+    }
+    return arms;
+  }
+
+  bool spec_keeps_state(const Subset& S) const {
+    for (int vi : S) {
+      const auto ui = static_cast<std::size_t>(vi);
+      for (std::size_t k = 0; k < spec_.num_states(); ++k)
+        if (outs_[ui].states[k] != vectors_[ui].states[k]) return false;
+    }
+    return true;
+  }
+
+  static std::pair<Subset, Subset> split(const Subset& S,
+                                         const std::vector<char>& truth) {
+    Subset t, f;
+    for (int vi : S)
+      (truth[static_cast<std::size_t>(vi)] ? t : f).push_back(vi);
+    return {std::move(t), std::move(f)};
+  }
+
+  struct Side {
+    PredConfig pred;
+    std::vector<ArmConfig> leaf_true, leaf_false;
+  };
+
+  // Finds (pred, leaf_true, leaf_false) covering subset S, deduplicating
+  // predicates by their truth signature restricted to S.
+  std::optional<Side> solve_side(const Subset& S,
+                                 const std::vector<PredCand>& preds) {
+    std::set<std::vector<char>> seen;
+    for (const auto& pc : preds) {
+      std::vector<char> restricted;
+      restricted.reserve(S.size());
+      for (int vi : S)
+        restricted.push_back(pc.truth[static_cast<std::size_t>(vi)]);
+      if (!seen.insert(restricted).second) continue;
+      auto [st, sf] = split(S, pc.truth);
+      auto lt = solve_leaf(st);
+      if (!lt.has_value()) continue;
+      auto lf = solve_leaf(sf);
+      if (!lf.has_value()) continue;
+      return Side{pc.cfg, std::move(*lt), std::move(*lf)};
+    }
+    return std::nullopt;
+  }
+
+  std::optional<StatefulConfig> search_tree() {
+    StatefulConfig config;
+    config.kind = tmpl_.kind;
+
+    Subset all(vectors_.size());
+    for (std::size_t i = 0; i < vectors_.size(); ++i)
+      all[i] = static_cast<int>(i);
+
+    if (tmpl_.pred_levels == 0) {
+      auto arms = solve_leaf(all);
+      if (!arms.has_value()) return std::nullopt;
+      config.leaves = {std::move(*arms)};
+      return config;
+    }
+
+    const auto preds = enumerate_preds();
+
+    if (tmpl_.pred_levels == 1) {
+      for (const auto& pc : preds) {
+        auto [st, sf] = split(all, pc.truth);
+        auto lt = solve_leaf(st);
+        if (!lt.has_value()) continue;
+        std::vector<ArmConfig> lf_arms;
+        if (tmpl_.false_leaf_keep) {
+          if (!spec_keeps_state(sf)) continue;
+          lf_arms.assign(spec_.num_states(), ArmConfig{});
+        } else {
+          auto lf = solve_leaf(sf);
+          if (!lf.has_value()) continue;
+          lf_arms = std::move(*lf);
+        }
+        config.preds = {pc.cfg};
+        config.leaves = {std::move(*lt), std::move(lf_arms)};
+        return config;
+      }
+      return std::nullopt;
+    }
+
+    // Two predicate levels (Nested / Pairs / LutPairs).
+    for (const auto& pc : preds) {
+      auto [st, sf] = split(all, pc.truth);
+      auto side_t = solve_side(st, preds);
+      if (!side_t.has_value()) continue;
+      auto side_f = solve_side(sf, preds);
+      if (!side_f.has_value()) continue;
+      config.preds = {pc.cfg, side_t->pred, side_f->pred};
+      config.leaves = {std::move(side_t->leaf_true),
+                       std::move(side_t->leaf_false),
+                       std::move(side_f->leaf_true),
+                       std::move(side_f->leaf_false)};
+      return config;
+    }
+    return std::nullopt;
+  }
+
+  // --- Verification ---------------------------------------------------------
+
+  bool check_vector(const StatefulConfig& config,
+                    const std::vector<LiveOutBinding>& bindings,
+                    const Vec& v) {
+    SpecOut o;
+    o.states.assign(spec_.num_states(), 0);
+    o.liveouts.assign(spec_.liveout_fields().size(), 0);
+    spec_.eval(v.states, v.fields, o.states, o.liveouts);
+
+    std::vector<Value> got(spec_.num_states(), 0);
+    config.eval(v.states, v.fields, got);
+    for (std::size_t k = 0; k < spec_.num_states(); ++k)
+      if (got[k] != o.states[k]) return false;
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      const auto& b = bindings[i];
+      const Value atom_out =
+          b.use_new ? got[static_cast<std::size_t>(b.state_idx)]
+                    : v.states[static_cast<std::size_t>(b.state_idx)];
+      if (atom_out != o.liveouts[i]) return false;
+    }
+    return true;
+  }
+
+  bool verify(const StatefulConfig& config,
+              const std::vector<LiveOutBinding>& bindings,
+              Vec* counterexample) {
+    const std::size_t n = spec_.num_states() + spec_.num_inputs();
+
+    // Exhaustive pass over a small boundary domain when feasible.
+    std::set<Value> dset = {-2, -1, 0, 1, 2};
+    for (Value c : spec_.constants()) {
+      dset.insert(c);
+      dset.insert(banzai::wrap_add(c, 1));
+      dset.insert(banzai::wrap_sub(c, 1));
+    }
+    std::vector<Value> domain(dset.begin(), dset.end());
+    if (domain.size() > 9) domain.resize(9);
+    double combos = 1;
+    for (std::size_t i = 0; i < n; ++i) combos *= double(domain.size());
+    if (n > 0 && combos <= 8192.0) {
+      Vec v;
+      v.states.assign(spec_.num_states(), 0);
+      v.fields.assign(spec_.num_inputs(), 0);
+      std::vector<std::size_t> idx(n, 0);
+      while (true) {
+        for (std::size_t i = 0; i < n; ++i) slot(v, i) = domain[idx[i]];
+        if (!check_vector(config, bindings, v)) {
+          *counterexample = v;
+          return false;
+        }
+        std::size_t i = 0;
+        for (; i < n; ++i) {
+          if (++idx[i] < domain.size()) break;
+          idx[i] = 0;
+        }
+        if (i == n) break;
+      }
+    }
+
+    // Seeded random pass mixing magnitudes.
+    std::mt19937 rng(opts_.seed ^ 0x9e3779b9u);
+    std::uniform_int_distribution<int> scale(0, 3);
+    std::uniform_int_distribution<Value> tiny(-4, 4);
+    std::uniform_int_distribution<Value> small(-64, 64);
+    std::uniform_int_distribution<Value> mid(-65536, 65536);
+    std::uniform_int_distribution<Value> wide(INT32_MIN, INT32_MAX);
+    Vec v;
+    v.states.assign(spec_.num_states(), 0);
+    v.fields.assign(spec_.num_inputs(), 0);
+    for (std::size_t t = 0; t < opts_.random_verify_vectors; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (scale(rng)) {
+          case 0: slot(v, i) = tiny(rng); break;
+          case 1: slot(v, i) = small(rng); break;
+          case 2: slot(v, i) = mid(rng); break;
+          default: slot(v, i) = wide(rng); break;
+        }
+      }
+      if (!check_vector(config, bindings, v)) {
+        *counterexample = v;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const CodeletSpec& spec_;
+  const StatefulTemplateInfo& tmpl_;
+  SynthOptions opts_;
+
+  std::vector<Value> const_pool_;
+  std::vector<Vec> vectors_;
+  std::vector<SpecOut> outs_;
+  std::map<std::pair<std::size_t, Subset>, std::optional<ArmConfig>> arm_memo_;
+  std::string unbindable_liveout_;
+  SynthStats stats_;
+};
+
+}  // namespace
+
+SynthResult synthesize(const CodeletSpec& spec, atoms::StatefulKind kind,
+                       const SynthOptions& opts) {
+  Search search(spec, atoms::template_info(kind), opts);
+  return search.run();
+}
+
+bool check_equivalent(const CodeletSpec& spec,
+                      const atoms::StatefulConfig& config,
+                      const std::vector<atoms::LiveOutBinding>& liveouts,
+                      std::uint32_t seed, std::size_t num_vectors,
+                      std::string* mismatch) {
+  const std::size_t ns = spec.num_states();
+  const std::size_t nf = spec.num_inputs();
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> scale(0, 2);
+  std::uniform_int_distribution<Value> small(-32, 32);
+  std::uniform_int_distribution<Value> mid(-65536, 65536);
+  std::uniform_int_distribution<Value> wide(INT32_MIN, INT32_MAX);
+
+  std::vector<Value> states(ns), fields(nf), s_out(ns), got(ns);
+  std::vector<Value> liveout_vals(spec.liveout_fields().size());
+  for (std::size_t t = 0; t < num_vectors; ++t) {
+    for (auto& s : states)
+      s = scale(rng) == 0 ? small(rng) : (scale(rng) == 1 ? mid(rng) : wide(rng));
+    for (auto& f : fields)
+      f = scale(rng) == 0 ? small(rng) : (scale(rng) == 1 ? mid(rng) : wide(rng));
+    spec.eval(states, fields, s_out, liveout_vals);
+    config.eval(states, fields, got);
+    for (std::size_t k = 0; k < ns; ++k) {
+      if (got[k] != s_out[k]) {
+        if (mismatch) {
+          std::ostringstream os;
+          os << "state " << spec.state_vars()[k] << ": atom=" << got[k]
+             << " spec=" << s_out[k];
+          *mismatch = os.str();
+        }
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < liveouts.size(); ++i) {
+      const auto& b = liveouts[i];
+      const Value atom_out =
+          b.use_new ? got[static_cast<std::size_t>(b.state_idx)]
+                    : states[static_cast<std::size_t>(b.state_idx)];
+      if (atom_out != liveout_vals[i]) {
+        if (mismatch) *mismatch = "live-out " + b.field + " mismatch";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,309 @@
+// Tests for the atom template library and the hardware cost model
+// (Tables 3, 5 and 6): evaluation semantics of configurations, hierarchy
+// structure, and calibration of the circuit model against the paper's
+// synthesis numbers.
+#include <gtest/gtest.h>
+
+#include "atoms/circuit.h"
+#include "atoms/config.h"
+#include "atoms/stateful.h"
+#include "atoms/stateless.h"
+#include "atoms/targets.h"
+#include "ir/intrinsics.h"
+
+namespace atoms {
+namespace {
+
+using banzai::Value;
+
+TEST(HierarchyTest, SevenPaperTemplatesInRankOrder) {
+  const auto& h = stateful_hierarchy();
+  ASSERT_EQ(h.size(), 7u);
+  for (std::size_t i = 0; i < h.size(); ++i)
+    EXPECT_EQ(h[i].hierarchy_rank, static_cast<int>(i));
+  EXPECT_EQ(h.front().name, "Write");
+  EXPECT_EQ(h.back().name, "Pairs");
+}
+
+TEST(HierarchyTest, AllowedModesGrowMonotonically) {
+  const auto& h = stateful_hierarchy();
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    for (ArmMode m : h[i - 1].allowed_modes) {
+      EXPECT_NE(std::find(h[i].allowed_modes.begin(), h[i].allowed_modes.end(),
+                          m),
+                h[i].allowed_modes.end())
+          << h[i].name << " lost mode of " << h[i - 1].name;
+    }
+  }
+}
+
+TEST(HierarchyTest, OnlyPairsTemplatesOwnTwoStates) {
+  for (const auto& t : all_templates()) {
+    if (t.kind == StatefulKind::kPairs || t.kind == StatefulKind::kLutPairs)
+      EXPECT_EQ(t.num_states, 2);
+    else
+      EXPECT_EQ(t.num_states, 1);
+  }
+}
+
+TEST(HierarchyTest, LeafAndPredCounts) {
+  EXPECT_EQ(num_leaves(template_info(StatefulKind::kWrite)), 1);
+  EXPECT_EQ(num_preds(template_info(StatefulKind::kWrite)), 0);
+  EXPECT_EQ(num_leaves(template_info(StatefulKind::kPRAW)), 2);
+  EXPECT_EQ(num_preds(template_info(StatefulKind::kPRAW)), 1);
+  EXPECT_EQ(num_leaves(template_info(StatefulKind::kNested)), 4);
+  EXPECT_EQ(num_preds(template_info(StatefulKind::kNested)), 3);
+}
+
+// ---- configuration evaluation ----------------------------------------------
+
+TEST(ConfigEvalTest, ArmModes) {
+  const Value states[] = {10, 20};
+  const Value fields[] = {3};
+  ArmConfig arm;
+  arm.src1 = OperandSel::field(0);
+  arm.src2 = OperandSel::constant(2);
+
+  arm.mode = ArmMode::kKeep;
+  EXPECT_EQ(arm.eval(10, states, fields), 10);
+  arm.mode = ArmMode::kSet;
+  EXPECT_EQ(arm.eval(10, states, fields), 3);
+  arm.mode = ArmMode::kAdd;
+  EXPECT_EQ(arm.eval(10, states, fields), 13);
+  arm.mode = ArmMode::kSubt;
+  EXPECT_EQ(arm.eval(10, states, fields), 7);
+  arm.mode = ArmMode::kSetAdd;
+  EXPECT_EQ(arm.eval(10, states, fields), 5);
+  arm.mode = ArmMode::kSetSub;
+  EXPECT_EQ(arm.eval(10, states, fields), 1);
+  arm.mode = ArmMode::kAddSub;
+  EXPECT_EQ(arm.eval(10, states, fields), 11);
+}
+
+TEST(ConfigEvalTest, ArithmeticWraps) {
+  const Value states[] = {INT32_MAX};
+  const Value fields[] = {1};
+  ArmConfig arm;
+  arm.mode = ArmMode::kAdd;
+  arm.src1 = OperandSel::field(0);
+  EXPECT_EQ(arm.eval(INT32_MAX, states, fields), INT32_MIN);
+}
+
+TEST(ConfigEvalTest, PredRelations) {
+  const Value states[] = {5};
+  const Value fields[] = {7};
+  PredConfig p;
+  p.a = OperandSel::state(0);
+  p.b = OperandSel::field(0);
+  p.rel = RelKind::kLt;
+  EXPECT_TRUE(p.eval(states, fields));
+  p.rel = RelKind::kGe;
+  EXPECT_FALSE(p.eval(states, fields));
+  p.rel = RelKind::kAlways;
+  EXPECT_TRUE(p.eval(states, fields));
+}
+
+TEST(ConfigEvalTest, TwoLevelLeafSelection) {
+  // if (x > 0) { if (f > 0) leaf0 else leaf1 } else { if (f < 0) leaf2 else
+  // leaf3 }
+  StatefulConfig cfg;
+  cfg.kind = StatefulKind::kNested;
+  PredConfig p1{RelKind::kGt, OperandSel::state(0), OperandSel::constant(0)};
+  PredConfig p2{RelKind::kGt, OperandSel::field(0), OperandSel::constant(0)};
+  PredConfig p3{RelKind::kLt, OperandSel::field(0), OperandSel::constant(0)};
+  cfg.preds = {p1, p2, p3};
+  for (Value leaf_val : {0, 1, 2, 3}) {
+    ArmConfig arm;
+    arm.mode = ArmMode::kSet;
+    arm.src1 = OperandSel::constant(leaf_val);
+    cfg.leaves.push_back({arm});
+  }
+  auto run = [&cfg](Value x, Value f) {
+    Value states[] = {x};
+    Value fields[] = {f};
+    Value out[1];
+    cfg.eval(states, fields, out);
+    return out[0];
+  };
+  EXPECT_EQ(run(5, 3), 0);
+  EXPECT_EQ(run(5, -3), 1);
+  EXPECT_EQ(run(-5, -3), 2);
+  EXPECT_EQ(run(-5, 3), 3);
+}
+
+TEST(ConfigEvalTest, LutArmMatchesIntrinsicTable) {
+  ArmConfig arm;
+  arm.mode = ArmMode::kLutAdd;
+  arm.src1 = OperandSel::state(0);
+  arm.src2 = OperandSel::field(0);
+  for (Value c : {0, 1, 5, 100, 10000}) {
+    const Value states[] = {c};
+    const Value fields[] = {7};
+    EXPECT_EQ(arm.eval(0, states, fields),
+              banzai::wrap_add(lut_eval(c), 7));
+  }
+}
+
+TEST(LutTest, TableMatchesPostIncrementControlLaw) {
+  // lut(c) == sqrt_interval(c + 1) for representative and corner inputs.
+  for (Value c : {-5, -1, 0, 1, 2, 3, 10, 1000, (1 << 20) + 5, INT32_MAX}) {
+    EXPECT_EQ(lut_eval(c), domino::eval_intrinsic(
+                               "sqrt_interval", {banzai::wrap_add(c, 1)}))
+        << "c=" << c;
+  }
+}
+
+TEST(LutTest, GapShrinksWithCount) {
+  EXPECT_GT(lut_eval(0), lut_eval(3));
+  EXPECT_GT(lut_eval(3), lut_eval(15));
+  EXPECT_GT(lut_eval(15), lut_eval(255));
+}
+
+// ---- stateless ALU ----------------------------------------------------------
+
+TEST(StatelessAluTest, SupportsPaperOperations) {
+  using domino::BinOp;
+  for (BinOp op : {BinOp::kAdd, BinOp::kSub, BinOp::kShl, BinOp::kShr,
+                   BinOp::kBitAnd, BinOp::kBitOr, BinOp::kBitXor, BinOp::kLt,
+                   BinOp::kLe, BinOp::kGt, BinOp::kGe, BinOp::kEq, BinOp::kNe,
+                   BinOp::kLAnd, BinOp::kLOr}) {
+    domino::TacStmt s;
+    s.kind = domino::TacStmt::Kind::kBinary;
+    s.op = op;
+    s.dst = "f";
+    EXPECT_TRUE(stateless_alu_supports(s)) << domino::binop_str(op);
+  }
+}
+
+TEST(StatelessAluTest, RejectsMulDivMod) {
+  using domino::BinOp;
+  for (BinOp op : {BinOp::kMul, BinOp::kDiv, BinOp::kMod}) {
+    domino::TacStmt s;
+    s.kind = domino::TacStmt::Kind::kBinary;
+    s.op = op;
+    EXPECT_FALSE(stateless_alu_supports(s)) << domino::binop_str(op);
+  }
+}
+
+TEST(StatelessAluTest, RejectsStateAccess) {
+  domino::TacStmt s;
+  s.kind = domino::TacStmt::Kind::kReadState;
+  EXPECT_FALSE(stateless_alu_supports(s));
+  s.kind = domino::TacStmt::Kind::kWriteState;
+  EXPECT_FALSE(stateless_alu_supports(s));
+}
+
+TEST(StatelessAluTest, TernaryAndCopySupported) {
+  domino::TacStmt s;
+  s.kind = domino::TacStmt::Kind::kTernary;
+  EXPECT_TRUE(stateless_alu_supports(s));
+  s.kind = domino::TacStmt::Kind::kCopy;
+  EXPECT_TRUE(stateless_alu_supports(s));
+}
+
+// ---- circuit model vs the paper ----------------------------------------------
+
+Circuit circuit_by_name(const std::string& name) {
+  if (name == "Stateless") return stateless_circuit();
+  for (const auto& t : stateful_hierarchy())
+    if (t.name == name) return stateful_circuit(t.kind);
+  throw std::runtime_error("unknown circuit " + name);
+}
+
+TEST(CircuitModelTest, AreasWithinTwoPercentOfTable3) {
+  for (const auto& row : paper_atom_table()) {
+    const double got = circuit_by_name(row.name).area_um2();
+    EXPECT_NEAR(got, row.area_um2, row.area_um2 * 0.02)
+        << row.name << ": model=" << got << " paper=" << row.area_um2;
+  }
+}
+
+TEST(CircuitModelTest, DelaysWithinTwoPercentOfTable5) {
+  for (const auto& row : paper_atom_table()) {
+    if (row.min_delay_ps == 0) continue;  // not reported for Stateless
+    const double got = circuit_by_name(row.name).min_delay_ps();
+    EXPECT_NEAR(got, row.min_delay_ps, row.min_delay_ps * 0.02)
+        << row.name << ": model=" << got << " paper=" << row.min_delay_ps;
+  }
+}
+
+TEST(CircuitModelTest, AreaGrowsAlongHierarchy) {
+  double prev = 0;
+  for (const auto& t : stateful_hierarchy()) {
+    const double a = stateful_circuit(t.kind).area_um2();
+    EXPECT_GT(a, prev) << t.name;
+    prev = a;
+  }
+}
+
+TEST(CircuitModelTest, DepthGrowsFromWriteToPairs) {
+  EXPECT_LT(stateful_circuit(StatefulKind::kWrite).depth(),
+            stateful_circuit(StatefulKind::kPRAW).depth());
+  EXPECT_LT(stateful_circuit(StatefulKind::kPRAW).depth(),
+            stateful_circuit(StatefulKind::kNested).depth());
+}
+
+TEST(CircuitModelTest, LineRateIsInverseDelay) {
+  // Table 5: Write = 5.68 Gpps, Pairs = 1.64 Gpps.
+  EXPECT_NEAR(stateful_circuit(StatefulKind::kWrite).max_line_rate_gpps(),
+              5.68, 0.12);
+  EXPECT_NEAR(stateful_circuit(StatefulKind::kPairs).max_line_rate_gpps(),
+              1.64, 0.05);
+}
+
+TEST(CircuitModelTest, AllAtomsMeetOneGigahertz) {
+  // Table 3: "All atoms meet timing at 1 GHz" — delay under 1000 ps.
+  for (const auto& t : stateful_hierarchy())
+    EXPECT_LT(stateful_circuit(t.kind).min_delay_ps(), 1000.0) << t.name;
+  EXPECT_LT(stateless_circuit().min_delay_ps(), 1000.0);
+}
+
+TEST(CircuitModelTest, LutExtensionCostsAreaAndDelay) {
+  const Circuit pairs = stateful_circuit(StatefulKind::kPairs);
+  const Circuit lut = stateful_circuit(StatefulKind::kLutPairs);
+  EXPECT_GT(lut.area_um2(), pairs.area_um2());
+  EXPECT_GT(lut.min_delay_ps(), pairs.min_delay_ps());
+}
+
+// ---- targets & resource budget ------------------------------------------------
+
+TEST(TargetsTest, SevenPaperTargets) {
+  const auto& ts = paper_targets();
+  ASSERT_EQ(ts.size(), 7u);
+  for (const auto& t : ts) {
+    EXPECT_EQ(t.pipeline_depth, 32u);
+    EXPECT_EQ(t.stateless_per_stage, 300u);
+    EXPECT_EQ(t.stateful_per_stage, 10u);
+    EXPECT_FALSE(t.has_math_unit);
+  }
+}
+
+TEST(TargetsTest, FindTargetByName) {
+  EXPECT_TRUE(find_target("banzai-praw").has_value());
+  EXPECT_TRUE(find_target("banzai-pairs-lut").has_value());
+  EXPECT_FALSE(find_target("banzai-quantum").has_value());
+}
+
+TEST(TargetsTest, LutTargetProvidesMathUnit) {
+  const auto t = lut_extended_target();
+  EXPECT_TRUE(t.provides_unit(domino::IntrinsicUnit::kMath));
+  EXPECT_TRUE(t.provides_unit(domino::IntrinsicUnit::kHash));
+  EXPECT_FALSE(
+      paper_targets()[0].provides_unit(domino::IntrinsicUnit::kMath));
+}
+
+TEST(ResourceBudgetTest, ReproducesSection52Analysis) {
+  const ResourceBudget rb = compute_resource_budget(StatefulKind::kPairs);
+  // ~10000 stateless atoms total, ~300 per stage (§5.2).
+  EXPECT_NEAR(static_cast<double>(rb.stateless_total), 10000, 1500);
+  EXPECT_NEAR(static_cast<double>(rb.stateless_per_stage), 300, 50);
+  // Stateful overhead ~1%, crossbar ~4%, total ~12%.
+  EXPECT_LT(rb.stateful_overhead_frac, 0.02);
+  EXPECT_NEAR(rb.crossbar_overhead_frac, 0.04, 0.01);
+  EXPECT_NEAR(rb.total_overhead_frac, 0.12, 0.02);
+  // Under the paper's 15% headline bound.
+  EXPECT_LT(rb.total_overhead_frac, 0.15);
+}
+
+}  // namespace
+}  // namespace atoms

@@ -1,0 +1,112 @@
+// Tests for the public compiler API surface: compile() result contents,
+// error phases for every failure class, LOC counting, and target lookup —
+// the contract a downstream user programs against.
+#include <gtest/gtest.h>
+
+#include "algorithms/corpus.h"
+#include "core/compiler.h"
+
+namespace domino {
+namespace {
+
+TEST(CompilerApiTest, ResultCarriesAllArtifacts) {
+  auto r = compile(algorithms::algorithm("flowlets").source,
+                   *atoms::find_target("banzai-praw"));
+  EXPECT_FALSE(r.program.packet_fields.empty());
+  EXPECT_FALSE(r.normalized.branch_removed.transaction.body.empty());
+  EXPECT_FALSE(r.normalized.flanked.transaction.body.empty());
+  EXPECT_FALSE(r.normalized.ssa.transaction.body.empty());
+  EXPECT_FALSE(r.normalized.tac.stmts.empty());
+  EXPECT_GT(r.pvsm.num_stages(), 0u);
+  EXPECT_GT(r.codegen.fitted.num_stages(), 0u);
+  EXPECT_GT(r.machine().num_atoms(), 0u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(CompilerApiTest, ErrorPhasesDistinguishFailureClasses) {
+  auto phase_of = [](const std::string& src) {
+    try {
+      compile(src, *atoms::find_target("banzai-pairs"));
+    } catch (const CompileError& e) {
+      return e.phase();
+    }
+    return CompilePhase::kNormalize;  // sentinel: "did not throw"
+  };
+
+  EXPECT_EQ(phase_of("struct Packet { int 5x; };"), CompilePhase::kParse);
+  EXPECT_EQ(phase_of("struct Packet { int a; };\n"
+                     "void t(struct Packet pkt) { pkt.zzz = 1; }"),
+            CompilePhase::kSema);
+  EXPECT_EQ(phase_of("struct Packet { int a; };\nint x = 1;\n"
+                     "void t(struct Packet pkt) { x = x * x; }"),
+            CompilePhase::kMapping);
+  // Lex errors surface too.
+  EXPECT_EQ(phase_of("struct Packet { int a; }; $"), CompilePhase::kLex);
+}
+
+TEST(CompilerApiTest, ParseAndCheckIsFrontEndOnly) {
+  // CoDel fails code generation but must pass the front end.
+  EXPECT_NO_THROW(parse_and_check(algorithms::algorithm("codel").source));
+}
+
+TEST(CompilerApiTest, CountLocSkipsCommentsAndBlanks) {
+  EXPECT_EQ(count_loc("int a;\n\n// comment\nint b; // trail\n"), 2u);
+  EXPECT_EQ(count_loc("/* multi\nline\ncomment */\nint a;\n"), 1u);
+  EXPECT_EQ(count_loc(""), 0u);
+}
+
+TEST(CompilerApiTest, SynthesisOptionsPropagate) {
+  CompileOptions opts;
+  opts.synth.seed_constants = false;
+  opts.synth.const_bits = 4;
+  auto r = compile(algorithms::algorithm("sampled_netflow").source,
+                   *atoms::find_target("banzai-ifelseraw"), opts);
+  std::size_t cands = 0;
+  for (const auto& rep : r.codegen.reports)
+    cands += rep.synth_stats.candidates_tried;
+
+  CompileOptions wide = opts;
+  wide.synth.const_bits = 7;
+  auto r2 = compile(algorithms::algorithm("sampled_netflow").source,
+                    *atoms::find_target("banzai-ifelseraw"), wide);
+  std::size_t cands2 = 0;
+  for (const auto& rep : r2.codegen.reports)
+    cands2 += rep.synth_stats.candidates_tried;
+  EXPECT_GT(cands2, cands);
+}
+
+TEST(CompilerApiTest, TargetCatalogIsStable) {
+  // Names downstream users script against.
+  for (const char* name :
+       {"banzai-write", "banzai-raw", "banzai-praw", "banzai-ifelseraw",
+        "banzai-sub", "banzai-nested", "banzai-pairs", "banzai-pairs-lut"}) {
+    EXPECT_TRUE(atoms::find_target(name).has_value()) << name;
+  }
+}
+
+TEST(CompilerApiTest, RecompilationIsDeterministic) {
+  const auto& src = algorithms::algorithm("conga").source;
+  auto a = compile(src, *atoms::find_target("banzai-pairs"));
+  auto b = compile(src, *atoms::find_target("banzai-pairs"));
+  EXPECT_EQ(a.num_stages(), b.num_stages());
+  EXPECT_EQ(a.normalized.tac.str(), b.normalized.tac.str());
+  ASSERT_EQ(a.codegen.reports.size(), b.codegen.reports.size());
+  for (std::size_t i = 0; i < a.codegen.reports.size(); ++i)
+    EXPECT_EQ(a.codegen.reports[i].config, b.codegen.reports[i].config);
+}
+
+TEST(CompilerApiTest, MachineIsIndependentlyCopyConstructible) {
+  auto r = compile(algorithms::algorithm("rcp").source,
+                   *atoms::find_target("banzai-praw"));
+  banzai::Machine copy = r.machine();
+  // Processing via the copy mutates only the copy's state.
+  banzai::Packet p(copy.fields().size());
+  p.set(copy.fields().id_of("size_bytes"), 100);
+  p.set(copy.fields().id_of("rtt"), 10);
+  copy.process(p);
+  EXPECT_EQ(copy.state().var("input_traffic_bytes").load_scalar(), 100);
+  EXPECT_EQ(r.machine().state().var("input_traffic_bytes").load_scalar(), 0);
+}
+
+}  // namespace
+}  // namespace domino

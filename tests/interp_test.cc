@@ -1,0 +1,216 @@
+#include "core/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/sema.h"
+#include "ir/intrinsics.h"
+#include "ir/ops.h"
+
+namespace domino {
+namespace {
+
+// Runs `expr` assigned to pkt.out with inputs pkt.x / pkt.y and returns the
+// result.
+Value eval_expr(const std::string& expr, Value x, Value y) {
+  Program p = parse(
+      "struct Packet { int x; int y; int out; };\n"
+      "void t(struct Packet pkt) { pkt.out = " + expr + "; }\n");
+  analyze(p);
+  Interpreter interp(p);
+  auto pkt = interp.make_packet();
+  interp.set(pkt, "x", x);
+  interp.set(pkt, "y", y);
+  interp.run(pkt);
+  return interp.get(pkt, "out");
+}
+
+TEST(InterpExprTest, Arithmetic) {
+  EXPECT_EQ(eval_expr("pkt.x + pkt.y", 2, 3), 5);
+  EXPECT_EQ(eval_expr("pkt.x - pkt.y", 2, 3), -1);
+  EXPECT_EQ(eval_expr("pkt.x * pkt.y", -4, 3), -12);
+}
+
+TEST(InterpExprTest, AdditionWrapsModulo32Bits) {
+  EXPECT_EQ(eval_expr("pkt.x + pkt.y", INT32_MAX, 1), INT32_MIN);
+}
+
+TEST(InterpExprTest, SubtractionWraps) {
+  EXPECT_EQ(eval_expr("pkt.x - pkt.y", INT32_MIN, 1), INT32_MAX);
+}
+
+TEST(InterpExprTest, DivisionByZeroIsZero) {
+  EXPECT_EQ(eval_expr("pkt.x / pkt.y", 17, 0), 0);
+  EXPECT_EQ(eval_expr("pkt.x % pkt.y", 17, 0), 0);
+}
+
+TEST(InterpExprTest, DivisionOverflowCase) {
+  EXPECT_EQ(eval_expr("pkt.x / pkt.y", INT32_MIN, -1), INT32_MIN);
+  EXPECT_EQ(eval_expr("pkt.x % pkt.y", INT32_MIN, -1), 0);
+}
+
+TEST(InterpExprTest, ShiftsMaskAmountTo5Bits) {
+  EXPECT_EQ(eval_expr("pkt.x << pkt.y", 1, 33), 2);  // 33 & 31 == 1
+  EXPECT_EQ(eval_expr("pkt.x >> pkt.y", 16, 36), 1); // 36 & 31 == 4
+}
+
+TEST(InterpExprTest, ArithmeticRightShiftOfNegative) {
+  EXPECT_EQ(eval_expr("pkt.x >> pkt.y", -8, 1), -4);
+}
+
+TEST(InterpExprTest, Relational) {
+  EXPECT_EQ(eval_expr("pkt.x < pkt.y", 1, 2), 1);
+  EXPECT_EQ(eval_expr("pkt.x >= pkt.y", 1, 2), 0);
+  EXPECT_EQ(eval_expr("pkt.x == pkt.y", 7, 7), 1);
+  EXPECT_EQ(eval_expr("pkt.x != pkt.y", 7, 7), 0);
+}
+
+TEST(InterpExprTest, LogicalOperatorsNormalizeToBool) {
+  EXPECT_EQ(eval_expr("pkt.x && pkt.y", 5, 9), 1);
+  EXPECT_EQ(eval_expr("pkt.x && pkt.y", 5, 0), 0);
+  EXPECT_EQ(eval_expr("pkt.x || pkt.y", 0, 0), 0);
+  EXPECT_EQ(eval_expr("pkt.x || pkt.y", 0, 2), 1);
+}
+
+TEST(InterpExprTest, BitwiseOperators) {
+  EXPECT_EQ(eval_expr("pkt.x & pkt.y", 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(eval_expr("pkt.x | pkt.y", 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(eval_expr("pkt.x ^ pkt.y", 0b1100, 0b1010), 0b0110);
+}
+
+TEST(InterpExprTest, Unary) {
+  EXPECT_EQ(eval_expr("-pkt.x", 3, 0), -3);
+  EXPECT_EQ(eval_expr("!pkt.x", 3, 0), 0);
+  EXPECT_EQ(eval_expr("!pkt.x", 0, 0), 1);
+  EXPECT_EQ(eval_expr("~pkt.x", 0, 0), -1);
+}
+
+TEST(InterpExprTest, TernarySelectsBranch) {
+  EXPECT_EQ(eval_expr("pkt.x ? 10 : 20", 1, 0), 10);
+  EXPECT_EQ(eval_expr("pkt.x ? 10 : 20", 0, 0), 20);
+}
+
+TEST(InterpStateTest, ScalarStatePersistsAcrossPackets) {
+  Program p = parse(
+      "struct Packet { int out; };\nint c = 0;\n"
+      "void t(struct Packet pkt) { c = c + 1; pkt.out = c; }\n");
+  analyze(p);
+  Interpreter interp(p);
+  for (int i = 1; i <= 5; ++i) {
+    auto pkt = interp.make_packet();
+    interp.run(pkt);
+    EXPECT_EQ(interp.get(pkt, "out"), i);
+  }
+}
+
+TEST(InterpStateTest, StateInitializerApplied) {
+  Program p = parse(
+      "struct Packet { int out; };\nint c = 42;\n"
+      "void t(struct Packet pkt) { pkt.out = c; }\n");
+  analyze(p);
+  Interpreter interp(p);
+  auto pkt = interp.make_packet();
+  interp.run(pkt);
+  EXPECT_EQ(interp.get(pkt, "out"), 42);
+}
+
+TEST(InterpStateTest, ArrayCellsIndependent) {
+  Program p = parse(
+      "#define N 4\nstruct Packet { int i; int out; };\nint a[N] = {0};\n"
+      "void t(struct Packet pkt) { a[pkt.i] = a[pkt.i] + 1; pkt.out = "
+      "a[pkt.i]; }\n");
+  analyze(p);
+  Interpreter interp(p);
+  for (int round = 1; round <= 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      auto pkt = interp.make_packet();
+      interp.set(pkt, "i", i);
+      interp.run(pkt);
+      EXPECT_EQ(interp.get(pkt, "out"), round);
+    }
+  }
+}
+
+TEST(InterpStateTest, OutOfRangeIndexWraps) {
+  Program p = parse(
+      "#define N 4\nstruct Packet { int i; int out; };\nint a[N] = {0};\n"
+      "void t(struct Packet pkt) { a[pkt.i] = a[pkt.i] + 1; pkt.out = "
+      "a[pkt.i]; }\n");
+  analyze(p);
+  Interpreter interp(p);
+  auto pkt = interp.make_packet();
+  interp.set(pkt, "i", 6);  // wraps to 2
+  interp.run(pkt);
+  EXPECT_EQ(interp.state().var("a").load(2), 1);
+}
+
+TEST(InterpStateTest, SequentialSemanticsWithinTransaction) {
+  // The second statement must observe the first one's write.
+  Program p = parse(
+      "struct Packet { int out; };\nint c = 0;\n"
+      "void t(struct Packet pkt) { c = c + 1; c = c * 2; pkt.out = c; }\n");
+  analyze(p);
+  Interpreter interp(p);
+  auto pkt = interp.make_packet();
+  interp.run(pkt);
+  EXPECT_EQ(interp.get(pkt, "out"), 2);
+  auto pkt2 = interp.make_packet();
+  interp.run(pkt2);
+  EXPECT_EQ(interp.get(pkt2, "out"), 6);
+}
+
+TEST(IntrinsicsTest, HashIsDeterministic) {
+  EXPECT_EQ(eval_intrinsic("hash2", {1, 2}), eval_intrinsic("hash2", {1, 2}));
+  EXPECT_EQ(eval_intrinsic("hash3", {1, 2, 3}),
+            eval_intrinsic("hash3", {1, 2, 3}));
+}
+
+TEST(IntrinsicsTest, HashIsNonNegative) {
+  for (Value a : {-1000000, -1, 0, 1, 123456789}) {
+    EXPECT_GE(eval_intrinsic("hash2", {a, a}), 0);
+    EXPECT_GE(eval_intrinsic("hash3", {a, -a, a}), 0);
+    EXPECT_GE(eval_intrinsic("hash4", {a, a, a, a}), 0);
+  }
+}
+
+TEST(IntrinsicsTest, HashesDifferBySeed) {
+  EXPECT_NE(eval_intrinsic("hash2", {1, 2}),
+            eval_intrinsic("hash3", {1, 2, 0}));
+}
+
+TEST(IntrinsicsTest, IsqrtIsFloorSquareRoot) {
+  for (std::int32_t v : {0, 1, 2, 3, 4, 15, 16, 17, 99, 100, 101, 1 << 20,
+                          INT32_MAX}) {
+    const std::int64_t r = isqrt(v);
+    EXPECT_LE(r * r, static_cast<std::int64_t>(v)) << v;
+    EXPECT_GT((r + 1) * (r + 1), static_cast<std::int64_t>(v)) << v;
+  }
+  EXPECT_EQ(isqrt(-5), 0);
+}
+
+TEST(IntrinsicsTest, SqrtIntervalMonotoneNonIncreasing) {
+  Value prev = eval_intrinsic("sqrt_interval", {0});
+  for (Value c = 1; c < 200; ++c) {
+    Value cur = eval_intrinsic("sqrt_interval", {c});
+    EXPECT_LE(cur, prev) << "at c=" << c;
+    prev = cur;
+  }
+}
+
+TEST(IntrinsicsTest, IntrinsicInfoArity) {
+  EXPECT_EQ(intrinsic_info("hash2")->arity, 2);
+  EXPECT_EQ(intrinsic_info("hash3")->arity, 3);
+  EXPECT_EQ(intrinsic_info("hash4")->arity, 4);
+  EXPECT_EQ(intrinsic_info("isqrt")->arity, 1);
+  EXPECT_EQ(intrinsic_info("sqrt_interval")->arity, 1);
+  EXPECT_FALSE(intrinsic_info("nope").has_value());
+}
+
+TEST(IntrinsicsTest, UnitClasses) {
+  EXPECT_EQ(intrinsic_info("hash2")->unit, IntrinsicUnit::kHash);
+  EXPECT_EQ(intrinsic_info("isqrt")->unit, IntrinsicUnit::kMath);
+  EXPECT_EQ(intrinsic_info("sqrt_interval")->unit, IntrinsicUnit::kMath);
+}
+
+}  // namespace
+}  // namespace domino

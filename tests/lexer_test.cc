@@ -1,0 +1,137 @@
+#include "core/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/diag.h"
+
+namespace domino {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptySourceYieldsOnlyEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEnd);
+}
+
+TEST(LexerTest, Identifier) {
+  auto toks = lex("pkt _tmp x42");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "pkt");
+  EXPECT_EQ(toks[1].text, "_tmp");
+  EXPECT_EQ(toks[2].text, "x42");
+}
+
+TEST(LexerTest, DecimalNumber) {
+  auto toks = lex("12345");
+  EXPECT_EQ(toks[0].kind, Tok::kNumber);
+  EXPECT_EQ(toks[0].number, 12345);
+}
+
+TEST(LexerTest, HexNumber) {
+  auto toks = lex("0x1F");
+  EXPECT_EQ(toks[0].number, 31);
+}
+
+TEST(LexerTest, NumberFitting32BitsUnsignedWraps) {
+  auto toks = lex("4294967295");  // 2^32 - 1 stored as -1 two's complement
+  EXPECT_EQ(toks[0].number, -1);
+}
+
+TEST(LexerTest, NumberOverflowRejected) {
+  EXPECT_THROW(lex("4294967296"), CompileError);
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kinds("struct int void if else")[0], Tok::kStruct);
+  EXPECT_EQ(kinds("if")[0], Tok::kIf);
+  EXPECT_EQ(kinds("else")[0], Tok::kElse);
+  EXPECT_EQ(kinds("void")[0], Tok::kVoid);
+}
+
+TEST(LexerTest, ForbiddenKeywordsAreRecognized) {
+  EXPECT_EQ(kinds("while")[0], Tok::kWhile);
+  EXPECT_EQ(kinds("for")[0], Tok::kFor);
+  EXPECT_EQ(kinds("do")[0], Tok::kDo);
+  EXPECT_EQ(kinds("goto")[0], Tok::kGoto);
+  EXPECT_EQ(kinds("break")[0], Tok::kBreak);
+  EXPECT_EQ(kinds("continue")[0], Tok::kContinue);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto k = kinds("<< >> <= >= == != && || += -= ++ --");
+  std::vector<Tok> want = {Tok::kShl,      Tok::kShr,      Tok::kLe,
+                           Tok::kGe,       Tok::kEqEq,     Tok::kNe,
+                           Tok::kAmpAmp,   Tok::kPipePipe, Tok::kPlusAssign,
+                           Tok::kMinusAssign, Tok::kIncrement, Tok::kDecrement,
+                           Tok::kEnd};
+  EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, SingleCharOperators) {
+  auto k = kinds("+ - * / % < > = & | ^ ! ~ ? :");
+  std::vector<Tok> want = {Tok::kPlus,  Tok::kMinus, Tok::kStar,
+                           Tok::kSlash, Tok::kPercent, Tok::kLt,
+                           Tok::kGt,    Tok::kAssign,  Tok::kAmp,
+                           Tok::kPipe,  Tok::kCaret,   Tok::kBang,
+                           Tok::kTilde, Tok::kQuestion, Tok::kColon,
+                           Tok::kEnd};
+  EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, LineCommentSkipped) {
+  auto toks = lex("a // comment with while for\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, BlockCommentSkipped) {
+  auto toks = lex("a /* multi\nline */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentRejected) {
+  EXPECT_THROW(lex("a /* oops"), CompileError);
+}
+
+TEST(LexerTest, DefineDirective) {
+  auto toks = lex("#define N 10");
+  EXPECT_EQ(toks[0].kind, Tok::kDefine);
+  EXPECT_EQ(toks[1].text, "N");
+  EXPECT_EQ(toks[2].number, 10);
+}
+
+TEST(LexerTest, NonDefineDirectiveRejected) {
+  EXPECT_THROW(lex("#include <stdio.h>"), CompileError);
+}
+
+TEST(LexerTest, UnexpectedCharacterRejected) {
+  EXPECT_THROW(lex("a $ b"), CompileError);
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.column, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(LexerTest, LexErrorsCarryPhase) {
+  try {
+    lex("4294967296");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.phase(), CompilePhase::kLex);
+  }
+}
+
+}  // namespace
+}  // namespace domino

@@ -1,0 +1,200 @@
+// Tests for the workload substrate: deterministic RNG, Zipf sampling,
+// trace generation, the FIFO queue simulator and the leaf-spine fabric.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/fabric.h"
+#include "sim/queue.h"
+#include "sim/rng.h"
+#include "sim/tracegen.h"
+#include "sim/zipf.h"
+
+namespace netsim {
+namespace {
+
+TEST(RngTest, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Xoshiro256 rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, RankOneIsMostPopular) {
+  Zipf z(100, 1.2);
+  Xoshiro256 rng(6);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.sample(rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 50000 / 10);  // head is heavy
+}
+
+TEST(ZipfTest, SamplesCoverTail) {
+  Zipf z(50, 1.0);
+  Xoshiro256 rng(7);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.sample(rng)]++;
+  int distinct = static_cast<int>(counts.size());
+  EXPECT_GT(distinct, 40);  // nearly all ranks appear
+}
+
+TEST(TraceGenTest, DeterministicUnderSeed) {
+  FlowTraceConfig c;
+  c.num_packets = 500;
+  auto t1 = generate_flow_trace(c);
+  auto t2 = generate_flow_trace(c);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].arrival, t2[i].arrival);
+    EXPECT_EQ(t1[i].flow_id, t2[i].flow_id);
+  }
+}
+
+TEST(TraceGenTest, PerFlowArrivalsMonotone) {
+  FlowTraceConfig c;
+  c.num_packets = 5000;
+  auto trace = generate_flow_trace(c);
+  std::map<std::int32_t, std::int32_t> last;
+  for (const auto& p : trace) {
+    auto it = last.find(p.flow_id);
+    if (it != last.end()) EXPECT_GE(p.arrival, it->second);
+    last[p.flow_id] = p.arrival;
+  }
+}
+
+TEST(TraceGenTest, ContainsFlowletGaps) {
+  FlowTraceConfig c;
+  c.num_packets = 20000;
+  c.num_flows = 20;
+  auto trace = generate_flow_trace(c);
+  // Some per-flow gaps exceed the inter-burst threshold, some don't: both
+  // flowlet continuation and re-pinning are exercised.
+  std::map<std::int32_t, std::int32_t> last;
+  int large = 0, small = 0;
+  for (const auto& p : trace) {
+    auto it = last.find(p.flow_id);
+    if (it != last.end()) {
+      ((p.arrival - it->second >= c.inter_burst_gap) ? large : small)++;
+    }
+    last[p.flow_id] = p.arrival;
+  }
+  EXPECT_GT(large, 100);
+  EXPECT_GT(small, 100);
+}
+
+TEST(TraceGenTest, PacketSizesWithinEthernetBounds) {
+  FlowTraceConfig c;
+  c.num_packets = 2000;
+  for (const auto& p : generate_flow_trace(c)) {
+    EXPECT_GE(p.size_bytes, 64);
+    EXPECT_LE(p.size_bytes, 1500);
+  }
+}
+
+TEST(ArrivalTraceTest, ArrivalsStrictlyIncrease) {
+  ArrivalTraceConfig c;
+  c.num_packets = 2000;
+  auto trace = generate_arrival_trace(c);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GT(trace[i].arrival, trace[i - 1].arrival);
+}
+
+TEST(QueueSimTest, DeparturesAfterArrivals) {
+  ArrivalTraceConfig c;
+  c.num_packets = 2000;
+  auto samples = simulate_queue(generate_arrival_trace(c), {});
+  for (const auto& s : samples) {
+    EXPECT_GE(s.departure, s.arrival);
+    EXPECT_EQ(s.sojourn, s.departure - s.arrival);
+    EXPECT_GE(s.qlen_bytes, 0);
+  }
+}
+
+TEST(QueueSimTest, FifoOrderPreserved) {
+  ArrivalTraceConfig c;
+  c.num_packets = 2000;
+  auto samples = simulate_queue(generate_arrival_trace(c), {});
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_GE(samples[i].departure, samples[i - 1].departure);
+}
+
+TEST(QueueSimTest, HighLoadBuildsQueue) {
+  ArrivalTraceConfig heavy;
+  heavy.num_packets = 5000;
+  heavy.load = 3.0;  // overloaded
+  QueueConfig qc;
+  qc.bytes_per_tick = 300;
+  auto hs = simulate_queue(generate_arrival_trace(heavy), qc);
+
+  ArrivalTraceConfig light = heavy;
+  light.load = 0.2;
+  auto ls = simulate_queue(generate_arrival_trace(light), qc);
+
+  double h_delay = 0, l_delay = 0;
+  for (const auto& s : hs) h_delay += s.sojourn;
+  for (const auto& s : ls) l_delay += s.sojourn;
+  EXPECT_GT(h_delay / static_cast<double>(hs.size()),
+            5 * l_delay / static_cast<double>(ls.size()));
+}
+
+TEST(FabricTest, BestPathTracksLoad) {
+  LeafSpineFabric fabric(4, 4, 11);
+  fabric.add_load(0, 0, 1000);
+  fabric.add_load(0, 1, 2000);
+  fabric.add_load(0, 3, 500);
+  EXPECT_EQ(fabric.best_path(0), 2);  // untouched path
+  fabric.add_load(0, 2, 5000);
+  EXPECT_EQ(fabric.best_path(0), 3);
+}
+
+TEST(FabricTest, DrainReducesUtilization) {
+  LeafSpineFabric fabric(2, 2, 12);
+  fabric.add_load(1, 1, 300);
+  fabric.drain(100);
+  EXPECT_EQ(fabric.utilization(1, 1), 200);
+  fabric.drain(1000);
+  EXPECT_EQ(fabric.utilization(1, 1), 0);  // clamps at zero
+}
+
+}  // namespace
+}  // namespace netsim

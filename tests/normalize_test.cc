@@ -1,0 +1,335 @@
+#include "core/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/interp.h"
+#include "core/parser.h"
+#include "core/sema.h"
+
+namespace domino {
+namespace {
+
+Program parsed(const std::string& src) {
+  Program p = parse(src);
+  analyze(p);
+  return p;
+}
+
+const char* kSmall =
+    "struct Packet { int a; int b; int out; };\n"
+    "int s = 0;\n"
+    "void t(struct Packet pkt) {\n"
+    "  if (pkt.a > 3) { s = s + pkt.b; pkt.out = 1; } else { pkt.out = 2; }\n"
+    "}\n";
+
+// ---- branch removal -------------------------------------------------------
+
+TEST(BranchRemovalTest, ResultHasNoIfStatements) {
+  Program p = remove_branches(parsed(kSmall));
+  for (const auto& s : p.transaction.body)
+    EXPECT_EQ(s->kind, Stmt::Kind::kAssign);
+}
+
+TEST(BranchRemovalTest, ConditionHoistedIntoFreshField) {
+  Program p = remove_branches(parsed(kSmall));
+  // First statement assigns the hoisted condition.
+  const Stmt& s = *p.transaction.body[0];
+  EXPECT_EQ(s.target->kind, Expr::Kind::kField);
+  EXPECT_EQ(s.target->name.rfind("_br", 0), 0u);
+  EXPECT_EQ(s.value->bin_op, BinOp::kGt);
+}
+
+TEST(BranchRemovalTest, ThenAssignmentsGuardedWithTernary) {
+  Program p = remove_branches(parsed(kSmall));
+  // s = cond ? s + b : s
+  const Stmt& s = *p.transaction.body[1];
+  ASSERT_EQ(s.value->kind, Expr::Kind::kTernary);
+  EXPECT_EQ(s.value->b->kind, Expr::Kind::kState);  // else-side keeps old
+}
+
+TEST(BranchRemovalTest, ElseAssignmentsGuardedWithSwappedArms) {
+  Program p = remove_branches(parsed(kSmall));
+  const Stmt& s = *p.transaction.body.back();  // pkt.out = cond ? out : 2
+  ASSERT_EQ(s.value->kind, Expr::Kind::kTernary);
+  EXPECT_EQ(s.value->b->int_value, 2);
+}
+
+TEST(BranchRemovalTest, NestedIfsFlattenInnermostFirst) {
+  Program p = remove_branches(parsed(
+      "struct Packet { int a; int b; };\nint s = 0;\n"
+      "void t(struct Packet pkt) {\n"
+      "  if (pkt.a) { if (pkt.b) { s = 1; } }\n"
+      "}\n"));
+  // Expect: _br0 = a; _br1 = b (unguarded); s = br0 ? (br1 ? 1 : s) : s
+  ASSERT_EQ(p.transaction.body.size(), 3u);
+  const Stmt& inner_cond = *p.transaction.body[1];
+  EXPECT_EQ(inner_cond.value->kind, Expr::Kind::kField);  // plain copy of b
+  const Stmt& update = *p.transaction.body[2];
+  ASSERT_EQ(update.value->kind, Expr::Kind::kTernary);
+  EXPECT_EQ(update.value->a->kind, Expr::Kind::kTernary);
+}
+
+TEST(BranchRemovalTest, StateArrayWriteRewrittenAsSelfConditional) {
+  // Figure 5's exact pattern.
+  Program p = remove_branches(parsed(
+      "#define N 8\nstruct Packet { int id; int v; };\nint a[N] = {0};\n"
+      "void t(struct Packet pkt) {\n"
+      "  if (pkt.v > 5) { a[pkt.id] = pkt.v; }\n"
+      "}\n"));
+  const Stmt& s = *p.transaction.body[1];
+  EXPECT_EQ(s.target->kind, Expr::Kind::kState);
+  ASSERT_EQ(s.value->kind, Expr::Kind::kTernary);
+  EXPECT_EQ(s.value->b->kind, Expr::Kind::kState);  // a[pkt.id] on else side
+}
+
+// ---- state flanks ---------------------------------------------------------
+
+TEST(FlankTest, ReadFlankInsertedBeforeFirstUse) {
+  Program p = rewrite_state_vars(remove_branches(parsed(kSmall)));
+  // Somewhere a statement must read the state into a temporary field, and it
+  // must appear before any use of that temporary.
+  int read_flank = -1, first_use = -1;
+  for (std::size_t i = 0; i < p.transaction.body.size(); ++i) {
+    const Stmt& s = *p.transaction.body[i];
+    if (s.value->kind == Expr::Kind::kState && read_flank < 0)
+      read_flank = static_cast<int>(i);
+    if (s.value->str().find("_s_") != std::string::npos && first_use < 0)
+      first_use = static_cast<int>(i);
+  }
+  ASSERT_GE(read_flank, 0);
+  EXPECT_TRUE(first_use == -1 || read_flank < first_use);
+}
+
+TEST(FlankTest, WriteFlankAtEnd) {
+  Program p = rewrite_state_vars(remove_branches(parsed(kSmall)));
+  const Stmt& last = *p.transaction.body.back();
+  EXPECT_EQ(last.target->kind, Expr::Kind::kState);
+  EXPECT_EQ(last.value->kind, Expr::Kind::kField);
+}
+
+TEST(FlankTest, OnlyFlanksTouchState) {
+  // After the pass, state appears only in the read flank (value) and the
+  // write flank (target); everything else is packet-field arithmetic.
+  Program p = rewrite_state_vars(remove_branches(parsed(kSmall)));
+  int state_refs = 0;
+  for (const auto& s : p.transaction.body) {
+    if (s->value->kind == Expr::Kind::kState) ++state_refs;
+    if (s->target->kind == Expr::Kind::kState) ++state_refs;
+    // no nested state refs in compound expressions:
+    std::function<void(const Expr&)> walk = [&](const Expr& e) {
+      if (&e != s->value.get() && e.kind == Expr::Kind::kState) ADD_FAILURE();
+      if (e.a) walk(*e.a);
+      if (e.b) walk(*e.b);
+      if (e.cond) walk(*e.cond);
+    };
+    if (s->value->kind != Expr::Kind::kState) walk(*s->value);
+  }
+  EXPECT_EQ(state_refs, 2);  // one read flank + one write flank
+}
+
+TEST(FlankTest, ReadOnlyStateGetsNoWriteFlank) {
+  Program p = rewrite_state_vars(remove_branches(parsed(
+      "struct Packet { int out; };\nint s = 3;\n"
+      "void t(struct Packet pkt) { pkt.out = s; }\n")));
+  const Stmt& last = *p.transaction.body.back();
+  EXPECT_NE(last.target->kind, Expr::Kind::kState);
+}
+
+TEST(FlankTest, ArrayIndexExpressionMovedToOwnField) {
+  Program p = rewrite_state_vars(remove_branches(parsed(
+      "#define N 8\nstruct Packet { int a; int b; int out; };\n"
+      "int arr[N] = {0};\n"
+      "void t(struct Packet pkt) { pkt.out = arr[pkt.a + pkt.b]; }\n")));
+  // The compound index must have been hoisted into a field.
+  const Stmt& idx = *p.transaction.body[0];
+  EXPECT_EQ(idx.target->name.rfind("_idx_", 0), 0u);
+  const Stmt& flank = *p.transaction.body[1];
+  ASSERT_EQ(flank.value->kind, Expr::Kind::kState);
+  EXPECT_EQ(flank.value->index->kind, Expr::Kind::kField);
+}
+
+TEST(FlankTest, BareFieldIndexReused) {
+  Program p = rewrite_state_vars(remove_branches(parsed(
+      "#define N 8\nstruct Packet { int i; int out; };\nint arr[N] = {0};\n"
+      "void t(struct Packet pkt) { pkt.out = arr[pkt.i]; }\n")));
+  const Stmt& flank = *p.transaction.body[0];
+  ASSERT_EQ(flank.value->kind, Expr::Kind::kState);
+  EXPECT_EQ(flank.value->index->name, "i");
+}
+
+// ---- SSA ------------------------------------------------------------------
+
+TEST(SsaTest, EveryFieldAssignedAtMostOnce) {
+  auto pre = rewrite_state_vars(remove_branches(parsed(kSmall)));
+  Program p = to_ssa(pre, nullptr);
+  std::set<std::string> assigned;
+  for (const auto& s : p.transaction.body) {
+    if (s->target->kind != Expr::Kind::kField) continue;
+    EXPECT_TRUE(assigned.insert(s->target->name).second)
+        << "field " << s->target->name << " assigned twice";
+  }
+}
+
+TEST(SsaTest, ReadsSeeLatestVersion) {
+  Program p = to_ssa(parsed("struct Packet { int a; int out; };\n"
+                            "void t(struct Packet pkt) {\n"
+                            "  pkt.a = 1;\n  pkt.a = pkt.a + 1;\n"
+                            "  pkt.out = pkt.a;\n}\n"),
+                     nullptr);
+  const Stmt& second = *p.transaction.body[1];
+  EXPECT_EQ(second.value->a->name, "a_v0");
+  const Stmt& third = *p.transaction.body[2];
+  EXPECT_EQ(third.value->name, "a_v1");
+}
+
+TEST(SsaTest, FinalNamesMapToLastVersion) {
+  std::map<std::string, std::string> finals;
+  to_ssa(parsed("struct Packet { int a; int b; };\n"
+                "void t(struct Packet pkt) { pkt.a = 1; pkt.a = 2; }\n"),
+         &finals);
+  EXPECT_EQ(finals.at("a"), "a_v1");
+  EXPECT_EQ(finals.at("b"), "b");  // never assigned: input name
+}
+
+TEST(SsaTest, InputFieldsKeepTheirNames) {
+  Program p = to_ssa(parsed("struct Packet { int a; int out; };\n"
+                            "void t(struct Packet pkt) { pkt.out = pkt.a; }\n"),
+                     nullptr);
+  EXPECT_EQ(p.transaction.body[0]->value->name, "a");
+}
+
+// ---- TAC ------------------------------------------------------------------
+
+TEST(TacTest, FlattensCompoundExpressions) {
+  TacProgram tac = normalize(parsed(
+      "struct Packet { int a; int b; int c; int out; };\n"
+      "void t(struct Packet pkt) { pkt.out = pkt.a + pkt.b - pkt.c; }\n")).tac;
+  ASSERT_EQ(tac.stmts.size(), 2u);
+  EXPECT_EQ(tac.stmts[0].kind, TacStmt::Kind::kBinary);
+  EXPECT_EQ(tac.stmts[0].op, BinOp::kAdd);
+  EXPECT_EQ(tac.stmts[1].op, BinOp::kSub);
+}
+
+TEST(TacTest, HashModFoldsIntoIntrinsic) {
+  TacProgram tac = normalize(parsed(
+      "#define N 64\nstruct Packet { int a; int b; int out; };\n"
+      "void t(struct Packet pkt) { pkt.out = hash2(pkt.a, pkt.b) % N; }\n"))
+                       .tac;
+  ASSERT_EQ(tac.stmts.size(), 1u);
+  EXPECT_EQ(tac.stmts[0].kind, TacStmt::Kind::kIntrinsic);
+  EXPECT_EQ(tac.stmts[0].intrinsic_mod, 64);
+}
+
+TEST(TacTest, ConstantFolding) {
+  TacProgram tac = normalize(parsed(
+      "#define N 30\nstruct Packet { int out; };\n"
+      "void t(struct Packet pkt) { pkt.out = N - 1; }\n")).tac;
+  ASSERT_EQ(tac.stmts.size(), 1u);
+  EXPECT_EQ(tac.stmts[0].kind, TacStmt::Kind::kCopy);
+  EXPECT_EQ(tac.stmts[0].a.cst, 29);
+}
+
+TEST(TacTest, TernaryHasFourOperandForm) {
+  TacProgram tac = normalize(parsed(
+      "struct Packet { int c; int a; int b; int out; };\n"
+      "void t(struct Packet pkt) { pkt.out = pkt.c ? pkt.a : pkt.b; }\n")).tac;
+  ASSERT_EQ(tac.stmts.size(), 1u);
+  EXPECT_EQ(tac.stmts[0].kind, TacStmt::Kind::kTernary);
+}
+
+TEST(TacTest, StateAccessesAreBareReadsAndWrites) {
+  TacProgram tac = normalize(parsed(kSmall)).tac;
+  for (const auto& s : tac.stmts) {
+    if (s.kind == TacStmt::Kind::kReadState)
+      EXPECT_FALSE(s.dst.empty());
+    if (s.kind == TacStmt::Kind::kWriteState)
+      EXPECT_TRUE(s.a.is_field() || s.a.is_const());
+  }
+}
+
+// ---- copy propagation / DCE ----------------------------------------------
+
+TEST(OptimizeTest, DeadTemporariesRemoved) {
+  Normalized n = normalize(parsed(
+      "struct Packet { int a; int out; };\n"
+      "void t(struct Packet pkt) { pkt.out = pkt.a + 1; }\n"));
+  EXPECT_LE(n.tac.stmts.size(), n.tac_raw.stmts.size());
+  for (const auto& s : n.tac.stmts) {
+    auto w = s.field_written();
+    if (w.has_value()) EXPECT_EQ(*w, "out_v0");
+  }
+}
+
+TEST(OptimizeTest, OutputCopiesSurvive) {
+  Normalized n = normalize(parsed(
+      "struct Packet { int a; int out; };\nint s = 0;\n"
+      "void t(struct Packet pkt) { s = pkt.a; pkt.out = s; }\n"));
+  bool has_out = false;
+  for (const auto& s : n.tac.stmts)
+    if (s.field_written() == std::optional<std::string>("out_v0"))
+      has_out = true;
+  EXPECT_TRUE(has_out);
+}
+
+TEST(OptimizeTest, StateWritesAlwaysSurvive) {
+  Normalized n = normalize(parsed(
+      "struct Packet { int a; };\nint s = 0;\n"
+      "void t(struct Packet pkt) { s = s + pkt.a; }\n"));
+  bool has_write = false;
+  for (const auto& s : n.tac.stmts)
+    if (s.kind == TacStmt::Kind::kWriteState) has_write = true;
+  EXPECT_TRUE(has_write);
+}
+
+// ---- semantic preservation (property) --------------------------------------
+
+// Each pass must preserve the transaction's observable semantics.  We run the
+// original and the transformed program on identical random packet streams and
+// compare all user fields and all state.
+class PassPreservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PassPreservationTest, AllPassesPreserveSemantics) {
+  const int seed = GetParam();
+  const std::string src =
+      "#define N 16\n"
+      "struct Packet { int a; int b; int c; int out; int out2; };\n"
+      "int s = 0;\nint arr[N] = {0};\n"
+      "void t(struct Packet pkt) {\n"
+      "  pkt.c = hash2(pkt.a, pkt.b) % N;\n"
+      "  if (pkt.a > 10) { arr[pkt.c] = arr[pkt.c] + pkt.b; s = s + 1; }\n"
+      "  else { if (pkt.b > 5) { s = s + 2; } }\n"
+      "  pkt.out = arr[pkt.c];\n"
+      "  pkt.out2 = s;\n"
+      "}\n";
+  Program original = parsed(src);
+  Program br = remove_branches(original);
+  Program fl = rewrite_state_vars(br);
+
+  Interpreter i0(original), i1(br), i2(fl);
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::uniform_int_distribution<Value> dist(-20, 20);
+  for (int n = 0; n < 500; ++n) {
+    const Value a = dist(rng), b = dist(rng);
+    auto run = [&](Interpreter& it) {
+      auto pkt = it.make_packet();
+      it.set(pkt, "a", a);
+      it.set(pkt, "b", b);
+      it.run(pkt);
+      return std::pair(it.get(pkt, "out"), it.get(pkt, "out2"));
+    };
+    auto r0 = run(i0), r1 = run(i1), r2 = run(i2);
+    ASSERT_EQ(r0, r1) << "branch removal changed semantics at packet " << n;
+    ASSERT_EQ(r0, r2) << "flank rewriting changed semantics at packet " << n;
+  }
+  EXPECT_EQ(i0.state().var("s"), i1.state().var("s"));
+  EXPECT_EQ(i0.state().var("arr"), i2.state().var("arr"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassPreservationTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace domino

@@ -1,0 +1,228 @@
+#include "core/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/diag.h"
+
+namespace domino {
+namespace {
+
+// A minimal valid program to which test snippets are appended.
+std::string with_body(const std::string& body,
+                      const std::string& decls = "") {
+  return "#define N 4\n"
+         "struct Packet { int a; int b; int c; };\n"
+         "int s = 0;\n"
+         "int arr[N] = {0};\n" +
+         decls + "void t(struct Packet pkt) {\n" + body + "\n}\n";
+}
+
+TEST(ParserTest, ParsesFlowletStructure) {
+  Program p = parse(with_body("pkt.a = pkt.b + 1;"));
+  EXPECT_EQ(p.defines.size(), 1u);
+  EXPECT_EQ(p.defines[0].name, "N");
+  EXPECT_EQ(p.defines[0].value, 4);
+  EXPECT_EQ(p.packet_fields.size(), 3u);
+  EXPECT_EQ(p.state_vars.size(), 2u);
+  EXPECT_EQ(p.transaction.name, "t");
+  EXPECT_EQ(p.transaction.packet_param, "pkt");
+  ASSERT_EQ(p.transaction.body.size(), 1u);
+}
+
+TEST(ParserTest, DefineSubstitutionInExpressions) {
+  Program p = parse(with_body("pkt.a = N;"));
+  const Stmt& s = *p.transaction.body[0];
+  EXPECT_EQ(s.value->kind, Expr::Kind::kIntLit);
+  EXPECT_EQ(s.value->int_value, 4);
+}
+
+TEST(ParserTest, DefineUsedAsArraySize) {
+  Program p = parse(with_body("pkt.a = 1;"));
+  const StateDecl* arr = p.find_state("arr");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_TRUE(arr->is_array);
+  EXPECT_EQ(arr->size, 4);
+}
+
+TEST(ParserTest, NegativeDefine) {
+  Program p = parse("#define M -3\n" + with_body("pkt.a = M;"));
+  EXPECT_EQ(p.transaction.body[0]->value->int_value, -3);
+}
+
+TEST(ParserTest, ScalarInitializer) {
+  Program p = parse(with_body("pkt.a = 1;", "int z = 7;\n"));
+  EXPECT_EQ(p.find_state("z")->init, 7);
+}
+
+TEST(ParserTest, BraceInitializer) {
+  Program p = parse(with_body("pkt.a = 1;", "int w[4] = {9};\n"));
+  EXPECT_EQ(p.find_state("w")->init, 9);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  Program p = parse(with_body("pkt.a = pkt.b + pkt.c * 2;"));
+  const Expr& e = *p.transaction.body[0]->value;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.b->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, PrecedenceRelationalOverLogical) {
+  Program p = parse(with_body("pkt.a = pkt.b < 1 && pkt.c > 2;"));
+  const Expr& e = *p.transaction.body[0]->value;
+  EXPECT_EQ(e.bin_op, BinOp::kLAnd);
+  EXPECT_EQ(e.a->bin_op, BinOp::kLt);
+  EXPECT_EQ(e.b->bin_op, BinOp::kGt);
+}
+
+TEST(ParserTest, TernaryRightAssociative) {
+  Program p =
+      parse(with_body("pkt.a = pkt.b ? 1 : pkt.c ? 2 : 3;"));
+  const Expr& e = *p.transaction.body[0]->value;
+  ASSERT_EQ(e.kind, Expr::Kind::kTernary);
+  EXPECT_EQ(e.b->kind, Expr::Kind::kTernary);
+}
+
+TEST(ParserTest, StateArrayAccess) {
+  Program p = parse(with_body("arr[pkt.a] = arr[pkt.a] + 1;"));
+  const Stmt& s = *p.transaction.body[0];
+  EXPECT_EQ(s.target->kind, Expr::Kind::kState);
+  ASSERT_NE(s.target->index, nullptr);
+  EXPECT_EQ(s.target->index->kind, Expr::Kind::kField);
+}
+
+TEST(ParserTest, IncrementSugar) {
+  Program p = parse(with_body("s++;"));
+  const Stmt& s = *p.transaction.body[0];
+  EXPECT_EQ(s.value->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.value->bin_op, BinOp::kAdd);
+  EXPECT_EQ(s.value->b->int_value, 1);
+}
+
+TEST(ParserTest, CompoundPlusAssignSugar) {
+  Program p = parse(with_body("s += pkt.a;"));
+  const Stmt& s = *p.transaction.body[0];
+  EXPECT_EQ(s.value->bin_op, BinOp::kAdd);
+  EXPECT_EQ(s.value->a->kind, Expr::Kind::kState);
+}
+
+TEST(ParserTest, CompoundMinusAssignSugar) {
+  Program p = parse(with_body("s -= 2;"));
+  EXPECT_EQ(p.transaction.body[0]->value->bin_op, BinOp::kSub);
+}
+
+TEST(ParserTest, IfElseChain) {
+  Program p = parse(with_body(
+      "if (pkt.a) { pkt.b = 1; } else if (pkt.c) { pkt.b = 2; } else { "
+      "pkt.b = 3; }"));
+  const Stmt& s = *p.transaction.body[0];
+  ASSERT_EQ(s.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, Stmt::Kind::kIf);
+}
+
+TEST(ParserTest, BracelessIfBody) {
+  Program p = parse(with_body("if (pkt.a) pkt.b = 1;"));
+  EXPECT_EQ(p.transaction.body[0]->then_body.size(), 1u);
+}
+
+TEST(ParserTest, IntrinsicCall) {
+  Program p = parse(with_body("pkt.a = hash2(pkt.b, pkt.c) % N;"));
+  const Expr& e = *p.transaction.body[0]->value;
+  EXPECT_EQ(e.bin_op, BinOp::kMod);
+  EXPECT_EQ(e.a->kind, Expr::Kind::kCall);
+  EXPECT_EQ(e.a->name, "hash2");
+}
+
+TEST(ParserTest, UnaryMinusOnLiteralFolds) {
+  Program p = parse(with_body("pkt.a = -5;"));
+  EXPECT_EQ(p.transaction.body[0]->value->kind, Expr::Kind::kIntLit);
+  EXPECT_EQ(p.transaction.body[0]->value->int_value, -5);
+}
+
+// ---- Table 1 restrictions -------------------------------------------------
+
+void expect_parse_error(const std::string& src, const std::string& needle) {
+  try {
+    parse(src);
+    FAIL() << "expected rejection: " << needle;
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParserRestrictionTest, WhileLoopRejected) {
+  expect_parse_error(with_body("while (1) { pkt.a = 1; }"), "iteration");
+}
+
+TEST(ParserRestrictionTest, ForLoopRejected) {
+  expect_parse_error(with_body("for (;;) {}"), "iteration");
+}
+
+TEST(ParserRestrictionTest, DoWhileRejected) {
+  expect_parse_error(with_body("do { pkt.a = 1; } while (1);"), "iteration");
+}
+
+TEST(ParserRestrictionTest, GotoRejected) {
+  expect_parse_error(with_body("goto out;"), "goto");
+}
+
+TEST(ParserRestrictionTest, BreakRejected) {
+  expect_parse_error(with_body("break;"), "break");
+}
+
+TEST(ParserRestrictionTest, ContinueRejected) {
+  expect_parse_error(with_body("continue;"), "continue");
+}
+
+TEST(ParserRestrictionTest, ReturnRejected) {
+  expect_parse_error(with_body("return;"), "return");
+}
+
+TEST(ParserRestrictionTest, PointerFieldRejected) {
+  expect_parse_error("struct Packet { int *p; };\nvoid t(struct Packet pkt) {}",
+                     "pointer");
+}
+
+TEST(ParserRestrictionTest, PointerStateRejected) {
+  expect_parse_error(
+      "struct Packet { int a; };\nint *p;\nvoid t(struct Packet pkt) {}",
+      "pointer");
+}
+
+TEST(ParserRestrictionTest, LocalVariablesRejected) {
+  expect_parse_error(with_body("int local = 3;"), "local variable");
+}
+
+TEST(ParserRestrictionTest, MultipleTransactionsRejected) {
+  expect_parse_error(
+      "struct Packet { int a; };\n"
+      "void t1(struct Packet pkt) { pkt.a = 1; }\n"
+      "void t2(struct Packet pkt) { pkt.a = 2; }\n",
+      "policy");
+}
+
+TEST(ParserRestrictionTest, AssignToConstantRejected) {
+  expect_parse_error(with_body("N = 3;"), "constant");
+}
+
+TEST(ParserTest, MissingTransactionRejected) {
+  expect_parse_error("struct Packet { int a; };\n", "no packet transaction");
+}
+
+TEST(ParserTest, NonPacketStructRejected) {
+  expect_parse_error("struct Foo { int a; };\n", "struct Packet");
+}
+
+TEST(ParserTest, ProgramRoundTripsThroughPrinter) {
+  // str() output must itself be parseable (used by golden tests).
+  Program p = parse(with_body(
+      "pkt.a = hash2(pkt.b, pkt.c) % N;\n"
+      "if (pkt.a > 1) { arr[pkt.a] = 2; } else { s = s + 1; }"));
+  Program p2 = parse(p.str());
+  EXPECT_EQ(p.str(), p2.str());
+}
+
+}  // namespace
+}  // namespace domino

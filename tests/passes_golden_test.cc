@@ -1,0 +1,180 @@
+// Golden tests reproducing the paper's worked example: flowlet switching
+// through every compiler stage (Figures 5, 6, 7, 8, 9 and 3b).
+#include <gtest/gtest.h>
+
+#include "algorithms/corpus.h"
+#include "core/compiler.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/pipeline.h"
+#include "core/sema.h"
+
+namespace domino {
+namespace {
+
+class FlowletGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prog_ = parse(algorithms::algorithm("flowlets").source);
+    analyze(prog_);
+    norm_ = normalize(prog_);
+  }
+  Program prog_;
+  Normalized norm_;
+};
+
+TEST_F(FlowletGoldenTest, Figure5BranchRemoval) {
+  // After branch removal the saved_hop update is the self-conditional write
+  // of Figure 5: saved_hop[pkt.id] = tmp ? pkt.new_hop : saved_hop[pkt.id].
+  bool found = false;
+  for (const auto& s : norm_.branch_removed.transaction.body) {
+    if (s->target->kind == Expr::Kind::kState &&
+        s->target->name == "saved_hop") {
+      ASSERT_EQ(s->value->kind, Expr::Kind::kTernary);
+      EXPECT_EQ(s->value->a->str(), "pkt.new_hop");
+      EXPECT_EQ(s->value->b->str(), "saved_hop[pkt.id]");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FlowletGoldenTest, Figure6StateReadWriteFlanks) {
+  // Each state variable gets a read flank before use and a write flank at the
+  // end; in between, arithmetic happens only on packet temporaries.
+  const auto& body = norm_.flanked.transaction.body;
+  int read_flanks = 0, write_flanks = 0;
+  for (const auto& s : body) {
+    if (s->value->kind == Expr::Kind::kState) ++read_flanks;
+    if (s->target->kind == Expr::Kind::kState) ++write_flanks;
+  }
+  EXPECT_EQ(read_flanks, 2);   // last_time, saved_hop
+  EXPECT_EQ(write_flanks, 2);
+  // Write flanks are the final statements.
+  EXPECT_EQ(body[body.size() - 1]->target->kind, Expr::Kind::kState);
+  EXPECT_EQ(body[body.size() - 2]->target->kind, Expr::Kind::kState);
+}
+
+TEST_F(FlowletGoldenTest, Figure7SingleStaticAssignment) {
+  std::set<std::string> assigned;
+  for (const auto& s : norm_.ssa.transaction.body) {
+    if (s->target->kind != Expr::Kind::kField) continue;
+    EXPECT_TRUE(assigned.insert(s->target->name).second);
+  }
+}
+
+TEST_F(FlowletGoldenTest, Figure8ThreeAddressCode) {
+  // Figure 8 has nine statements.  Our TAC has ten: where the paper's flank
+  // rewriting duplicates the conditional (lines 7 and 8 of Figure 8 compute
+  // `tmp2 ? new_hop : saved_hop` twice — once for pkt.next_hop, once for the
+  // write flank), our SSA chain computes it once and copies the result into
+  // pkt.next_hop.  Same atoms per stage, same pipeline (see Figure3b test).
+  const TacProgram& tac = norm_.tac;
+  ASSERT_EQ(tac.stmts.size(), 10u);
+
+  int intrinsics = 0, reads = 0, writes = 0, binaries = 0, ternaries = 0,
+      copies = 0;
+  for (const auto& s : tac.stmts) {
+    switch (s.kind) {
+      case TacStmt::Kind::kIntrinsic: ++intrinsics; break;
+      case TacStmt::Kind::kReadState: ++reads; break;
+      case TacStmt::Kind::kWriteState: ++writes; break;
+      case TacStmt::Kind::kBinary: ++binaries; break;
+      case TacStmt::Kind::kTernary: ++ternaries; break;
+      case TacStmt::Kind::kCopy: ++copies; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(intrinsics, 2);  // hash2, hash3
+  EXPECT_EQ(reads, 2);       // saved_hop, last_time read flanks
+  EXPECT_EQ(writes, 2);      // saved_hop, last_time write flanks
+  EXPECT_EQ(binaries, 2);    // arrival - last_time; tmp > 5
+  EXPECT_EQ(ternaries, 1);   // saved_hop select (paper duplicates it)
+  EXPECT_EQ(copies, 1);      // next_hop = selected hop
+}
+
+TEST_F(FlowletGoldenTest, Figure9SavedHopCycleCondensed) {
+  // The dependency graph has a cycle between the saved_hop read and write
+  // (pair edges); after condensation they are one component.
+  DepGraph g = build_dep_graph(norm_.tac);
+  auto sccs = strongly_connected_components(g);
+  bool found_saved_hop_scc = false;
+  for (const auto& comp : sccs) {
+    std::set<TacStmt::Kind> kinds;
+    bool touches_saved_hop = false;
+    for (int v : comp) {
+      const auto& s = norm_.tac.stmts[static_cast<std::size_t>(v)];
+      kinds.insert(s.kind);
+      if (s.touches_state() && s.state_var == "saved_hop")
+        touches_saved_hop = true;
+    }
+    if (touches_saved_hop) {
+      found_saved_hop_scc = true;
+      EXPECT_GE(comp.size(), 3u);  // read flank, ternary, write flank
+      EXPECT_TRUE(kinds.count(TacStmt::Kind::kReadState));
+      EXPECT_TRUE(kinds.count(TacStmt::Kind::kWriteState));
+    }
+  }
+  EXPECT_TRUE(found_saved_hop_scc);
+}
+
+TEST_F(FlowletGoldenTest, Figure3bSixStagePipeline) {
+  CodeletPipeline p = pipeline_schedule(norm_.tac);
+  ASSERT_EQ(p.num_stages(), 6u);  // Figure 3b: a 6-stage Banzai pipeline
+  EXPECT_EQ(p.max_codelets_per_stage(), 2u);  // Table 4: "6, 2"
+
+  // Stage 1 computes the two hashes (stateless).
+  EXPECT_EQ(p.stages[0].size(), 2u);
+  for (const auto& c : p.stages[0]) {
+    EXPECT_FALSE(c.is_stateful());
+    EXPECT_TRUE(c.has_intrinsic());
+  }
+  // Exactly two stateful codelets exist: last_time and saved_hop.
+  EXPECT_EQ(p.num_stateful_codelets(), 2u);
+  // last_time's read-modify-write precedes the saved_hop update.
+  int last_time_stage = -1, saved_hop_stage = -1;
+  for (std::size_t si = 0; si < p.stages.size(); ++si)
+    for (const auto& c : p.stages[si]) {
+      if (c.state_vars().count("last_time"))
+        last_time_stage = static_cast<int>(si);
+      if (c.state_vars().count("saved_hop"))
+        saved_hop_stage = static_cast<int>(si);
+    }
+  EXPECT_LT(last_time_stage, saved_hop_stage);
+  // next_hop is produced by the final stage.
+  bool next_hop_last = false;
+  for (const auto& c : p.stages.back())
+    for (const auto& w : c.fields_written())
+      if (w.rfind("next_hop", 0) == 0) next_hop_last = true;
+  EXPECT_TRUE(next_hop_last);
+}
+
+TEST_F(FlowletGoldenTest, PaperLocMatches) {
+  // Figure 3a is 37 lines in the paper (including blanks per their count we
+  // match the non-blank count within a small margin).
+  const std::size_t loc = count_loc(algorithms::algorithm("flowlets").source);
+  EXPECT_GE(loc, 25u);
+  EXPECT_LE(loc, 37u);
+}
+
+TEST_F(FlowletGoldenTest, CompilesToPrawTargetExactly) {
+  auto praw = atoms::find_target("banzai-praw");
+  ASSERT_TRUE(praw.has_value());
+  CompileResult r = compile(algorithms::algorithm("flowlets").source, *praw);
+  EXPECT_EQ(r.num_stages(), 6u);
+  EXPECT_EQ(r.max_atoms_per_stage(), 2u);
+}
+
+TEST_F(FlowletGoldenTest, RejectedByRawTarget) {
+  auto raw = atoms::find_target("banzai-raw");
+  ASSERT_TRUE(raw.has_value());
+  try {
+    compile(algorithms::algorithm("flowlets").source, *raw);
+    FAIL() << "flowlets must not map to the RAW atom";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.phase(), CompilePhase::kMapping);
+  }
+}
+
+}  // namespace
+}  // namespace domino

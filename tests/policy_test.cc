@@ -1,0 +1,208 @@
+// Tests for guards and policies (§3.3-3.4): match semantics, transaction
+// composition by concatenation, and end-to-end behaviour of a composed
+// program.
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/interp.h"
+#include "core/sema.h"
+
+namespace domino {
+namespace {
+
+TEST(GuardClauseTest, ExactMatch) {
+  auto g = Guard::exact("dport", 80);
+  banzai::FieldTable ft;
+  banzai::Packet p(1);
+  ft.intern("dport");
+  p.set(0, 80);
+  EXPECT_TRUE(g.matches(p, ft));
+  p.set(0, 443);
+  EXPECT_FALSE(g.matches(p, ft));
+}
+
+TEST(GuardClauseTest, RangeMatchInclusive) {
+  auto g = Guard::range("len", 64, 1500);
+  banzai::FieldTable ft;
+  ft.intern("len");
+  banzai::Packet p(1);
+  for (auto [v, want] : std::vector<std::pair<banzai::Value, bool>>{
+           {63, false}, {64, true}, {1000, true}, {1500, true}, {1501, false}})
+  {
+    p.set(0, v);
+    EXPECT_EQ(g.matches(p, ft), want) << v;
+  }
+}
+
+TEST(GuardClauseTest, TernaryMatchHonorsMask) {
+  auto g = Guard::ternary("flags", 0b1010, 0b1110);
+  banzai::FieldTable ft;
+  ft.intern("flags");
+  banzai::Packet p(1);
+  p.set(0, 0b1011);  // differs only in the unmasked bit
+  EXPECT_TRUE(g.matches(p, ft));
+  p.set(0, 0b0010);
+  EXPECT_FALSE(g.matches(p, ft));
+}
+
+TEST(GuardClauseTest, LongestPrefixMatch) {
+  auto g = Guard::prefix("dstip", 0x0a000000, 8);  // 10.0.0.0/8
+  banzai::FieldTable ft;
+  ft.intern("dstip");
+  banzai::Packet p(1);
+  p.set(0, 0x0a123456);
+  EXPECT_TRUE(g.matches(p, ft));
+  p.set(0, 0x0b000001);
+  EXPECT_FALSE(g.matches(p, ft));
+}
+
+TEST(GuardClauseTest, ZeroLengthPrefixMatchesAll) {
+  auto g = Guard::prefix("dstip", 0, 0);
+  banzai::FieldTable ft;
+  ft.intern("dstip");
+  banzai::Packet p(1);
+  p.set(0, -12345);
+  EXPECT_TRUE(g.matches(p, ft));
+}
+
+TEST(GuardTest, ConjunctionOfClauses) {
+  auto g = Guard::exact("proto", 6).and_exact("dport", 80);
+  banzai::FieldTable ft;
+  ft.intern("proto");
+  ft.intern("dport");
+  banzai::Packet p(2);
+  p.set(0, 6);
+  p.set(1, 80);
+  EXPECT_TRUE(g.matches(p, ft));
+  p.set(1, 443);
+  EXPECT_FALSE(g.matches(p, ft));
+}
+
+TEST(GuardTest, EmptyGuardMatchesEverything) {
+  Guard g;
+  banzai::FieldTable ft;
+  banzai::Packet p(0);
+  EXPECT_TRUE(g.matches(p, ft));
+}
+
+TEST(GuardTest, MissingFieldNeverMatches) {
+  auto g = Guard::exact("no_such_field", 1);
+  banzai::FieldTable ft;
+  banzai::Packet p(0);
+  EXPECT_FALSE(g.matches(p, ft));
+}
+
+// ---- composition --------------------------------------------------------------
+
+const char* kCounterA =
+    "struct Packet { int a; int outA; };\nint ca = 0;\n"
+    "void ta(struct Packet pkt) { ca = ca + pkt.a; pkt.outA = ca; }\n";
+
+const char* kCounterB =
+    "struct Packet { int a; int outB; };\nint cb = 0;\n"
+    "void tb(struct Packet pkt) { cb = cb + 1; pkt.outB = cb + pkt.a; }\n";
+
+TEST(ComposeTest, BodiesConcatenateInOrder) {
+  Program a = parse_and_check(kCounterA);
+  Program b = parse_and_check(kCounterB);
+  Program ab = compose_transactions(a, b);
+  EXPECT_EQ(ab.transaction.name, "ta_tb");
+  EXPECT_EQ(ab.transaction.body.size(),
+            a.transaction.body.size() + b.transaction.body.size());
+  // Fields unify by name: `a` shared, outA + outB both present.
+  EXPECT_TRUE(ab.has_packet_field("a"));
+  EXPECT_TRUE(ab.has_packet_field("outA"));
+  EXPECT_TRUE(ab.has_packet_field("outB"));
+}
+
+TEST(ComposeTest, ComposedProgramIsCompilable) {
+  Program ab = compose_transactions(parse_and_check(kCounterA),
+                                    parse_and_check(kCounterB));
+  analyze(ab);
+  EXPECT_NO_THROW(compile(ab.str(), *atoms::find_target("banzai-raw")));
+}
+
+TEST(ComposeTest, CompositionEquivalentToSequentialExecution) {
+  Program a = parse_and_check(kCounterA);
+  Program b = parse_and_check(kCounterB);
+  Program ab = compose_transactions(a, b);
+  analyze(ab);
+
+  Interpreter ia(a), ib(b), iab(ab);
+  for (int i = 0; i < 50; ++i) {
+    auto p1 = ia.make_packet();
+    ia.set(p1, "a", i);
+    ia.run(p1);
+    auto p2 = ib.make_packet();
+    ib.set(p2, "a", i);
+    ib.run(p2);
+    auto pc = iab.make_packet();
+    iab.set(pc, "a", i);
+    iab.run(pc);
+    EXPECT_EQ(iab.get(pc, "outA"), ia.get(p1, "outA"));
+    EXPECT_EQ(iab.get(pc, "outB"), ib.get(p2, "outB"));
+  }
+}
+
+TEST(ComposeTest, SharedStateRejected) {
+  const char* other =
+      "struct Packet { int a; };\nint ca = 0;\n"
+      "void tc(struct Packet pkt) { ca = ca + 2; }\n";
+  EXPECT_THROW(compose_transactions(parse_and_check(kCounterA),
+                                    parse_and_check(other)),
+               CompileError);
+}
+
+TEST(ComposeTest, ConflictingDefinesRejected) {
+  const char* d1 =
+      "#define K 1\nstruct Packet { int a; };\nint s1 = 0;\n"
+      "void t1(struct Packet pkt) { s1 = K; }\n";
+  const char* d2 =
+      "#define K 2\nstruct Packet { int a; };\nint s2 = 0;\n"
+      "void t2(struct Packet pkt) { s2 = K; }\n";
+  EXPECT_THROW(
+      compose_transactions(parse_and_check(d1), parse_and_check(d2)),
+      CompileError);
+}
+
+TEST(ComposeTest, AgreeingDefinesUnify) {
+  const char* d1 =
+      "#define K 3\nstruct Packet { int a; };\nint s1 = 0;\n"
+      "void t1(struct Packet pkt) { s1 = K; }\n";
+  const char* d2 =
+      "#define K 3\nstruct Packet { int a; };\nint s2 = 0;\n"
+      "void t2(struct Packet pkt) { s2 = K; }\n";
+  Program p =
+      compose_transactions(parse_and_check(d1), parse_and_check(d2));
+  EXPECT_EQ(p.defines.size(), 1u);
+}
+
+// ---- policy dispatch -----------------------------------------------------------
+
+TEST(PolicyTest, MatchingEntriesInOrder) {
+  Policy policy;
+  policy.add(Guard::exact("dport", 80), parse_and_check(kCounterA));
+  policy.add(Guard::range("dport", 0, 1000), parse_and_check(kCounterB));
+
+  banzai::FieldTable ft;
+  ft.intern("dport");
+  banzai::Packet p(1);
+  p.set(0, 80);
+  auto matches = policy.matching_entries(p, ft);
+  ASSERT_EQ(matches.size(), 2u);  // overlapping guards: both fire, in order
+  EXPECT_EQ(matches[0], 0u);
+  EXPECT_EQ(matches[1], 1u);
+
+  p.set(0, 443);
+  matches = policy.matching_entries(p, ft);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], 1u);
+
+  p.set(0, 5000);
+  EXPECT_TRUE(policy.matching_entries(p, ft).empty());
+}
+
+}  // namespace
+}  // namespace domino

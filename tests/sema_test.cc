@@ -1,0 +1,128 @@
+#include "core/sema.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "ir/diag.h"
+
+namespace domino {
+namespace {
+
+std::string with_body(const std::string& body) {
+  return "#define N 8\n"
+         "struct Packet { int a; int b; int idx; };\n"
+         "int s = 0;\n"
+         "int arr[N] = {0};\n"
+         "int arr2[N] = {0};\n"
+         "void t(struct Packet pkt) {\n" + body + "\n}\n";
+}
+
+void expect_sema_error(const std::string& body, const std::string& needle) {
+  Program p = parse(with_body(body));
+  try {
+    analyze(p);
+    FAIL() << "expected sema rejection containing: " << needle;
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.phase(), CompilePhase::kSema) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+void expect_ok(const std::string& body) {
+  Program p = parse(with_body(body));
+  EXPECT_NO_THROW(analyze(p));
+}
+
+TEST(SemaTest, ValidProgramAccepted) {
+  expect_ok("pkt.idx = hash2(pkt.a, pkt.b) % N;\n"
+            "arr[pkt.idx] = arr[pkt.idx] + 1;\n"
+            "s = s + 1;");
+}
+
+TEST(SemaTest, UndeclaredPacketFieldRejected) {
+  expect_sema_error("pkt.zzz = 1;", "zzz");
+}
+
+TEST(SemaTest, UndeclaredPacketFieldInExprRejected) {
+  expect_sema_error("pkt.a = pkt.nope;", "nope");
+}
+
+TEST(SemaTest, UndeclaredStateRejected) {
+  expect_sema_error("ghost = 1;", "ghost");
+}
+
+TEST(SemaTest, ArrayWithoutIndexRejected) {
+  expect_sema_error("arr = 1;", "without an index");
+}
+
+TEST(SemaTest, ScalarWithIndexRejected) {
+  expect_sema_error("s[pkt.a] = 1;", "scalar");
+}
+
+TEST(SemaTest, UnknownIntrinsicRejected) {
+  expect_sema_error("pkt.a = frobnicate(pkt.b);", "frobnicate");
+}
+
+TEST(SemaTest, IntrinsicArityRejected) {
+  expect_sema_error("pkt.a = hash2(pkt.b);", "2 arguments");
+}
+
+TEST(SemaTest, IntrinsicCorrectArityAccepted) {
+  expect_ok("pkt.a = hash3(pkt.a, pkt.b, 3);");
+}
+
+TEST(SemaTest, DifferentIndicesSameArrayRejected) {
+  // Table 1: all accesses to a given array must use the same index.
+  expect_sema_error("arr[pkt.a] = 1; pkt.b = arr[pkt.b];",
+                    "two different indices");
+}
+
+TEST(SemaTest, SameIndexTwiceAccepted) {
+  expect_ok("arr[pkt.a] = arr[pkt.a] + 1;");
+}
+
+TEST(SemaTest, DifferentArraysDifferentIndicesAccepted) {
+  expect_ok("arr[pkt.a] = 1; arr2[pkt.b] = 2;");
+}
+
+TEST(SemaTest, StateInIndexRejected) {
+  expect_sema_error("arr[s] = 1;", "reads state");
+}
+
+TEST(SemaTest, IndexFieldReassignedRejected) {
+  expect_sema_error(
+      "pkt.idx = 1; arr[pkt.idx] = 1; pkt.idx = 2; pkt.a = arr[pkt.idx];",
+      "more than once");
+}
+
+TEST(SemaTest, IndexFieldAssignedAfterUseRejected) {
+  expect_sema_error("arr[pkt.idx] = 1; pkt.idx = 2;",
+                    "at or after the array's first access");
+}
+
+TEST(SemaTest, IndexFieldAssignedBeforeUseAccepted) {
+  expect_ok("pkt.idx = hash2(pkt.a, pkt.b) % N; arr[pkt.idx] = 1;");
+}
+
+TEST(SemaTest, PureInputIndexFieldAccepted) {
+  expect_ok("arr[pkt.idx] = 1;");
+}
+
+TEST(SemaTest, StateFieldNameCollisionRejected) {
+  Program p = parse(
+      "struct Packet { int s; };\nint s = 0;\nvoid t(struct Packet pkt) { "
+      "pkt.s = 1; }");
+  EXPECT_THROW(analyze(p), CompileError);
+}
+
+TEST(SemaTest, ConditionsMayReadState) {
+  expect_ok("if (s > 3) { s = 0; }");
+}
+
+TEST(SemaTest, NestedConditionsAccepted) {
+  expect_ok("if (pkt.a) { if (s < 5) { s = s + 1; } }");
+}
+
+}  // namespace
+}  // namespace domino

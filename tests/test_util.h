@@ -1,0 +1,97 @@
+// Shared helpers for integration tests: drive a compiled Banzai machine and
+// the sequential reference interpreter on identical workloads and compare.
+#pragma once
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/sim.h"
+#include "core/compiler.h"
+#include "core/interp.h"
+
+namespace test_util {
+
+struct DifferentialResult {
+  int field_mismatches = 0;
+  bool state_equal = false;
+  std::uint64_t cycles = 0;
+  int packets = 0;
+};
+
+// Runs `num_packets` of the algorithm's seeded workload through (a) the
+// sequential interpreter and (b) the compiled machine under cycle-accurate
+// pipelined execution, comparing every user packet field and all state.
+inline DifferentialResult run_differential(
+    const algorithms::AlgorithmInfo& alg, domino::CompileResult& compiled,
+    int num_packets, unsigned seed) {
+  DifferentialResult result;
+  result.packets = num_packets;
+
+  domino::Interpreter interp(compiled.program);
+  auto& machine = compiled.machine();
+  banzai::PipelineSim sim(machine);
+
+  // Interpreter pass.
+  std::mt19937 rng(seed);
+  std::vector<std::vector<banzai::Value>> expected;
+  for (int i = 0; i < num_packets; ++i) {
+    std::map<std::string, banzai::Value> fields;
+    alg.workload(rng, i, fields);
+    auto pkt = interp.make_packet();
+    for (const auto& [k, v] : fields)
+      if (interp.fields().try_id_of(k).has_value()) interp.set(pkt, k, v);
+    interp.run(pkt);
+    std::vector<banzai::Value> row;
+    for (const auto& f : compiled.program.packet_fields)
+      row.push_back(interp.get(pkt, f.name));
+    expected.push_back(std::move(row));
+  }
+
+  // Pipelined machine pass on the identical workload.
+  std::mt19937 rng2(seed);
+  for (int i = 0; i < num_packets; ++i) {
+    std::map<std::string, banzai::Value> fields;
+    alg.workload(rng2, i, fields);
+    banzai::Packet pkt(machine.fields().size());
+    for (const auto& [k, v] : fields)
+      if (machine.fields().try_id_of(k).has_value())
+        pkt.set(machine.fields().id_of(k), v);
+    sim.enqueue(pkt);
+  }
+  sim.drain();
+  result.cycles = sim.stats().cycles;
+
+  for (int i = 0; i < num_packets; ++i) {
+    std::size_t j = 0;
+    for (const auto& f : compiled.program.packet_fields) {
+      const auto& final_name = compiled.output_map().count(f.name)
+                                   ? compiled.output_map().at(f.name)
+                                   : f.name;
+      const auto id = machine.fields().id_of(final_name);
+      if (sim.egress()[static_cast<std::size_t>(i)].get(id) !=
+          expected[static_cast<std::size_t>(i)][j])
+        ++result.field_mismatches;
+      ++j;
+    }
+  }
+  result.state_equal = interp.state() == machine.state();
+  return result;
+}
+
+// The least expressive paper target that accepts `source`, if any.
+inline std::optional<atoms::BanzaiTarget> least_target(
+    const std::string& source) {
+  for (const auto& t : atoms::paper_targets()) {
+    try {
+      domino::compile(source, t);
+      return t;
+    } catch (const domino::CompileError&) {
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace test_util
