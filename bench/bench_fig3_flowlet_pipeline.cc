@@ -15,7 +15,7 @@ int main() {
   const auto& alg = algorithms::algorithm("flowlets");
 
   bench_util::header("Figure 3a — flowlet switching in Domino");
-  std::printf("%s\n", alg.source);
+  std::printf("%s\n", alg.source.c_str());
 
   auto target = *atoms::find_target("banzai-praw");
   domino::CompileResult r = domino::compile(alg.source, target);

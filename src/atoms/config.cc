@@ -17,7 +17,7 @@ const char* rel_str(RelKind r) {
   return "?";
 }
 
-std::string OperandSel::str(std::span<const std::string> field_names) const {
+std::string OperandSel::str(util::Span<const std::string> field_names) const {
   switch (kind) {
     case Kind::kState: return "x" + std::to_string(state_idx);
     case Kind::kField: {
@@ -30,12 +30,12 @@ std::string OperandSel::str(std::span<const std::string> field_names) const {
   return "?";
 }
 
-std::string PredConfig::str(std::span<const std::string> field_names) const {
+std::string PredConfig::str(util::Span<const std::string> field_names) const {
   if (rel == RelKind::kAlways) return "true";
   return a.str(field_names) + " " + rel_str(rel) + " " + b.str(field_names);
 }
 
-std::string ArmConfig::str(std::span<const std::string> field_names) const {
+std::string ArmConfig::str(util::Span<const std::string> field_names) const {
   switch (mode) {
     case ArmMode::kKeep: return "x";
     case ArmMode::kSet: return src1.str(field_names);
@@ -54,7 +54,7 @@ std::string ArmConfig::str(std::span<const std::string> field_names) const {
 }
 
 std::string StatefulConfig::str(
-    std::span<const std::string> field_names) const {
+    util::Span<const std::string> field_names) const {
   const auto& t = template_info(kind);
   std::ostringstream os;
   os << t.name << "{";

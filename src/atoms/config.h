@@ -12,7 +12,7 @@
 
 #include <array>
 #include <cstdint>
-#include <span>
+#include "util/span.h"
 #include <string>
 #include <vector>
 
@@ -70,7 +70,7 @@ struct OperandSel {
     return o;
   }
 
-  Value eval(std::span<const Value> states, std::span<const Value> fields) const {
+  Value eval(util::Span<const Value> states, util::Span<const Value> fields) const {
     switch (kind) {
       case Kind::kState: return states[static_cast<std::size_t>(state_idx)];
       case Kind::kField: return fields[static_cast<std::size_t>(field_pos)];
@@ -79,18 +79,18 @@ struct OperandSel {
     return 0;
   }
 
-  std::string str(std::span<const std::string> field_names) const;
+  std::string str(util::Span<const std::string> field_names) const;
 };
 
 struct PredConfig {
   RelKind rel = RelKind::kAlways;
   OperandSel a, b;
 
-  bool eval(std::span<const Value> states, std::span<const Value> fields) const {
+  bool eval(util::Span<const Value> states, util::Span<const Value> fields) const {
     return eval_rel(rel, a.eval(states, fields), b.eval(states, fields));
   }
 
-  std::string str(std::span<const std::string> field_names) const;
+  std::string str(util::Span<const std::string> field_names) const;
 };
 
 // One update arm: next value for one state variable.
@@ -98,8 +98,8 @@ struct ArmConfig {
   ArmMode mode = ArmMode::kKeep;
   OperandSel src1, src2;
 
-  Value eval(Value x, std::span<const Value> states,
-             std::span<const Value> fields) const {
+  Value eval(Value x, util::Span<const Value> states,
+             util::Span<const Value> fields) const {
     using namespace banzai;
     const Value s1 = src1.eval(states, fields);
     const Value s2 = src2.eval(states, fields);
@@ -116,7 +116,7 @@ struct ArmConfig {
     return x;
   }
 
-  std::string str(std::span<const std::string> field_names) const;
+  std::string str(util::Span<const std::string> field_names) const;
 };
 
 // A full hole assignment for a stateful template.
@@ -131,8 +131,8 @@ struct StatefulConfig {
   std::vector<std::vector<ArmConfig>> leaves;
 
   // Returns the active leaf index for the given inputs.
-  int select_leaf(std::span<const Value> states,
-                  std::span<const Value> fields) const {
+  int select_leaf(util::Span<const Value> states,
+                  util::Span<const Value> fields) const {
     const auto& t = template_info(kind);
     if (t.pred_levels == 0) return 0;
     const bool p1 = preds[0].eval(states, fields);
@@ -143,15 +143,15 @@ struct StatefulConfig {
 
   // Evaluates the configured atom: given old state values and input fields,
   // returns the new state values.
-  void eval(std::span<const Value> states_in, std::span<const Value> fields,
-            std::span<Value> states_out) const {
+  void eval(util::Span<const Value> states_in, util::Span<const Value> fields,
+            util::Span<Value> states_out) const {
     const int leaf = select_leaf(states_in, fields);
     const auto& arms = leaves[static_cast<std::size_t>(leaf)];
     for (std::size_t k = 0; k < arms.size(); ++k)
       states_out[k] = arms[k].eval(states_in[k], states_in, fields);
   }
 
-  std::string str(std::span<const std::string> field_names) const;
+  std::string str(util::Span<const std::string> field_names) const;
 };
 
 // How each live-out packet field of a codelet is produced by the atom: the

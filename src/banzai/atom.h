@@ -36,6 +36,13 @@ struct ConfiguredAtom {
   std::vector<FieldId> output_fields;
   // The atom body.  Must be total: no exceptions on any input.
   std::function<void(const Packet& in, Packet& out, StateStore& state)> exec;
+  // Optional batched body: semantically `for i in [0,n): exec(in[i], out[i])`
+  // but with per-packet dispatch amortized across the batch (state variables
+  // resolved once, one indirect call per batch instead of per packet).
+  // Engines fall back to per-packet exec when absent.
+  std::function<void(const Packet* in, Packet* out, std::size_t n,
+                     StateStore& state)>
+      exec_batch;
 };
 
 }  // namespace banzai

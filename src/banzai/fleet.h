@@ -1,0 +1,73 @@
+// Fleet: N replica Banzai machines behind a flow-hash load balancer.
+//
+// One compiled program is cloned into N independent machines (each with its
+// own StateStore); traffic is partitioned by a hash of designated flow-key
+// packet fields, so every packet of a flow is served by the same replica and
+// per-flow state evolves exactly as on a single machine.  Shards execute on
+// worker threads, each draining its partition through a BatchSim, scaling
+// aggregate packets/sec with shard count — the scale-out move multi-pipeline
+// P4 targets make in hardware.
+//
+// What sharding preserves and what it gives up: flows that never share state
+// cells behave identically to a single machine.  Flows on different shards no
+// longer collide in shared state (e.g. two flows hashing to the same
+// flowlet-table slot) — tests/fleet_test.cc pins down both sides of that
+// contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "banzai/batch.h"
+#include "banzai/machine.h"
+#include "banzai/packet.h"
+
+namespace banzai {
+
+struct FleetConfig {
+  std::size_t num_shards = 1;
+  std::size_t batch_size = 256;
+  bool parallel = true;  // run shards on worker threads
+  // Packet fields hashed together to pick a shard: the flow key.  Must be
+  // non-empty unless num_shards == 1.
+  std::vector<FieldId> flow_key;
+};
+
+struct ShardResult {
+  std::vector<Packet> egress;             // in shard-arrival order
+  std::vector<std::size_t> source_index;  // original trace index per packet
+  BatchStats stats;
+};
+
+struct FleetResult {
+  std::vector<ShardResult> shards;
+  std::uint64_t packets = 0;
+
+  // Egress merged back into the original trace order.
+  std::vector<Packet> egress_in_order() const;
+};
+
+class Fleet {
+ public:
+  Fleet(const Machine& prototype, FleetConfig config);
+
+  std::size_t num_shards() const { return replicas_.size(); }
+  Machine& shard_machine(std::size_t s) { return replicas_[s]; }
+  const Machine& shard_machine(std::size_t s) const { return replicas_[s]; }
+  const FleetConfig& config() const { return config_; }
+
+  // The shard that serves this packet's flow.
+  std::size_t shard_of(const Packet& pkt) const;
+
+  // Partitions the trace by flow hash and drains every shard; shards run
+  // concurrently when config.parallel is set.  Replica state persists across
+  // calls, like a switch staying up across traffic.
+  FleetResult run(const std::vector<Packet>& trace);
+
+ private:
+  FleetConfig config_;
+  std::vector<Machine> replicas_;
+};
+
+}  // namespace banzai

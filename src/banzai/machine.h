@@ -26,12 +26,38 @@ struct MachineSpec {
 struct Stage {
   std::vector<ConfiguredAtom> atoms;
 
-  // Executes the stage on one packet: all atoms observe the packet as it
-  // entered the stage and apply their writes to a copy that leaves the stage.
-  Packet execute(const Packet& in, StateStore& state) const {
-    Packet out = in;
+  // The stage-execution core shared by every engine (Machine::process, the
+  // cycle-accurate PipelineSim, the batched BatchSim): all atoms observe the
+  // packet as it entered the stage (`in`) and apply their writes to `out`.
+  // `out` is assigned from `in` first, so callers can reuse its storage
+  // across invocations without reallocating.
+  void execute_into(const Packet& in, Packet& out, StateStore& state) const {
+    out = in;
     for (const ConfiguredAtom& a : atoms) a.exec(in, out, state);
+  }
+
+  // Convenience form returning a fresh packet.
+  Packet execute(const Packet& in, StateStore& state) const {
+    Packet out;
+    execute_into(in, out, state);
     return out;
+  }
+
+  // Batched form: runs the stage over n packets, atom-major so each atom's
+  // configuration (and its batched fast path, when present) stays hot across
+  // the whole batch.  Equivalent to execute_into on each packet in order:
+  // atoms write disjoint fields and own disjoint state, so the atom loop and
+  // the packet loop commute.
+  void execute_batch(const Packet* in, Packet* out, std::size_t n,
+                     StateStore& state) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i];
+    for (const ConfiguredAtom& a : atoms) {
+      if (a.exec_batch) {
+        a.exec_batch(in, out, n, state);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) a.exec(in[i], out[i], state);
+      }
+    }
   }
 };
 
@@ -69,11 +95,19 @@ class Machine {
   }
 
   // Runs one packet through all stages back-to-back (functionally equivalent
-  // to the pipelined execution; see PipelineSim for the cycle-accurate form).
+  // to the pipelined execution; see PipelineSim for the cycle-accurate form
+  // and BatchSim for the batched throughput engine).
   Packet process(Packet pkt) {
     for (const Stage& s : stages_) pkt = s.execute(pkt, state_);
     return pkt;
   }
+
+  // An independent replica of this machine: same pipeline configuration, its
+  // own StateStore snapshot.  Atom closures capture their configuration by
+  // value and reach state only through the StateStore& they are handed at
+  // execution time, so replicas never share mutable state — this is what the
+  // Fleet relies on to scale one compiled program across shards.
+  Machine clone() const { return *this; }
 
  private:
   MachineSpec spec_;

@@ -69,7 +69,8 @@ class Packet {
 
   std::size_t num_fields() const { return fields_.size(); }
 
-  bool operator==(const Packet&) const = default;
+  bool operator==(const Packet& o) const { return fields_ == o.fields_; }
+  bool operator!=(const Packet& o) const { return !(*this == o); }
 
  private:
   std::vector<Value> fields_;

@@ -38,7 +38,10 @@ class StateVar {
   void fill(Value v) { cells_.assign(cells_.size(), v); }
   const std::vector<Value>& cells() const { return cells_; }
 
-  bool operator==(const StateVar&) const = default;
+  bool operator==(const StateVar& o) const {
+    return scalar_ == o.scalar_ && cells_ == o.cells_;
+  }
+  bool operator!=(const StateVar& o) const { return !(*this == o); }
 
  private:
   // Out-of-range indices wrap (hardware truncates the address lines).  The
@@ -84,7 +87,8 @@ class StateStore {
     return vars_;
   }
 
-  bool operator==(const StateStore&) const = default;
+  bool operator==(const StateStore& o) const { return vars_ == o.vars_; }
+  bool operator!=(const StateStore& o) const { return !(*this == o); }
 
  private:
   std::unordered_map<std::string, StateVar> vars_;

@@ -103,6 +103,63 @@ struct StateSlot {
   std::optional<FieldId> index;
 };
 
+// How a live-out packet field is produced at run time.
+struct LiveOutRt {
+  FieldId id;
+  int state_idx;
+  bool use_new;
+};
+
+// The run-time semantics of one synthesized stateful atom: the single body
+// shared by the per-packet and batched execution paths, so the two can never
+// drift apart.  Callers resolve the owned StateVars first — once per packet
+// (exec) or once per batch (exec_batch, amortizing the by-name lookups).
+struct StatefulBody {
+  std::vector<StateSlot> slots;
+  std::vector<FieldId> input_ids;
+  std::vector<LiveOutRt> liveouts;
+  atoms::StatefulConfig config;
+
+  void resolve(StateStore& store,
+               std::array<banzai::StateVar*, 2>& vars) const {
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      vars[k] = &store.var(slots[k].var);
+  }
+
+  // `field_vals` is caller-provided scratch sized to input_ids.size().
+  void exec_one(const Packet& in, Packet& out,
+                const std::array<banzai::StateVar*, 2>& vars,
+                std::vector<Value>& field_vals) const {
+    std::array<Value, 2> states_in{0, 0}, states_out{0, 0};
+    std::array<Value, 2> idx{0, 0};
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (slots[k].is_array) {
+        idx[k] = in.get(*slots[k].index);
+        states_in[k] = vars[k]->load(idx[k]);
+      } else {
+        states_in[k] = vars[k]->load_scalar();
+      }
+    }
+    for (std::size_t f = 0; f < input_ids.size(); ++f)
+      field_vals[f] = in.get(input_ids[f]);
+
+    config.eval(util::Span<const Value>(states_in.data(), slots.size()),
+                field_vals,
+                util::Span<Value>(states_out.data(), slots.size()));
+
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (slots[k].is_array)
+        vars[k]->store(idx[k], states_out[k]);
+      else
+        vars[k]->store_scalar(states_out[k]);
+    }
+    for (const auto& l : liveouts) {
+      const auto k = static_cast<std::size_t>(l.state_idx);
+      out.set(l.id, l.use_new ? states_out[k] : states_in[k]);
+    }
+  }
+};
+
 class CodeGenerator {
  public:
   CodeGenerator(const CodeletPipeline& pvsm, const Program& prog,
@@ -254,6 +311,11 @@ class CodeGenerator {
     atom.exec = [cs](const Packet& in, Packet& out, StateStore&) {
       cs.exec(in, out);
     };
+    // Batched fast path: one closure dispatch per batch instead of per packet.
+    atom.exec_batch = [cs](const Packet* in, Packet* out, std::size_t n,
+                           StateStore&) {
+      for (std::size_t i = 0; i < n; ++i) cs.exec(in[i], out[i]);
+    };
     return atom;
   }
 
@@ -290,56 +352,35 @@ class CodeGenerator {
       }
       slots.push_back(std::move(slot));
     }
-    std::vector<FieldId> input_ids;
-    for (const auto& f : synth.input_fields) input_ids.push_back(fields.intern(f));
-    struct LiveOutRt {
-      FieldId id;
-      int state_idx;
-      bool use_new;
-    };
-    std::vector<LiveOutRt> liveouts_rt;
+    StatefulBody body;
+    body.slots = std::move(slots);
+    for (const auto& f : synth.input_fields)
+      body.input_ids.push_back(fields.intern(f));
     for (const auto& b : synth.liveouts)
-      liveouts_rt.push_back({fields.intern(b.field), b.state_idx, b.use_new});
+      body.liveouts.push_back({fields.intern(b.field), b.state_idx, b.use_new});
+    body.config = synth.config;
 
     ConfiguredAtom atom;
     atom.kind = AtomKind::kStateful;
     atom.label = report.atom + " atom: " + codelet.str();
-    for (const auto& s : slots) atom.state_vars.push_back(s.var);
-    for (const auto& l : liveouts_rt) atom.output_fields.push_back(l.id);
+    for (const auto& s : body.slots) atom.state_vars.push_back(s.var);
+    for (const auto& l : body.liveouts) atom.output_fields.push_back(l.id);
 
-    const atoms::StatefulConfig config = synth.config;
-    atom.exec = [slots, input_ids, liveouts_rt, config](
-                    const Packet& in, Packet& out, StateStore& store) {
-      std::array<Value, 2> states_in{0, 0}, states_out{0, 0};
-      std::array<Value, 2> idx{0, 0};
-      for (std::size_t k = 0; k < slots.size(); ++k) {
-        auto& var = store.var(slots[k].var);
-        if (slots[k].is_array) {
-          idx[k] = in.get(*slots[k].index);
-          states_in[k] = var.load(idx[k]);
-        } else {
-          states_in[k] = var.load_scalar();
-        }
-      }
-      std::vector<Value> field_vals(input_ids.size());
-      for (std::size_t i = 0; i < input_ids.size(); ++i)
-        field_vals[i] = in.get(input_ids[i]);
-
-      config.eval(std::span<const Value>(states_in.data(), slots.size()),
-                  field_vals,
-                  std::span<Value>(states_out.data(), slots.size()));
-
-      for (std::size_t k = 0; k < slots.size(); ++k) {
-        auto& var = store.var(slots[k].var);
-        if (slots[k].is_array)
-          var.store(idx[k], states_out[k]);
-        else
-          var.store_scalar(states_out[k]);
-      }
-      for (const auto& l : liveouts_rt) {
-        const auto k = static_cast<std::size_t>(l.state_idx);
-        out.set(l.id, l.use_new ? states_out[k] : states_in[k]);
-      }
+    atom.exec = [body](const Packet& in, Packet& out, StateStore& store) {
+      std::array<banzai::StateVar*, 2> vars{nullptr, nullptr};
+      body.resolve(store, vars);
+      std::vector<Value> field_vals(body.input_ids.size());
+      body.exec_one(in, out, vars, field_vals);
+    };
+    // Batched fast path: same body, but the by-name StateVar lookups and the
+    // scratch allocation are paid once per batch instead of once per packet.
+    atom.exec_batch = [body](const Packet* in, Packet* out, std::size_t n,
+                             StateStore& store) {
+      std::array<banzai::StateVar*, 2> vars{nullptr, nullptr};
+      body.resolve(store, vars);
+      std::vector<Value> field_vals(body.input_ids.size());
+      for (std::size_t i = 0; i < n; ++i)
+        body.exec_one(in[i], out[i], vars, field_vals);
     };
     return atom;
   }

@@ -49,7 +49,9 @@ struct Operand {
   std::string str() const {
     return is_field() ? ("pkt." + field) : std::to_string(cst);
   }
-  bool operator==(const Operand&) const = default;
+  bool operator==(const Operand& o) const {
+    return kind == o.kind && field == o.field && cst == o.cst;
+  }
 };
 
 struct TacStmt {
@@ -89,7 +91,13 @@ struct TacStmt {
   std::optional<std::string> field_written() const;
 
   std::string str() const;
-  bool operator==(const TacStmt&) const = default;
+  bool operator==(const TacStmt& o) const {
+    return kind == o.kind && dst == o.dst && a == o.a && b == o.b &&
+           c == o.c && un_op == o.un_op && op == o.op &&
+           state_var == o.state_var && state_is_array == o.state_is_array &&
+           index == o.index && intrinsic == o.intrinsic && args == o.args &&
+           intrinsic_mod == o.intrinsic_mod;
+  }
 };
 
 // A normalized transaction: straight-line three-address code plus the state

@@ -59,10 +59,10 @@ bool CodeletSpec::has_unmappable_op(std::string* reason,
   return false;
 }
 
-void CodeletSpec::eval(std::span<const Value> states_in,
-                       std::span<const Value> fields,
-                       std::span<Value> states_out,
-                       std::span<Value> liveouts) const {
+void CodeletSpec::eval(util::Span<const Value> states_in,
+                       util::Span<const Value> fields,
+                       util::Span<Value> states_out,
+                       util::Span<Value> liveouts) const {
   // Scalar state view: valid because all accesses to an array within one
   // transaction use the same index (enforced by sema).
   std::vector<Value> state_val(states_in.begin(), states_in.end());

@@ -9,7 +9,7 @@
 // statements with a scalar view of each state variable.
 #pragma once
 
-#include <span>
+#include "util/span.h"
 #include <string>
 #include <vector>
 
@@ -53,8 +53,8 @@ class CodeletSpec {
 
   // Evaluates the codelet.  states_in/states_out are indexed like
   // state_vars(); fields like input_fields(); liveouts like liveout_fields().
-  void eval(std::span<const Value> states_in, std::span<const Value> fields,
-            std::span<Value> states_out, std::span<Value> liveouts) const;
+  void eval(util::Span<const Value> states_in, util::Span<const Value> fields,
+            util::Span<Value> states_out, util::Span<Value> liveouts) const;
 
  private:
   domino::Codelet codelet_;

@@ -1,0 +1,56 @@
+// Minimal std::span substitute so the tree builds as C++17 (std::span is
+// C++20).  Only the operations the atom-configuration and synthesis code
+// actually use: construction from contiguous containers, indexing, size.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace util {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  // Containers of mutable elements convert to Span<T> and Span<const T>.
+  template <typename U, typename = std::enable_if_t<
+                            std::is_same_v<std::remove_const_t<T>, U>>>
+  Span(std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+  template <typename U, std::size_t N,
+            typename = std::enable_if_t<
+                std::is_same_v<std::remove_const_t<T>, U>>>
+  Span(std::array<U, N>& a) : data_(a.data()), size_(N) {}
+
+  // C arrays, mirroring std::span's array constructors.
+  template <std::size_t N>
+  Span(T (&a)[N]) : data_(a), size_(N) {}
+  template <std::size_t N, typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(std::remove_const_t<T> (&a)[N]) : data_(a), size_(N) {}
+
+  // Const containers convert only to Span<const T>.
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+  template <std::size_t N, typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::array<std::remove_const_t<T>, N>& a)
+      : data_(a.data()), size_(N) {}
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace util

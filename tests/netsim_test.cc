@@ -97,7 +97,9 @@ TEST(TraceGenTest, PerFlowArrivalsMonotone) {
   std::map<std::int32_t, std::int32_t> last;
   for (const auto& p : trace) {
     auto it = last.find(p.flow_id);
-    if (it != last.end()) EXPECT_GE(p.arrival, it->second);
+    if (it != last.end()) {
+      EXPECT_GE(p.arrival, it->second);
+    }
     last[p.flow_id] = p.arrival;
   }
 }

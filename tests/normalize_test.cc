@@ -243,10 +243,12 @@ TEST(TacTest, TernaryHasFourOperandForm) {
 TEST(TacTest, StateAccessesAreBareReadsAndWrites) {
   TacProgram tac = normalize(parsed(kSmall)).tac;
   for (const auto& s : tac.stmts) {
-    if (s.kind == TacStmt::Kind::kReadState)
+    if (s.kind == TacStmt::Kind::kReadState) {
       EXPECT_FALSE(s.dst.empty());
-    if (s.kind == TacStmt::Kind::kWriteState)
+    }
+    if (s.kind == TacStmt::Kind::kWriteState) {
       EXPECT_TRUE(s.a.is_field() || s.a.is_const());
+    }
   }
 }
 
@@ -259,7 +261,9 @@ TEST(OptimizeTest, DeadTemporariesRemoved) {
   EXPECT_LE(n.tac.stmts.size(), n.tac_raw.stmts.size());
   for (const auto& s : n.tac.stmts) {
     auto w = s.field_written();
-    if (w.has_value()) EXPECT_EQ(*w, "out_v0");
+    if (w.has_value()) {
+      EXPECT_EQ(*w, "out_v0");
+    }
   }
 }
 

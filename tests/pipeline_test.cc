@@ -94,8 +94,9 @@ TEST(SccTest, ComponentsAreInTopologicalOrder) {
     for (int v : sccs[k]) comp_of[v] = k;
   for (std::size_t v = 0; v < g.num_nodes(); ++v)
     for (int w : g.edges[v])
-      if (comp_of[static_cast<int>(v)] != comp_of[w])
+      if (comp_of[static_cast<int>(v)] != comp_of[w]) {
         EXPECT_LT(comp_of[static_cast<int>(v)], comp_of[w]);
+      }
 }
 
 TEST(ScheduleTest, DependentStatementsLandInLaterStages) {
