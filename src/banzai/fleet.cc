@@ -8,6 +8,89 @@
 
 namespace banzai {
 
+ShardCore::ShardCore(const Machine& prototype, std::size_t num_slots,
+                     std::size_t num_shards, std::size_t batch_size,
+                     std::vector<FieldId> flow_key)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      flow_key_(std::move(flow_key)) {
+  if (num_slots == 0) num_slots = num_shards_;
+  if (num_slots < num_shards_)
+    throw std::invalid_argument(
+        "ShardCore: num_slots must be >= num_shards (slots are the unit of "
+        "state placement)");
+  if (num_slots > 1 && flow_key_.empty())
+    throw std::invalid_argument(
+        "ShardCore: flow_key must name at least one packet field when "
+        "partitioning state across slots");
+  slots_.reserve(num_slots);
+  sims_.reserve(num_slots);
+  for (std::size_t v = 0; v < num_slots; ++v) {
+    slots_.push_back(prototype.clone());
+    sims_.emplace_back(slots_.back(), batch_size);
+  }
+  scratch_.resize(num_shards_);
+  for (Scratch& sc : scratch_) sc.idx.resize(num_slots);
+}
+
+std::uint64_t ShardCore::flow_hash(const Packet& pkt) const {
+  std::uint64_t h = 0;
+  for (FieldId f : flow_key_)
+    h = netsim::mix64(
+        h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(pkt.get(f))));
+  return h;
+}
+
+std::size_t ShardCore::slot_of(const Packet& pkt) const {
+  if (slots_.size() <= 1) return 0;
+  return static_cast<std::size_t>(flow_hash(pkt) % slots_.size());
+}
+
+BatchStats ShardCore::shard_stats(std::size_t shard) const {
+  BatchStats sum;
+  for (std::size_t v = shard; v < sims_.size(); v += num_shards_) {
+    sum.batches += sims_[v].stats().batches;
+    sum.packets += sims_[v].stats().packets;
+  }
+  return sum;
+}
+
+void ShardCore::drain(std::size_t shard, const std::size_t* slot_ids,
+                      Packet* pkts, std::size_t n, Packet* out) {
+  Scratch& sc = scratch_[shard];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t>& idx = sc.idx[slot_ids[i]];
+    if (idx.empty()) sc.touched.push_back(slot_ids[i]);
+    idx.push_back(i);
+  }
+  for (std::size_t slot : sc.touched) {
+    std::vector<std::size_t>& idx = sc.idx[slot];
+    BatchSim& sim = sims_[slot];
+    for (std::size_t k : idx) sim.enqueue(std::move(pkts[k]));
+    sim.run();
+    std::vector<Packet>& egress = sim.egress();
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      out[idx[k]] = std::move(egress[k]);
+    egress.clear();
+    idx.clear();
+  }
+  sc.touched.clear();
+}
+
+std::vector<StateStore> ShardCore::snapshot_state() const {
+  std::vector<StateStore> snap;
+  snap.reserve(slots_.size());
+  for (const Machine& m : slots_) snap.push_back(m.snapshot_state());
+  return snap;
+}
+
+void ShardCore::restore_state(const std::vector<StateStore>& snap) {
+  if (snap.size() != slots_.size())
+    throw std::invalid_argument(
+        "ShardCore::restore_state: snapshot has a different slot count");
+  for (std::size_t v = 0; v < slots_.size(); ++v)
+    slots_[v].restore_state(snap[v]);
+}
+
 std::vector<Packet> FleetResult::egress_in_order() const {
   std::size_t total = 0;
   for (const ShardResult& s : shards) total += s.egress.size();
@@ -19,47 +102,43 @@ std::vector<Packet> FleetResult::egress_in_order() const {
 }
 
 Fleet::Fleet(const Machine& prototype, FleetConfig config)
-    : config_(std::move(config)) {
-  if (config_.num_shards == 0) config_.num_shards = 1;
-  if (config_.num_shards > 1 && config_.flow_key.empty())
-    throw std::invalid_argument(
-        "Fleet: flow_key must name at least one packet field when sharding");
-  replicas_.reserve(config_.num_shards);
-  for (std::size_t s = 0; s < config_.num_shards; ++s)
-    replicas_.push_back(prototype.clone());
-}
-
-std::size_t Fleet::shard_of(const Packet& pkt) const {
-  if (replicas_.size() <= 1) return 0;
-  // Combine the flow-key fields with the same mixer the trace-level
-  // partitioner uses, so shard assignment is one definition repo-wide.
-  std::uint64_t h = 0;
-  for (FieldId f : config_.flow_key)
-    h = netsim::mix64(
-        h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(pkt.get(f))));
-  return static_cast<std::size_t>(h % replicas_.size());
+    : config_(std::move(config)),
+      core_(prototype, config_.num_shards, config_.num_shards,
+            config_.batch_size, config_.flow_key),
+      buffers_(core_.num_shards()) {
+  config_.num_shards = core_.num_shards();
 }
 
 FleetResult Fleet::run(const std::vector<Packet>& trace) {
-  const std::size_t n = replicas_.size();
+  const std::size_t n = core_.num_shards();
   FleetResult result;
   result.shards.resize(n);
   result.packets = trace.size();
 
-  // Stable partition: within a shard, packets keep arrival order.
-  std::vector<std::vector<Packet>> partitions(n);
+  // Stable partition into buffers that keep their capacity across calls:
+  // within a shard, packets keep arrival order.
+  for (ShardBuffers& b : buffers_) {
+    b.pkts.clear();
+    b.slots.clear();
+  }
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const std::size_t s = shard_of(trace[i]);
-    partitions[s].push_back(trace[i]);
+    const std::size_t slot = core_.slot_of(trace[i]);
+    const std::size_t s = slot % n;
+    buffers_[s].pkts.push_back(trace[i]);
+    buffers_[s].slots.push_back(slot);
     result.shards[s].source_index.push_back(i);
   }
 
   auto drain_shard = [&](std::size_t s) {
-    BatchSim sim(replicas_[s], config_.batch_size);
-    sim.enqueue_all(std::move(partitions[s]));
-    sim.run();
-    result.shards[s].egress = std::move(sim.egress());
-    result.shards[s].stats = sim.stats();
+    ShardBuffers& b = buffers_[s];
+    ShardResult& sh = result.shards[s];
+    const BatchStats before = core_.shard_stats(s);
+    sh.egress.resize(b.pkts.size());
+    core_.drain(s, b.slots.data(), b.pkts.data(), b.pkts.size(),
+                sh.egress.data());
+    const BatchStats after = core_.shard_stats(s);
+    sh.stats.batches = after.batches - before.batches;
+    sh.stats.packets = after.packets - before.packets;
   };
 
   if (config_.parallel && n > 1) {

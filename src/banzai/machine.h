@@ -102,6 +102,12 @@ class Machine {
     return pkt;
   }
 
+  // Checkpoint and restore of the mutable half of the machine.  The pipeline
+  // configuration is immutable after codegen, so persistent state is the only
+  // thing a drained machine needs to hand to its successor.
+  StateStore snapshot_state() const { return state_.snapshot(); }
+  void restore_state(const StateStore& snap) { state_.restore(snap); }
+
   // An independent replica of this machine: same pipeline configuration, its
   // own StateStore snapshot.  Atom closures capture their configuration by
   // value and reach state only through the StateStore& they are handed at

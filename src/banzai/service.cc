@@ -1,0 +1,230 @@
+#include "banzai/service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace banzai {
+
+namespace {
+constexpr std::chrono::microseconds kIdleNap{200};   // worker idle wait slice
+constexpr std::chrono::microseconds kBlockNap{50};   // blocked-ingest wait
+constexpr std::chrono::microseconds kFlushPoll{100};
+constexpr int kSpinsBeforeNap = 64;
+}  // namespace
+
+FleetService::FleetService(const Machine& prototype, ServiceConfig config)
+    : config_(std::move(config)),
+      core_(prototype, config_.num_slots, config_.num_shards,
+            config_.batch_size, config_.flow_key) {
+  config_.num_shards = core_.num_shards();
+  config_.num_slots = core_.num_slots();
+  shards_.reserve(core_.num_shards());
+  for (std::size_t s = 0; s < core_.num_shards(); ++s)
+    shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
+  config_.ring_capacity = shards_[0]->ring.capacity();
+}
+
+FleetService::~FleetService() { stop(); }
+
+void FleetService::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  started_at_ = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    shards_[s]->worker = std::thread(&FleetService::worker_loop, this, s);
+}
+
+void FleetService::stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true);  // seq_cst: pairs with the in-flight ingest guard
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  running_.store(false, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  uptime_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started_at_)
+                         .count();
+}
+
+void FleetService::flush() {
+  const std::uint64_t target = seq_counter_.load(std::memory_order_acquire);
+  while (egress_.watermark() < target) {
+    if (!running_.load(std::memory_order_acquire)) {
+      // A concurrent stop() drains every ring before clearing running_, so
+      // re-check the watermark: only a genuinely stranded packet may throw.
+      if (egress_.watermark() >= target) return;
+      throw std::logic_error(
+          "FleetService::flush: packets outstanding but service is stopped");
+    }
+    for (auto& shard : shards_) wake(*shard);
+    std::this_thread::sleep_for(kFlushPoll);
+  }
+}
+
+void FleetService::wake(Shard& shard) {
+  if (shard.sleeping.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cv.notify_one();
+  }
+}
+
+bool FleetService::ingest(Packet pkt) {
+  // Raise the in-flight count BEFORE the liveness check (both seq_cst): a
+  // racing stop() either sees the count and its workers keep draining until
+  // this push lands, or this thread sees stopping_/!running_ and bails
+  // before touching a ring.  Without the handshake an accepted packet could
+  // be stranded in a ring whose worker already exited.
+  ingest_inflight_.fetch_add(1);
+  struct InflightGuard {
+    std::atomic<std::uint64_t>& count;
+    ~InflightGuard() { count.fetch_sub(1); }
+  } guard{ingest_inflight_};
+  if (!running_.load() || stopping_.load())
+    throw std::logic_error("FleetService::ingest: service is not started");
+  const std::size_t slot = core_.slot_of(pkt);
+  Shard& shard = *shards_[slot % core_.num_shards()];
+  const std::uint64_t seq =
+      seq_counter_.fetch_add(1, std::memory_order_acq_rel);
+  Item item{seq, static_cast<std::uint32_t>(slot), std::move(pkt)};
+  if (!shard.ring.try_push(std::move(item))) {
+    if (config_.backpressure == Backpressure::kDropTail) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      egress_.drop(seq);
+      return false;
+    }
+    // kBlock: the worker will make space; nap until it does.
+    int spins = 0;
+    do {
+      wake(shard);
+      if (++spins < kSpinsBeforeNap)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(kBlockNap);
+    } while (!shard.ring.try_push(std::move(item)));
+  }
+  wake(shard);
+  return true;
+}
+
+std::size_t FleetService::ingest_all(const std::vector<Packet>& pkts) {
+  std::size_t accepted = 0;
+  for (const Packet& p : pkts)
+    if (ingest(p)) ++accepted;
+  return accepted;
+}
+
+void FleetService::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  const std::size_t batch = config_.batch_size ? config_.batch_size : 1;
+  std::vector<Item> items;
+  std::vector<std::size_t> slot_ids;
+  std::vector<std::uint64_t> seqs;
+  std::vector<Packet> in, out;
+  items.reserve(batch);
+
+  for (;;) {
+    items.clear();
+    Item item;
+    while (items.size() < batch && shard.ring.try_pop(item))
+      items.push_back(std::move(item));
+
+    if (!items.empty()) {
+      const std::size_t n = items.size();
+      slot_ids.resize(n);
+      seqs.resize(n);
+      in.resize(n);
+      out.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        slot_ids[i] = items[i].slot;
+        seqs[i] = items[i].seq;
+        in[i] = std::move(items[i].pkt);
+      }
+      core_.drain(shard_index, slot_ids.data(), in.data(), n, out.data());
+      egress_.deliver_batch(seqs.data(), out.data(), n);
+      // Latency in ingest ticks: how many packets were offered service-wide
+      // between this packet's arrival and its delivery.
+      const std::uint64_t now_tick =
+          seq_counter_.load(std::memory_order_acquire);
+      std::uint64_t lat = 0;
+      for (std::size_t i = 0; i < n; ++i) lat += now_tick - seqs[i];
+      latency_ticks_sum_.fetch_add(lat, std::memory_order_relaxed);
+      delivered_.fetch_add(n, std::memory_order_acq_rel);
+      continue;
+    }
+
+    // Exit only when stop was requested, no ingest call is mid-push, and the
+    // ring is drained — in that order: a producer that read stopping_ ==
+    // false before our in-flight read would still be counted, and one that
+    // finished its push before the in-flight read leaves the ring non-empty
+    // for the check that follows.
+    if (stopping_.load() && ingest_inflight_.load() == 0 && shard.ring.empty())
+      break;
+
+    // Idle: nap until the ingest thread pushes or stop() is requested.  The
+    // timed wait bounds the one benign race (a push landing between the last
+    // empty poll and the wait).
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.sleeping.store(true, std::memory_order_relaxed);
+    shard.cv.wait_for(lock, kIdleNap, [&] {
+      return !shard.ring.empty() ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    shard.sleeping.store(false, std::memory_order_relaxed);
+  }
+}
+
+ServiceStats FleetService::stats() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  ServiceStats st;
+  st.ingested = seq_counter_.load(std::memory_order_acquire);
+  st.delivered = delivered_.load(std::memory_order_acquire);
+  st.dropped = dropped_.load(std::memory_order_acquire);
+  double up = uptime_seconds_;
+  if (running_.load(std::memory_order_acquire))
+    up += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at_)
+              .count();
+  st.packets_per_sec = up > 0 ? static_cast<double>(st.delivered) / up : 0;
+  st.avg_latency_ticks =
+      st.delivered > 0
+          ? static_cast<double>(
+                latency_ticks_sum_.load(std::memory_order_relaxed)) /
+                static_cast<double>(st.delivered)
+          : 0;
+  st.queue_depth.reserve(shards_.size());
+  for (const auto& shard : shards_) st.queue_depth.push_back(shard->ring.size());
+  return st;
+}
+
+ServiceSnapshot FleetService::snapshot() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire))
+    throw std::logic_error(
+        "FleetService::snapshot: stop() the service before snapshotting");
+  ServiceSnapshot snap;
+  snap.num_slots = core_.num_slots();
+  snap.slot_state = core_.snapshot_state();
+  return snap;
+}
+
+void FleetService::restore(const ServiceSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire))
+    throw std::logic_error(
+        "FleetService::restore: stop() the service before restoring");
+  if (snap.num_slots != core_.num_slots() ||
+      snap.slot_state.size() != core_.num_slots())
+    throw std::invalid_argument(
+        "FleetService::restore: slot count mismatch (resharding changes "
+        "num_shards, never num_slots)");
+  core_.restore_state(snap.slot_state);
+}
+
+}  // namespace banzai

@@ -1,0 +1,86 @@
+// Bounded single-producer / single-consumer ring buffer: the ingest-to-worker
+// hand-off inside FleetService.  One ingest thread pushes, one shard worker
+// pops; indices are monotonically increasing 64-bit counters masked into a
+// power-of-two slot array, so full/empty are plain subtractions and the only
+// synchronization is one release store per operation (plus an acquire load
+// when the producer/consumer's cached view of the other side runs dry).
+//
+// The bounded capacity is what makes backpressure real: when the ring is
+// full the producer must either wait (Backpressure::kBlock) or shed the
+// packet (Backpressure::kDropTail) — exactly the choice a line-rate switch
+// faces when an output queue fills.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace banzai {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to the next power of two (minimum 1).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Producer side.  On failure (ring full) `v` is left untouched, so the
+  // caller can retry or divert it.
+  bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  // Approximate occupancy: exact only when both sides are quiescent, which
+  // is all the stats reporting needs.
+  std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t n = tail - head;
+    return n > slots_.size() ? slots_.size() : static_cast<std::size_t>(n);
+  }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+  // Producer and consumer indices live on separate cache lines, as do the
+  // single-owner cached views of the opposite index (head_cache_ belongs to
+  // the producer, tail_cache_ to the consumer).
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t head_cache_ = 0;
+  alignas(64) std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace banzai

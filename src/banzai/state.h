@@ -90,6 +90,31 @@ class StateStore {
   bool operator==(const StateStore& o) const { return vars_ == o.vars_; }
   bool operator!=(const StateStore& o) const { return !(*this == o); }
 
+  // Checkpointing, the primitive FleetService's drain → reshard → resume
+  // cycle is built on.  A snapshot is a deep copy of every variable; restore
+  // refuses a snapshot whose shape (variable names, sizes, scalarness) does
+  // not match this store, so state from a different program can never be
+  // smuggled in.
+  StateStore snapshot() const { return *this; }
+
+  bool same_shape(const StateStore& o) const {
+    if (vars_.size() != o.vars_.size()) return false;
+    for (const auto& [name, var] : vars_) {
+      auto it = o.vars_.find(name);
+      if (it == o.vars_.end() || it->second.is_scalar() != var.is_scalar() ||
+          it->second.size() != var.size())
+        return false;
+    }
+    return true;
+  }
+
+  void restore(const StateStore& snap) {
+    if (!same_shape(snap))
+      throw std::invalid_argument(
+          "StateStore::restore: snapshot shape does not match this store");
+    vars_ = snap.vars_;
+  }
+
  private:
   std::unordered_map<std::string, StateVar> vars_;
 };
