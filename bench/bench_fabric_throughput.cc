@@ -1,0 +1,121 @@
+// Event throughput of the NetFabric discrete-event simulator vs topology
+// size, with and without in-switch programs.
+//
+//   $ ./build/bench/bench_fabric_throughput [num_packets]
+//
+// Each row runs `num_packets` of a Zipf flow trace through a leaf-spine
+// fabric: "ecmp" forwards with flow-hash placement only (the event engine's
+// floor), "conga" additionally runs the compiled CONGA transaction on every
+// leaf with full feedback traffic.  The metric is discrete events per second:
+// one packet costs 4+ events on a multi-hop path (inject, spine, egress,
+// deliver, feedback), so events/sec is the engine's honest unit of work.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "sim/netfabric.h"
+#include "sim/tracegen.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::int64_t events = 0;
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+  double secs = 0;
+};
+
+Row run(int leaves, int spines, bool with_conga,
+        const std::vector<netsim::TracePacket>& trace) {
+  netsim::NetFabricConfig fc;
+  fc.num_leaves = leaves;
+  fc.num_spines = spines;
+  fc.seed = 42;
+  fc.port.bytes_per_tick = 600;
+  fc.port.capacity_bytes = 60000;
+  fc.port.ecn_threshold_bytes = 45000;
+  netsim::NetFabric fabric(fc);
+  if (with_conga) {
+    auto compiled = domino::compile(algorithms::algorithm("conga").source,
+                                    *atoms::find_target("banzai-pairs"));
+    const auto binding = netsim::FieldBinding::resolve(
+        compiled.machine().fields(), compiled.output_map());
+    for (int l = 0; l < leaves; ++l)
+      fabric.host_ingress(l, compiled.machine().clone(), binding);
+  }
+  for (const auto& tp : trace) {
+    const auto [src, dst] = netsim::flow_endpoints(tp.flow_id, leaves, 0xfab);
+    fabric.inject(tp, src, dst);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  fabric.run();
+  Row r;
+  r.secs = seconds_since(t0);
+  r.events = fabric.stats().events;
+  r.delivered = fabric.stats().delivered;
+  r.dropped = fabric.stats().dropped;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long requested = 200000;
+  if (argc > 1) {
+    requested = std::atol(argv[1]);
+    if (requested <= 0) {
+      std::fprintf(stderr, "usage: %s [num_packets > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+  const auto num_packets = static_cast<std::size_t>(requested);
+
+  netsim::FlowTraceConfig cfg;
+  cfg.num_packets = num_packets;
+  cfg.num_flows = 256;
+  cfg.zipf_skew = 1.1;
+  cfg.seed = 7;
+  auto trace = netsim::generate_flow_trace(cfg);
+  netsim::sort_by_arrival(trace);
+
+  bench_util::header("NetFabric event throughput vs topology size");
+  std::printf("\n%zu packets, Zipf(1.1) over %zu flows\n", trace.size(),
+              cfg.num_flows);
+  const std::vector<int> widths = {10, 8, 12, 12, 12, 10, 10};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"topology", "switch", "events", "events/s",
+                                 "pkts/s", "delivered", "dropped"});
+  bench_util::print_rule(widths);
+
+  bool sane = true;
+  for (const auto& [leaves, spines] : std::vector<std::pair<int, int>>{
+           {2, 2}, {4, 4}, {8, 8}, {16, 8}}) {
+    for (bool conga : {false, true}) {
+      const Row r = run(leaves, spines, conga, trace);
+      bench_util::print_row(
+          widths,
+          {std::to_string(leaves) + "x" + std::to_string(spines),
+           conga ? "conga" : "ecmp",
+           std::to_string(r.events),
+           bench_util::fmt(static_cast<double>(r.events) / r.secs, 0),
+           bench_util::fmt(static_cast<double>(r.delivered + r.dropped) /
+                               r.secs, 0),
+           std::to_string(r.delivered), std::to_string(r.dropped)});
+      sane = sane && r.delivered + r.dropped ==
+                         static_cast<std::int64_t>(trace.size());
+    }
+  }
+  bench_util::print_rule(widths);
+  std::printf("\nconservation held on every row: %s\n", sane ? "yes" : "NO");
+  return sane ? 0 : 1;
+}

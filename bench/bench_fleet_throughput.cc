@@ -40,7 +40,7 @@ std::vector<banzai::Packet> flowlet_packets(
     banzai::Packet p(ft.size());
     p.set(f_sport, 1000 + tp.flow_id);
     p.set(f_dport, 80);
-    p.set(f_arrival, tp.arrival);
+    p.set(f_arrival, static_cast<banzai::Value>(tp.arrival));
     pkts.push_back(std::move(p));
   }
   return pkts;

@@ -1,112 +1,109 @@
 // Active queue management in the data plane: HULL's phantom queue (Table 4)
 // and CoDel on the LUT-extended target (§5.3's future-work direction), both
-// compiled from Domino and driven by the same queue traces.
+// compiled from Domino and hosted on the same NetFabric switch.
 //
-// Demonstrates the intro's motivating scenario: AQM algorithms that today
-// require new silicon, expressed in ~25 lines of Domino each and swapped on
-// the same programmable switch.
+// The switch is a one-leaf fabric whose host port is the bottleneck: HULL
+// runs at ingress (it only needs arrivals to maintain its phantom queue),
+// CoDel runs at egress where the fabric hands it each packet's actual
+// queueing delay.  Different algorithms, same switch, no new hardware — and
+// the queue they police is the fabric's own, not a pre-computed trace.
 #include <cstdio>
 
 #include "algorithms/corpus.h"
-#include "banzai/sim.h"
 #include "bench/bench_util.h"
 #include "core/compiler.h"
-#include "sim/queue.h"
+#include "sim/netfabric.h"
 #include "sim/tracegen.h"
 
 namespace {
 
-struct MarkStats {
-  long packets = 0;
-  long marks = 0;
-  double fraction() const {
-    return packets ? static_cast<double>(marks) / packets : 0;
-  }
+struct AqmResult {
+  double mean_delay = 0;
+  double hull_fraction = 0;   // of injected packets (ingress sees them all)
+  double codel_fraction = 0;  // of delivered packets
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
 };
 
-MarkStats run_hull(const std::vector<netsim::QueueSample>& samples) {
-  auto compiled = domino::compile(algorithms::algorithm("hull").source,
-                                  *atoms::find_target("banzai-sub"));
-  auto& m = compiled.machine();
-  banzai::PipelineSim sim(m);
-  for (const auto& s : samples) {
-    banzai::Packet p(m.fields().size());
-    p.set(m.fields().id_of("now"), s.arrival);
-    p.set(m.fields().id_of("size_bytes"), s.size_bytes);
-    sim.enqueue(p);
-  }
-  sim.drain();
-  MarkStats st;
-  const auto mark = m.fields().id_of(compiled.output_map().at("mark"));
-  for (const auto& p : sim.egress()) {
-    ++st.packets;
-    st.marks += p.get(mark);
-  }
-  return st;
-}
+AqmResult run(double load) {
+  auto hull = domino::compile(algorithms::algorithm("hull").source,
+                              *atoms::find_target("banzai-sub"));
+  auto codel = domino::compile(algorithms::algorithm("codel").source,
+                               atoms::lut_extended_target());
 
-MarkStats run_codel(const std::vector<netsim::QueueSample>& samples) {
-  auto compiled = domino::compile(algorithms::algorithm("codel").source,
-                                  atoms::lut_extended_target());
-  auto& m = compiled.machine();
-  banzai::PipelineSim sim(m);
-  for (const auto& s : samples) {
-    banzai::Packet p(m.fields().size());
-    p.set(m.fields().id_of("now"), s.arrival);
-    p.set(m.fields().id_of("qdelay"), s.sojourn);
-    sim.enqueue(p);
+  netsim::NetFabricConfig fc;
+  fc.num_leaves = 1;
+  fc.num_spines = 0;
+  fc.port.bytes_per_tick = 1000;
+  fc.port.capacity_bytes = 200000;  // ~200 ticks of backlog before drop-tail
+  netsim::NetFabric fabric(fc);
+  fabric.host_ingress(0, hull.machine().clone(),
+                      netsim::FieldBinding::resolve(hull.machine().fields(),
+                                                    hull.output_map()));
+  fabric.host_egress(0, codel.machine().clone(),
+                     netsim::FieldBinding::resolve(codel.machine().fields(),
+                                                   codel.output_map()));
+
+  netsim::ArrivalTraceConfig tc;
+  tc.num_packets = 30000;
+  tc.load = load;
+  tc.seed = 31337;
+  for (const auto& tp : netsim::generate_arrival_trace(tc))
+    fabric.inject(tp, 0, 0);
+  fabric.run();
+
+  AqmResult r;
+  r.delivered = fabric.stats().delivered;
+  r.dropped = fabric.stats().dropped;
+  std::int64_t codel_marks = 0;
+  double delay = 0;
+  for (const auto& d : fabric.delivered()) {
+    codel_marks += d.egress_mark;
+    delay += static_cast<double>(d.queue_delay);
   }
-  sim.drain();
-  MarkStats st;
-  const auto mark = m.fields().id_of(compiled.output_map().at("mark"));
-  for (const auto& p : sim.egress()) {
-    ++st.packets;
-    st.marks += p.get(mark);
+  if (r.delivered > 0) {
+    r.mean_delay = delay / static_cast<double>(r.delivered);
+    // stats().ingress_marks counts HULL's decision on every injected packet,
+    // including those drop-tail later discards — delivered-only counting
+    // would bias the fraction down exactly under overload.
+    r.hull_fraction = static_cast<double>(fabric.stats().ingress_marks) /
+                      static_cast<double>(fabric.stats().injected);
+    r.codel_fraction =
+        static_cast<double>(codel_marks) / static_cast<double>(r.delivered);
   }
-  return st;
+  return r;
 }
 
 }  // namespace
 
 int main() {
   bench_util::header(
-      "AQM in the data plane: HULL (banzai-sub) and CoDel (banzai-pairs-lut)");
+      "AQM on a NetFabric switch: HULL (banzai-sub) and CoDel "
+      "(banzai-pairs-lut)");
 
-  const std::vector<int> widths = {8, 12, 14, 14, 14};
+  const std::vector<int> widths = {8, 12, 14, 14, 11, 9};
   bench_util::print_rule(widths);
   bench_util::print_row(widths, {"load", "mean delay", "HULL mark %",
-                                 "CoDel mark %", "packets"});
+                                 "CoDel mark %", "delivered", "drops"});
   bench_util::print_rule(widths);
 
   double hull_light = -1, hull_heavy = -1;
   double codel_light = -1, codel_heavy = -1;
   for (double load : {0.4, 0.8, 1.2, 2.0}) {
-    netsim::ArrivalTraceConfig tc;
-    tc.num_packets = 30000;
-    tc.load = load;
-    tc.seed = 31337;
-    netsim::QueueConfig qc;
-    qc.bytes_per_tick = 1000;
-    const auto samples =
-        netsim::simulate_queue(netsim::generate_arrival_trace(tc), qc);
-    double mean_delay = 0;
-    for (const auto& s : samples) mean_delay += s.sojourn;
-    mean_delay /= static_cast<double>(samples.size());
-
-    const MarkStats hull = run_hull(samples);
-    const MarkStats codel = run_codel(samples);
+    const AqmResult r = run(load);
     bench_util::print_row(
-        widths, {bench_util::fmt(load, 1), bench_util::fmt(mean_delay, 1),
-                 bench_util::fmt(100 * hull.fraction(), 2),
-                 bench_util::fmt(100 * codel.fraction(), 2),
-                 std::to_string(hull.packets)});
+        widths,
+        {bench_util::fmt(load, 1), bench_util::fmt(r.mean_delay, 1),
+         bench_util::fmt(100 * r.hull_fraction, 2),
+         bench_util::fmt(100 * r.codel_fraction, 2),
+         std::to_string(r.delivered), std::to_string(r.dropped)});
     if (load == 0.4) {
-      hull_light = hull.fraction();
-      codel_light = codel.fraction();
+      hull_light = r.hull_fraction;
+      codel_light = r.codel_fraction;
     }
     if (load == 2.0) {
-      hull_heavy = hull.fraction();
-      codel_heavy = codel.fraction();
+      hull_heavy = r.hull_fraction;
+      codel_heavy = r.codel_fraction;
     }
   }
   bench_util::print_rule(widths);
@@ -115,8 +112,8 @@ int main() {
   std::printf(
       "\nBoth AQMs are quiet at low load and signal congestion under\n"
       "overload: %s.  HULL marks on instantaneous phantom-queue depth;\n"
-      "CoDel on persistent sojourn time — different algorithms, same\n"
-      "switch, no new hardware.\n",
+      "CoDel on persistent sojourn time measured by the fabric itself —\n"
+      "different algorithms, same switch, no new hardware.\n",
       shape ? "yes" : "NO");
   return shape ? 0 : 1;
 }

@@ -29,7 +29,7 @@ int main() {
     banzai::Packet p(ft.size());
     p.set(ft.id_of("sport"), 1000 + tp.flow_id);
     p.set(ft.id_of("dport"), 80);
-    p.set(ft.id_of("arrival"), tp.arrival);
+    p.set(ft.id_of("arrival"), static_cast<banzai::Value>(tp.arrival));
     trace.push_back(std::move(p));
   }
 

@@ -62,7 +62,7 @@ int main() {
     banzai::Packet p(ft.size());
     p.set(f_sport, 1000 + tp.flow_id);
     p.set(f_dport, 80);
-    p.set(ft.id_of("arrival"), tp.arrival);
+    p.set(ft.id_of("arrival"), static_cast<banzai::Value>(tp.arrival));
     trace.push_back(std::move(p));
   }
 

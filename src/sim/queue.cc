@@ -4,41 +4,68 @@
 
 namespace netsim {
 
+void ByteQueue::prune(std::int64_t now) {
+  while (!backlog_.empty() && backlog_.front().first <= now) {
+    backlog_bytes_ -= backlog_.front().second;
+    backlog_.pop_front();
+  }
+}
+
+std::int64_t ByteQueue::backlog_bytes(std::int64_t now) {
+  prune(now);
+  return backlog_bytes_;
+}
+
+std::int32_t ByteQueue::backlog_pkts(std::int64_t now) {
+  prune(now);
+  return static_cast<std::int32_t>(backlog_.size());
+}
+
+QueueSample ByteQueue::offer(std::int64_t now, std::int32_t size_bytes) {
+  prune(now);
+  ++offered_pkts_;
+  offered_bytes_ += size_bytes;
+
+  QueueSample s;
+  s.arrival = now;
+  s.qlen_bytes = backlog_bytes_;
+  s.qlen_pkts = static_cast<std::int32_t>(backlog_.size());
+  s.size_bytes = size_bytes;
+
+  if (config_.capacity_bytes >= 0 &&
+      backlog_bytes_ + size_bytes > config_.capacity_bytes) {
+    s.dropped = true;
+    s.departure = now;
+    s.sojourn = 0;
+    ++dropped_pkts_;
+    dropped_bytes_ += size_bytes;
+    return s;
+  }
+
+  if (config_.ecn_threshold_bytes >= 0 &&
+      backlog_bytes_ >= config_.ecn_threshold_bytes) {
+    s.ecn_marked = true;
+    ++ecn_marked_pkts_;
+  }
+
+  const std::int64_t start = std::max<std::int64_t>(now, busy_until_);
+  const std::int64_t service_ticks =
+      (size_bytes + config_.bytes_per_tick - 1) / config_.bytes_per_tick;
+  s.departure = start + std::max<std::int64_t>(1, service_ticks);
+  s.sojourn = s.departure - now;
+  busy_until_ = s.departure;
+  backlog_.emplace_back(s.departure, size_bytes);
+  backlog_bytes_ += size_bytes;
+  return s;
+}
+
 std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
                                         const QueueConfig& config) {
+  ByteQueue queue(config);
   std::vector<QueueSample> samples;
   samples.reserve(trace.size());
-
-  // Virtual finish time of the last byte currently in the queue, measured in
-  // "byte-ticks" at the service rate.
-  std::int64_t busy_until = 0;       // tick when the server drains completely
-  std::deque<std::pair<std::int64_t, std::int32_t>> backlog;  // (departs, sz)
-
-  for (const auto& p : trace) {
-    const std::int64_t now = p.arrival;
-    // Drop served packets from the backlog view.
-    while (!backlog.empty() && backlog.front().first <= now)
-      backlog.pop_front();
-
-    std::int64_t qbytes = 0;
-    for (const auto& [dep, sz] : backlog) qbytes += sz;
-
-    const std::int64_t start = std::max<std::int64_t>(now, busy_until);
-    const std::int64_t service_ticks =
-        (p.size_bytes + config.bytes_per_tick - 1) / config.bytes_per_tick;
-    const std::int64_t departs = start + std::max<std::int64_t>(1, service_ticks);
-    busy_until = departs;
-    backlog.emplace_back(departs, p.size_bytes);
-
-    QueueSample s;
-    s.arrival = p.arrival;
-    s.departure = static_cast<std::int32_t>(departs);
-    s.sojourn = static_cast<std::int32_t>(departs - now);
-    s.qlen_bytes = static_cast<std::int32_t>(qbytes);
-    s.qlen_pkts = static_cast<std::int32_t>(backlog.size()) - 1;
-    s.size_bytes = p.size_bytes;
-    samples.push_back(s);
-  }
+  for (const auto& p : trace)
+    samples.push_back(queue.offer(p.arrival, p.size_bytes));
   return samples;
 }
 

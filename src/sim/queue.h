@@ -1,6 +1,13 @@
 // A deterministic FIFO queue simulator: produces per-packet sojourn times and
 // queue lengths for the AQM algorithms (HULL, AVQ, CoDel).  Service is
 // byte-based at a fixed line rate.
+//
+// The core is ByteQueue, a single output port with a finite drop-tail buffer
+// and an optional ECN marking threshold; simulate_queue runs a whole trace
+// through one ByteQueue, and NetFabric instantiates one ByteQueue per fabric
+// port.  All clocks are 64-bit: an overloaded queue's departure horizon grows
+// without bound, so 32-bit tick arithmetic silently overflows on long traces
+// (the seed stored int64 departures into int32 fields).
 #pragma once
 
 #include <cstdint>
@@ -12,19 +19,73 @@
 namespace netsim {
 
 struct QueueSample {
-  std::int32_t arrival = 0;       // packet arrival tick
-  std::int32_t departure = 0;     // tick the packet finished service
-  std::int32_t sojourn = 0;       // departure - arrival (queueing delay)
-  std::int32_t qlen_bytes = 0;    // backlog on arrival, bytes
+  std::int64_t arrival = 0;       // packet arrival tick
+  std::int64_t departure = 0;     // tick the packet finished service
+  std::int64_t sojourn = 0;       // departure - arrival (queueing delay)
+  std::int64_t qlen_bytes = 0;    // backlog on arrival, bytes
   std::int32_t qlen_pkts = 0;     // backlog on arrival, packets
   std::int32_t size_bytes = 0;
+  bool dropped = false;           // drop-tail: buffer was full on arrival
+  bool ecn_marked = false;        // backlog was at or above the ECN threshold
 };
 
 struct QueueConfig {
-  std::int32_t bytes_per_tick = 1000;  // service rate
+  std::int64_t bytes_per_tick = 1000;     // service rate
+  std::int64_t capacity_bytes = -1;       // drop-tail buffer; < 0 = infinite
+  std::int64_t ecn_threshold_bytes = -1;  // mark when backlog >= this; < 0 = off
 };
 
-// Runs the trace through the queue; one sample per packet, in arrival order.
+// One output port: byte-rate service, drop-tail buffer, ECN hook.  All
+// methods are deterministic; time only moves forward through the `now`
+// arguments the caller passes.
+class ByteQueue {
+ public:
+  ByteQueue() = default;
+  explicit ByteQueue(const QueueConfig& config) : config_(config) {}
+
+  const QueueConfig& config() const { return config_; }
+
+  // Offers one packet at tick `now` (must be >= every earlier `now`).  On
+  // accept, the sample carries the departure tick; on drop-tail it carries
+  // dropped = true with departure == arrival.  qlen_* report the backlog as
+  // the packet found it, before its own enqueue.
+  QueueSample offer(std::int64_t now, std::int32_t size_bytes);
+
+  // Unserved bytes in the buffer at tick `now` (prunes departed packets).
+  std::int64_t backlog_bytes(std::int64_t now);
+  // Unserved packets in the buffer at tick `now`.
+  std::int32_t backlog_pkts(std::int64_t now);
+
+  // Tick at which the server drains completely.
+  std::int64_t busy_until() const { return busy_until_; }
+
+  // Cumulative accounting since construction.
+  std::int64_t offered_pkts() const { return offered_pkts_; }
+  std::int64_t accepted_pkts() const { return offered_pkts_ - dropped_pkts_; }
+  std::int64_t dropped_pkts() const { return dropped_pkts_; }
+  std::int64_t offered_bytes() const { return offered_bytes_; }
+  std::int64_t accepted_bytes() const { return offered_bytes_ - dropped_bytes_; }
+  std::int64_t dropped_bytes() const { return dropped_bytes_; }
+  std::int64_t ecn_marked_pkts() const { return ecn_marked_pkts_; }
+
+ private:
+  void prune(std::int64_t now);
+
+  QueueConfig config_;
+  std::int64_t busy_until_ = 0;
+  std::int64_t backlog_bytes_ = 0;  // bytes of the packets in backlog_
+  std::deque<std::pair<std::int64_t, std::int32_t>> backlog_;  // (departs, sz)
+
+  std::int64_t offered_pkts_ = 0;
+  std::int64_t dropped_pkts_ = 0;
+  std::int64_t offered_bytes_ = 0;
+  std::int64_t dropped_bytes_ = 0;
+  std::int64_t ecn_marked_pkts_ = 0;
+};
+
+// Runs the trace through one queue; one sample per packet, in arrival order.
+// Dropped packets still produce a sample (dropped = true) so callers can
+// account for every offered packet.
 std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
                                         const QueueConfig& config);
 

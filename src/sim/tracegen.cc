@@ -9,20 +9,20 @@ std::vector<TracePacket> generate_flow_trace(const FlowTraceConfig& config) {
   Zipf zipf(config.num_flows, config.zipf_skew);
 
   struct FlowState {
-    std::int32_t next_arrival = 0;
+    std::int64_t next_arrival = 0;
     bool in_burst = false;
   };
   std::vector<FlowState> flows(config.num_flows);
 
   std::vector<TracePacket> trace;
   trace.reserve(config.num_packets);
-  std::int32_t clock = 0;
+  std::int64_t clock = 0;
   for (std::size_t i = 0; i < config.num_packets; ++i) {
     const auto f = static_cast<std::int32_t>(zipf.sample(rng));
     FlowState& st = flows[static_cast<std::size_t>(f)];
 
     clock += 1;  // global line clock: one packet per tick
-    std::int32_t arrival;
+    std::int64_t arrival;
     if (!st.in_burst || clock - st.next_arrival > config.inter_burst_gap) {
       // new flowlet: the flow was idle long enough
       arrival = std::max(clock, st.next_arrival + config.inter_burst_gap);
@@ -52,7 +52,7 @@ std::vector<TracePacket> generate_arrival_trace(const ArrivalTraceConfig& c) {
   Xoshiro256 rng(c.seed);
   std::vector<TracePacket> trace;
   trace.reserve(c.num_packets);
-  std::int32_t clock = 0;
+  std::int64_t clock = 0;
   for (std::size_t i = 0; i < c.num_packets; ++i) {
     // Geometric inter-arrival with mean 1/load.
     const double u = rng.uniform();

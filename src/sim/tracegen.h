@@ -11,7 +11,9 @@
 namespace netsim {
 
 struct TracePacket {
-  std::int32_t arrival = 0;     // ticks
+  std::int64_t arrival = 0;     // ticks (64-bit: queue simulations push
+                                // departure horizons far past arrivals, and
+                                // the two clocks must share a width)
   std::int32_t flow_id = 0;
   std::int32_t sport = 0;
   std::int32_t dport = 0;

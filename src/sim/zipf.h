@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/rng.h"
@@ -13,13 +14,20 @@ namespace netsim {
 
 class Zipf {
  public:
+  // Requires n >= 1: an empty support has no distribution (the seed version
+  // dereferenced cdf_.back() on an empty vector — UB).
   Zipf(std::size_t n, double skew) : cdf_(n) {
+    if (n == 0)
+      throw std::invalid_argument("Zipf: support size must be >= 1");
+    std::vector<double> weight(n);
     double total = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    for (std::size_t i = 0; i < n; ++i) {
+      weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      total += weight[i];
+    }
     double acc = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      acc += 1.0 / std::pow(static_cast<double>(i + 1), skew) / total;
+      acc += weight[i] / total;
       cdf_[i] = acc;
     }
     cdf_.back() = 1.0;

@@ -11,7 +11,9 @@ using domino::TacStmt;
 
 CodeletSpec::CodeletSpec(const domino::Codelet& codelet,
                          std::vector<std::string> liveouts)
-    : codelet_(codelet), liveout_fields_(std::move(liveouts)) {
+    : codelet_(codelet),
+      liveout_fields_(std::move(liveouts)),
+      compiled_(codelet.stmts) {
   // State variables in first-touch order (stable across runs).
   std::set<std::string> seen;
   for (const auto& s : codelet_.stmts) {
@@ -21,6 +23,22 @@ CodeletSpec::CodeletSpec(const domino::Codelet& codelet,
     }
   }
   input_fields_ = codelet_.external_inputs();
+
+  // Resolve every name eval() will touch to a dense index, once.
+  stmt_state_index_.reserve(codelet_.stmts.size());
+  for (const auto& s : codelet_.stmts) {
+    std::size_t k = 0;
+    if (s.touches_state()) {
+      while (k < state_vars_.size() && state_vars_[k] != s.state_var) ++k;
+      if (k == state_vars_.size()) k = 0;
+    }
+    stmt_state_index_.push_back(k);
+  }
+  input_index_.reserve(input_fields_.size());
+  for (const auto& f : input_fields_) input_index_.push_back(compiled_.index_of(f));
+  liveout_index_.reserve(liveout_fields_.size());
+  for (const auto& f : liveout_fields_)
+    liveout_index_.push_back(compiled_.index_of(f));
 }
 
 std::vector<Value> CodeletSpec::constants() const {
@@ -66,31 +84,27 @@ void CodeletSpec::eval(util::Span<const Value> states_in,
   // Scalar state view: valid because all accesses to an array within one
   // transaction use the same index (enforced by sema).
   std::vector<Value> state_val(states_in.begin(), states_in.end());
-  // Small linear-probed field environment.
-  std::vector<std::pair<std::string, Value>> env;
-  env.reserve(input_fields_.size() + codelet_.stmts.size());
+  // Dense field environment indexed by CompiledTac's interned ids; fields the
+  // codelet never writes read as zero, like the by-name evaluator.
+  std::vector<Value> env(compiled_.num_fields(), 0);
   for (std::size_t i = 0; i < input_fields_.size(); ++i)
-    env.emplace_back(input_fields_[i], fields[i]);
+    if (input_index_[i]) env[*input_index_[i]] = fields[i];
 
-  auto state_index = [this](const std::string& name) {
-    for (std::size_t k = 0; k < state_vars_.size(); ++k)
-      if (state_vars_[k] == name) return k;
-    return std::size_t{0};
-  };
-
-  using E = domino::TacEvaluator;
-  for (const auto& s : codelet_.stmts) {
+  using C = domino::CompiledTac;
+  const auto& stmts = compiled_.stmts();
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const C::RStmt& s = stmts[i];
     switch (s.kind) {
       case TacStmt::Kind::kReadState:
-        E::write_field(env, s.dst, state_val[state_index(s.state_var)]);
+        env[s.dst] = state_val[stmt_state_index_[i]];
         break;
       case TacStmt::Kind::kWriteState:
-        state_val[state_index(s.state_var)] = E::eval_operand(s.a, env);
+        state_val[stmt_state_index_[i]] = C::eval_operand(s.a, env);
         break;
       default: {
         // Pure packet-field statement; no state store needed.
         static thread_local banzai::StateStore empty_store;
-        E::exec(s, env, empty_store);
+        compiled_.exec_stmt(s, env, empty_store);
         break;
       }
     }
@@ -99,7 +113,7 @@ void CodeletSpec::eval(util::Span<const Value> states_in,
   for (std::size_t k = 0; k < state_vars_.size(); ++k)
     states_out[k] = state_val[k];
   for (std::size_t i = 0; i < liveout_fields_.size(); ++i)
-    liveouts[i] = E::read_field(env, liveout_fields_[i]);
+    liveouts[i] = liveout_index_[i] ? env[*liveout_index_[i]] : 0;
 }
 
 }  // namespace synthesis

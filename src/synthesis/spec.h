@@ -10,11 +10,13 @@
 #pragma once
 
 #include "util/span.h"
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "banzai/value.h"
 #include "ir/pvsm.h"
+#include "ir/tac.h"
 
 namespace synthesis {
 
@@ -61,6 +63,14 @@ class CodeletSpec {
   std::vector<std::string> state_vars_;
   std::vector<std::string> input_fields_;
   std::vector<std::string> liveout_fields_;
+
+  // Resolved-index execution plan: eval() runs in the synthesis inner loop
+  // (once per candidate atom per example), so field names are interned once
+  // here instead of being scanned per operand access.
+  domino::CompiledTac compiled_;
+  std::vector<std::size_t> stmt_state_index_;  // per stmt: index into state_vars_
+  std::vector<std::optional<std::uint32_t>> input_index_;
+  std::vector<std::optional<std::uint32_t>> liveout_index_;
 };
 
 }  // namespace synthesis

@@ -54,7 +54,7 @@ struct FlowletSetup {
       Packet p(compiled.machine().fields().size());
       p.set(f_sport, 1000 + tp.flow_id);
       p.set(f_dport, 80);
-      p.set(f_arrival, tp.arrival);
+      p.set(f_arrival, static_cast<banzai::Value>(tp.arrival));
       pkts.push_back(std::move(p));
     }
     return pkts;

@@ -411,7 +411,7 @@ TEST(ServiceFullTraceTest, MatchesSingleMachineWhenFlowsDoNotAlias) {
     Packet p(ft.size());
     p.set(f_sport, 1000 + tp.flow_id);
     p.set(f_dport, 80);
-    p.set(f_arrival, tp.arrival);
+    p.set(f_arrival, static_cast<banzai::Value>(tp.arrival));
     trace.push_back(std::move(p));
   }
 
