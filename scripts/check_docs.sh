@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Documentation checks, run by the CI docs job and usable locally:
+#
+#   1. Every intra-repo markdown link in README.md and docs/*.md resolves to
+#      an existing file (anchors are stripped; external http(s)/mailto links
+#      are skipped).
+#   2. Every command quoted in docs/*.md runs: inside fenced code blocks,
+#      lines starting with `./build/` are executed from the repository root
+#      and must exit 0 — unless the line carries a `# rejected` marker, in
+#      which case it must exit exactly 1, dominoc's "rejected by the
+#      compiler" status (2 = usage error, 124 = timeout, 127 = missing
+#      binary: all still failures, so a typo can't pass vacuously).
+#
+# Usage: scripts/check_docs.sh   (from the repository root, after a build)
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+fail=0
+
+# ---- 1. intra-repo links ----------------------------------------------------
+check_links() {
+  local md="$1"
+  local dir
+  dir="$(dirname "$md")"
+  # Extract (target) parts of [text](target) links, one per line.
+  grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      echo x >> "$root/.docs_check_failed"
+    fi
+  done
+}
+
+rm -f .docs_check_failed
+for md in README.md docs/*.md; do
+  [ -e "$md" ] || continue
+  check_links "$md"
+done
+
+# ---- 2. quoted commands -----------------------------------------------------
+run_quoted() {
+  local md="$1"
+  local in_fence=0
+  while IFS= read -r line; do
+    case "$line" in
+      '```'*) in_fence=$((1 - in_fence)); continue ;;
+    esac
+    [ "$in_fence" = 1 ] || continue
+    case "$line" in
+      './build/'*) ;;
+      *) continue ;;
+    esac
+    local expect_fail=0
+    case "$line" in
+      *'# rejected'*) expect_fail=1 ;;
+    esac
+    local cmd="${line%%#*}"
+    echo "RUN ($md): $cmd"
+    local status=0
+    eval "timeout 300 $cmd" > /dev/null 2>&1 || status=$?
+    if [ "$expect_fail" = 1 ]; then
+      if [ "$status" != 1 ]; then
+        echo "EXPECTED COMPILE REJECTION (exit 1) but got exit $status: $cmd"
+        echo x >> "$root/.docs_check_failed"
+      fi
+    elif [ "$status" != 0 ]; then
+      echo "COMMAND FAILED (exit $status): $cmd (quoted in $md)"
+      echo x >> "$root/.docs_check_failed"
+    fi
+  done < "$md"
+}
+
+for md in docs/*.md; do
+  [ -e "$md" ] || continue
+  run_quoted "$md"
+done
+
+if [ -e .docs_check_failed ]; then
+  rm -f .docs_check_failed
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK: links resolve, quoted commands behave as documented"

@@ -9,7 +9,17 @@
 // Execution semantics within a stage: all atoms of a stage run in parallel on
 // the packet as it *entered* the stage (reads from `in`), producing writes
 // into `out`.  Each atom owns disjoint output fields and disjoint state, which
-// code generation guarantees.
+// code generation guarantees.  Those two disjointness properties are what
+// every faster engine rests on: they make the atom loop and the packet loop
+// commute (Stage::execute_batch, BatchSim's stage-major order) and they make
+// in-place execution legal (the fused micro-op kernel of banzai/kernel.h).
+//
+// Engine-equivalence contract: the closure in `exec` is the reference
+// semantics.  `exec_batch` — and the lowered kernel program a compiled
+// machine carries alongside these closures — must be bit-exact with it on
+// every packet field and every state cell, for every input.  Totality is
+// part of that contract: no exceptions, wrapping arithmetic, total
+// division (banzai/value.h), clamped array indices (banzai/state.h).
 #pragma once
 
 #include <functional>

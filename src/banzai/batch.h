@@ -16,6 +16,12 @@
 // commits the same per-packet state transitions in the same arrival order.
 // The differential tests in tests/batch_test.cc prove this against both
 // PipelineSim and sequential Machine::process on the whole algorithm corpus.
+//
+// When the machine carries a lowered kernel and the kKernel engine is
+// selected, BatchSim hands whole batches to CompiledPipeline::run_batch
+// instead: the same stage-major argument taken to its limit (op-major over
+// the flat micro-op program, executed in place) — see banzai/kernel.h, and
+// tests/kernel_test.cc for the engine differential.
 #pragma once
 
 #include <algorithm>
@@ -69,6 +75,15 @@ class BatchSim {
 
  private:
   void run_batch(std::size_t start, std::size_t n) {
+    // Kernel engine: the fused micro-op program runs the whole batch through
+    // all stages in place on the ingress storage — op-major, one state
+    // resolution per batch, no ping-pong copies at all.
+    if (const CompiledPipeline* k = machine_.active_kernel()) {
+      k->run_batch(&ingress_[start], n, machine_.state());
+      for (std::size_t i = 0; i < n; ++i)
+        egress_.push_back(std::move(ingress_[start + i]));
+      return;
+    }
     const auto& stages = machine_.stages();
     if (stages.empty()) {
       for (std::size_t i = 0; i < n; ++i)

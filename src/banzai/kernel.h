@@ -1,0 +1,257 @@
+// Fused stage kernels: a compiled Banzai pipeline as one flat micro-op
+// program.
+//
+// The closure engine (banzai/atom.h + core/codegen.cc) executes each atom as
+// a std::function over heap-allocated configuration objects: per packet it
+// pays indirect dispatch per atom, by-name StateStore lookups, a scratch
+// vector for the stateful input-field gather, and a full packet copy per
+// stage.  CompiledPipeline removes all of that ahead of time.  The lowering
+// pass in core/codegen.cc flattens every stage's atoms — stateless ALU
+// statements, the synthesized stateful templates of §5.2 (predicates plus
+// update arms, including the §5.3 LUT extension), and intrinsics — into one
+// contiguous MicroOp array in which packet fields are dense FieldIds, owned
+// state variables are dense slots into a per-program state table, intrinsics
+// and LUTs are raw function pointers, and stateful operand selectors address
+// the packet directly (no input-field gather).  A branch-light switch
+// dispatches opcodes; the batch form resolves state variables once per batch
+// and iterates packets innermost, so a stage's whole configuration stays in
+// registers across the batch.  This mirrors how the paper's Banzai emits
+// straight-line C++ per atom, and how fixed-function P4 targets assume
+// index-addressed, fixed-layout metadata.
+//
+// Engine-equivalence contract: for every program the lowering accepts,
+// CompiledPipeline::run / run_batch are bit-exact with the closure engine
+// (Stage::execute_into per stage, atoms in order) on every packet field and
+// every state cell, for any input — including wrap-around arithmetic,
+// division by zero, and hostile array indices.  tests/kernel_test.cc holds
+// this contract over the whole algorithm corpus across all four runtimes
+// (per-packet, batched, sharded, fabric).
+//
+// Why in-place execution is legal: within a stage, the closure engine gives
+// every atom the packet as it *entered* the stage.  Codelets scheduled into
+// one stage are mutually independent (no codelet reads another's output —
+// that dependency would have forced a later stage) and write disjoint
+// fields, so executing a stage's ops in order on a single buffer observes
+// the same values; seal() verifies both properties and rejects the program
+// otherwise.  Across stages, program order is exactly dataflow order.
+// Op-major batching (all packets through op k, then op k+1) additionally
+// relies on every state variable being local to exactly one atom (§2.3), so
+// per-atom state sequences see packets in arrival order — the same argument
+// that makes BatchSim's stage-major order legal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "banzai/packet.h"
+#include "banzai/state.h"
+#include "banzai/value.h"
+
+namespace banzai {
+
+// Which execution path a Machine uses for process()/BatchSim and everything
+// layered on them (ShardCore, Fleet, FleetService, NetFabric nodes).
+//   kClosure — walk the per-atom std::function closures: the reference
+//              semantics, always available.
+//   kKernel  — run the lowered micro-op program; falls back to closures on
+//              machines that carry no kernel (e.g. hand-assembled ones).
+enum class ExecEngine { kClosure, kKernel };
+
+// An intrinsic body: args are already evaluated, in call order.  The lowering
+// supplies pointers to the canned implementations in ir/intrinsics.cc so the
+// kernel layer stays independent of the compiler layer.
+using IntrinsicFn = Value (*)(const Value* args, std::size_t n);
+// A look-up-table ROM (§5.3): one total function of one value.
+using LutFn = Value (*)(Value);
+
+// Micro-op opcodes.  One opcode per ALU operation keeps the dispatch a single
+// dense switch with no secondary decode.
+enum class KOp : std::uint8_t {
+  kMov,     // dst = a
+  kNeg,     // dst = -a (wrapping)
+  kLNot,    // dst = !a
+  kBitNot,  // dst = ~a
+  kAdd, kSub, kMul,       // wrapping
+  kDiv, kMod,             // total: x/0 == 0, INT_MIN/-1 wraps
+  kShl, kShr,             // shift amount masked to 5 bits
+  kBitAnd, kBitOr, kBitXor,
+  kLAnd, kLOr,            // logical, producing 0/1
+  kLt, kLe, kGt, kGe, kEq, kNe,  // relational, producing 0/1
+  kSelect,     // dst = a ? b : c
+  kIntrinsic,  // dst = fn(args...) [% mod]; payload in the intrinsic pool
+  kStateful,   // fused stateful-template update; payload in the stateful pool
+};
+
+// A resolved stateless operand: immediate constant or packet field.
+struct KSrc {
+  Value cst = 0;
+  std::uint32_t field = 0;
+  bool is_const = true;
+
+  static KSrc constant(Value v) { return {v, 0, true}; }
+  static KSrc field_ref(std::uint32_t id) { return {0, id, false}; }
+
+  Value get(const Packet& p) const { return is_const ? cst : p[field]; }
+};
+
+// A resolved stateful-template operand: constant, packet field, or one of the
+// atom's owned state values (pre-update).  This is atoms::OperandSel with the
+// codelet-relative field *position* replaced by the packet FieldId itself.
+struct KRef {
+  enum class Kind : std::uint8_t { kConst, kField, kState };
+  Kind kind = Kind::kConst;
+  std::uint8_t state_idx = 0;
+  std::uint32_t field = 0;
+  Value cst = 0;
+
+  static KRef constant(Value v) {
+    KRef r;
+    r.cst = v;
+    return r;
+  }
+  static KRef field_ref(std::uint32_t id) {
+    KRef r;
+    r.kind = Kind::kField;
+    r.field = id;
+    return r;
+  }
+  static KRef state_ref(int idx) {
+    KRef r;
+    r.kind = Kind::kState;
+    r.state_idx = static_cast<std::uint8_t>(idx);
+    return r;
+  }
+
+  Value get(const Packet& p, const Value* states_in) const {
+    switch (kind) {
+      case Kind::kConst: return cst;
+      case Kind::kField: return p[field];
+      case Kind::kState: return states_in[state_idx];
+    }
+    return 0;
+  }
+};
+
+// Relational operator of a template predicate (atoms::RelKind, mirrored so
+// the kernel layer carries no compiler-layer includes).
+enum class KRel : std::uint8_t { kAlways, kLt, kLe, kGt, kGe, kEq, kNe };
+
+// Update-arm modes (atoms::ArmMode, mirrored).
+enum class KArm : std::uint8_t {
+  kKeep, kSet, kAdd, kSubt, kSetAdd, kSetSub, kAddSub, kLutAdd,
+};
+
+struct KPred {
+  KRel rel = KRel::kAlways;
+  KRef a, b;
+};
+
+struct KArmOp {
+  KArm mode = KArm::kKeep;
+  KRef src1, src2;
+};
+
+// One live-out packet field of a stateful op: the pre-update ("old") or
+// post-update ("new") value of one owned state slot.
+struct KLiveOut {
+  std::uint32_t dst = 0;
+  std::uint8_t state_idx = 0;
+  bool use_new = false;
+};
+
+// A whole synthesized stateful atom fused into one op: load owned state
+// (array cells addressed by a packet field), pick a decision-tree leaf with
+// up to three predicates, run one update arm per state, store, and publish
+// the live-out fields.  Everything is pre-resolved; execution touches no
+// strings and allocates nothing.
+struct StatefulOp {
+  struct Slot {
+    std::uint32_t var = 0;  // index into the pipeline's state table
+    std::uint32_t index_field = 0;  // packet field holding the array index
+    bool is_array = false;
+  };
+  std::uint8_t num_states = 1;   // 1, or 2 for Pairs-class templates
+  std::uint8_t pred_levels = 0;  // 0 (Write/RAW), 1 (PRAW..Sub), 2 (Nested+)
+  Slot slots[2];
+  KPred preds[3];   // [p1, p2, p3]; p2/p3 only with two levels
+  KArmOp arms[4][2];  // [leaf][state]; leaf order matches atoms::StatefulConfig
+  LutFn lut = nullptr;  // ROM for kLutAdd arms
+  std::uint32_t liveout_begin = 0, liveout_end = 0;  // into the live-out pool
+};
+
+struct IntrinsicOp {
+  static constexpr std::size_t kMaxArgs = 4;
+  IntrinsicFn fn = nullptr;
+  std::uint8_t num_args = 0;
+  KSrc args[kMaxArgs];
+  Value mod = 0;  // 0 means "no modulus"; else result = total_mod(result, mod)
+};
+
+struct MicroOp {
+  KOp code = KOp::kMov;
+  std::uint32_t dst = 0;   // output FieldId (unused by kStateful)
+  std::uint32_t aux = 0;   // kIntrinsic/kStateful: index into the payload pool
+  KSrc a, b, c;
+};
+
+// The lowered program.  Immutable after seal(); safe to share (and to execute
+// concurrently) across machine clones — execution reads the program, touches
+// only the caller's packets and StateStore, and uses no internal scratch.
+class CompiledPipeline {
+ public:
+  // --- Builder interface, used by the lowering pass in core/codegen.cc ----
+  void begin_stage();
+  void add_alu(KOp code, std::uint32_t dst, KSrc a, KSrc b = KSrc{},
+               KSrc c = KSrc{});
+  void add_intrinsic(std::uint32_t dst, const IntrinsicOp& payload);
+  void add_stateful(const StatefulOp& op,
+                    const std::vector<KLiveOut>& liveouts);
+  // Dense index of `name` in the state table, interning it if new.
+  std::uint32_t intern_state(const std::string& name);
+  // Freezes the program: records the packet width and verifies the in-place
+  // execution preconditions (disjoint writes per stage, no intra-stage
+  // read-after-write).  Throws std::logic_error on violation — such a program
+  // would need the copy-based closure engine.
+  void seal(std::size_t num_fields);
+
+  // --- Execution ----------------------------------------------------------
+  // Runs one packet through the whole pipeline, in place.
+  void run(Packet& pkt, StateStore& state) const { run_batch(&pkt, 1, state); }
+  // Runs `n` packets through the whole pipeline, in place, op-major: state
+  // variables are resolved once per batch and packets iterate innermost, so
+  // each op's configuration is loaded once per batch rather than per packet.
+  void run_batch(Packet* pkts, std::size_t n, StateStore& state) const;
+
+  // --- Introspection ------------------------------------------------------
+  bool sealed() const { return sealed_; }
+  std::size_t num_ops() const { return ops_.size(); }
+  std::size_t num_stages() const { return stages_.size(); }
+  std::size_t num_state_vars() const { return state_names_.size(); }
+  std::size_t num_fields() const { return num_fields_; }
+  const std::vector<std::string>& state_names() const { return state_names_; }
+
+ private:
+  struct StageRange {
+    std::uint32_t begin = 0, end = 0;
+  };
+
+  void require_open_stage() const;
+  void verify_in_place_safe() const;
+
+  std::vector<MicroOp> ops_;
+  std::vector<StageRange> stages_;
+  std::vector<StatefulOp> stateful_;
+  std::vector<IntrinsicOp> intrinsics_;
+  std::vector<KLiveOut> liveouts_;
+  std::vector<std::string> state_names_;
+  std::unordered_map<std::string, std::uint32_t> state_index_;
+  std::size_t num_fields_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace banzai

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "banzai/atom.h"
+#include "banzai/kernel.h"
 #include "banzai/packet.h"
 #include "banzai/state.h"
 
@@ -23,6 +24,13 @@ struct MachineSpec {
 };
 
 // One pipeline stage: atoms that execute in parallel each cycle.
+//
+// Stage-parallel read/write semantics: every atom of the stage observes the
+// packet exactly as it entered the stage, and the atoms' writes — disjoint
+// packet fields, disjoint state, a property code generation guarantees and
+// CompiledPipeline::seal re-verifies — merge into the packet the next stage
+// sees.  Any execution order of a stage's atoms is therefore equivalent, and
+// every engine below exploits that freedom differently.
 struct Stage {
   std::vector<ConfiguredAtom> atoms;
 
@@ -62,6 +70,18 @@ struct Stage {
 };
 
 // A fully configured machine: the output of Domino code generation.
+//
+// A compiled machine carries two interchangeable execution paths:
+//   * the closure path — per-atom std::function closures walked stage by
+//     stage (the reference semantics, always present), and
+//   * the kernel path — the flat micro-op program the lowering pass emits
+//     (banzai/kernel.h), shared read-only across clones.
+// The ExecEngine toggle (CompileOptions::engine, or set_engine) selects
+// which one process() and the engines layered on it use.  The two paths are
+// bit-exact on every packet field and state cell for every input — the
+// engine-equivalence contract tests/kernel_test.cc enforces corpus-wide —
+// so flipping the toggle mid-stream is legal: both paths read and write the
+// same FieldTable ids and the same StateStore.
 class Machine {
  public:
   Machine() = default;
@@ -94,10 +114,30 @@ class Machine {
     return m;
   }
 
+  // Engine selection.  A machine without a lowered kernel (hand-assembled,
+  // or pre-dating the lowering pass) silently executes on closures whatever
+  // the toggle says — kKernel is a request, active_kernel() is the truth.
+  ExecEngine engine() const { return engine_; }
+  void set_engine(ExecEngine engine) { engine_ = engine; }
+  void set_kernel(std::shared_ptr<const CompiledPipeline> kernel) {
+    kernel_ = std::move(kernel);
+  }
+  const CompiledPipeline* kernel() const { return kernel_.get(); }
+  // The kernel execution actually dispatches to: non-null only when a
+  // lowered program is attached AND the engine toggle selects it.
+  const CompiledPipeline* active_kernel() const {
+    return engine_ == ExecEngine::kKernel ? kernel_.get() : nullptr;
+  }
+
   // Runs one packet through all stages back-to-back (functionally equivalent
   // to the pipelined execution; see PipelineSim for the cycle-accurate form
-  // and BatchSim for the batched throughput engine).
+  // and BatchSim for the batched throughput engine).  Dispatches to the
+  // fused micro-op program when the kernel engine is selected.
   Packet process(Packet pkt) {
+    if (const CompiledPipeline* k = active_kernel()) {
+      k->run(pkt, state_);
+      return pkt;
+    }
     for (const Stage& s : stages_) pkt = s.execute(pkt, state_);
     return pkt;
   }
@@ -112,7 +152,9 @@ class Machine {
   // own StateStore snapshot.  Atom closures capture their configuration by
   // value and reach state only through the StateStore& they are handed at
   // execution time, so replicas never share mutable state — this is what the
-  // Fleet relies on to scale one compiled program across shards.
+  // Fleet relies on to scale one compiled program across shards.  The lowered
+  // kernel, immutable after sealing and stateless at execution time, is
+  // shared between replicas rather than copied.
   Machine clone() const { return *this; }
 
  private:
@@ -120,6 +162,8 @@ class Machine {
   FieldTable fields_;
   std::vector<Stage> stages_;
   StateStore state_;
+  ExecEngine engine_ = ExecEngine::kClosure;
+  std::shared_ptr<const CompiledPipeline> kernel_;
 };
 
 }  // namespace banzai

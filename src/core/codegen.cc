@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <optional>
 #include <set>
+#include <stdexcept>
 
 #include "atoms/stateless.h"
+#include "banzai/kernel.h"
 #include "ir/intrinsics.h"
 
 namespace domino {
@@ -160,6 +163,182 @@ struct StatefulBody {
   }
 };
 
+// ---- Kernel lowering (banzai/kernel.h) -------------------------------------
+// Alongside every closure atom, the generator emits the equivalent micro-ops
+// into a CompiledPipeline: the same CompiledStmt / StatefulBody data that the
+// closures capture, but with operators mapped to dense opcodes, intrinsics to
+// raw function pointers, and stateful operand selectors resolved from
+// codelet-relative field positions to packet FieldIds.  The closure path and
+// the kernel program are built from one source of truth, so they cannot
+// diverge structurally; tests/kernel_test.cc proves they do not diverge
+// behaviourally either.
+
+banzai::KSrc lower_src(const ROp& r) {
+  return r.is_const
+             ? banzai::KSrc::constant(r.cst)
+             : banzai::KSrc::field_ref(static_cast<std::uint32_t>(r.id));
+}
+
+banzai::KOp lower_unop(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return banzai::KOp::kNeg;
+    case UnOp::kLNot: return banzai::KOp::kLNot;
+    case UnOp::kBitNot: return banzai::KOp::kBitNot;
+  }
+  return banzai::KOp::kNeg;
+}
+
+banzai::KOp lower_binop(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return banzai::KOp::kAdd;
+    case BinOp::kSub: return banzai::KOp::kSub;
+    case BinOp::kMul: return banzai::KOp::kMul;
+    case BinOp::kDiv: return banzai::KOp::kDiv;
+    case BinOp::kMod: return banzai::KOp::kMod;
+    case BinOp::kShl: return banzai::KOp::kShl;
+    case BinOp::kShr: return banzai::KOp::kShr;
+    case BinOp::kBitAnd: return banzai::KOp::kBitAnd;
+    case BinOp::kBitOr: return banzai::KOp::kBitOr;
+    case BinOp::kBitXor: return banzai::KOp::kBitXor;
+    case BinOp::kLAnd: return banzai::KOp::kLAnd;
+    case BinOp::kLOr: return banzai::KOp::kLOr;
+    case BinOp::kLt: return banzai::KOp::kLt;
+    case BinOp::kLe: return banzai::KOp::kLe;
+    case BinOp::kGt: return banzai::KOp::kGt;
+    case BinOp::kGe: return banzai::KOp::kGe;
+    case BinOp::kEq: return banzai::KOp::kEq;
+    case BinOp::kNe: return banzai::KOp::kNe;
+  }
+  return banzai::KOp::kAdd;
+}
+
+banzai::KRel lower_rel(atoms::RelKind rel) {
+  switch (rel) {
+    case atoms::RelKind::kAlways: return banzai::KRel::kAlways;
+    case atoms::RelKind::kLt: return banzai::KRel::kLt;
+    case atoms::RelKind::kLe: return banzai::KRel::kLe;
+    case atoms::RelKind::kGt: return banzai::KRel::kGt;
+    case atoms::RelKind::kGe: return banzai::KRel::kGe;
+    case atoms::RelKind::kEq: return banzai::KRel::kEq;
+    case atoms::RelKind::kNe: return banzai::KRel::kNe;
+  }
+  return banzai::KRel::kAlways;
+}
+
+banzai::KArm lower_arm_mode(atoms::ArmMode mode) {
+  switch (mode) {
+    case atoms::ArmMode::kKeep: return banzai::KArm::kKeep;
+    case atoms::ArmMode::kSet: return banzai::KArm::kSet;
+    case atoms::ArmMode::kAdd: return banzai::KArm::kAdd;
+    case atoms::ArmMode::kSubt: return banzai::KArm::kSubt;
+    case atoms::ArmMode::kSetAdd: return banzai::KArm::kSetAdd;
+    case atoms::ArmMode::kSetSub: return banzai::KArm::kSetSub;
+    case atoms::ArmMode::kAddSub: return banzai::KArm::kAddSub;
+    case atoms::ArmMode::kLutAdd: return banzai::KArm::kLutAdd;
+  }
+  return banzai::KArm::kKeep;
+}
+
+// Resolves an atom-template operand selector against the codelet's input
+// field list, collapsing the field_vals gather the closure path performs.
+banzai::KRef lower_ref(const atoms::OperandSel& sel,
+                       const std::vector<FieldId>& input_ids) {
+  switch (sel.kind) {
+    case atoms::OperandSel::Kind::kState:
+      return banzai::KRef::state_ref(sel.state_idx);
+    case atoms::OperandSel::Kind::kField:
+      return banzai::KRef::field_ref(static_cast<std::uint32_t>(
+          input_ids[static_cast<std::size_t>(sel.field_pos)]));
+    case atoms::OperandSel::Kind::kConst:
+      return banzai::KRef::constant(sel.cst);
+  }
+  return banzai::KRef::constant(0);
+}
+
+void lower_stateless(const CompiledStmt& cs, banzai::CompiledPipeline& kernel) {
+  const auto dst = static_cast<std::uint32_t>(cs.dst);
+  switch (cs.kind) {
+    case TacStmt::Kind::kCopy:
+      kernel.add_alu(banzai::KOp::kMov, dst, lower_src(cs.a));
+      break;
+    case TacStmt::Kind::kUnary:
+      kernel.add_alu(lower_unop(cs.un_op), dst, lower_src(cs.a));
+      break;
+    case TacStmt::Kind::kBinary:
+      kernel.add_alu(lower_binop(cs.op), dst, lower_src(cs.a),
+                     lower_src(cs.b));
+      break;
+    case TacStmt::Kind::kTernary:
+      kernel.add_alu(banzai::KOp::kSelect, dst, lower_src(cs.a),
+                     lower_src(cs.b), lower_src(cs.c));
+      break;
+    case TacStmt::Kind::kIntrinsic: {
+      banzai::IntrinsicOp io;
+      io.fn = intrinsic_raw_fn(cs.intrinsic);
+      if (io.fn == nullptr ||
+          cs.args.size() > banzai::IntrinsicOp::kMaxArgs)
+        throw CompileError(
+            CompilePhase::kMapping,
+            "cannot lower intrinsic '" + cs.intrinsic + "' to a micro-op");
+      io.num_args = static_cast<std::uint8_t>(cs.args.size());
+      for (std::size_t i = 0; i < cs.args.size(); ++i)
+        io.args[i] = lower_src(cs.args[i]);
+      io.mod = cs.mod;
+      kernel.add_intrinsic(dst, io);
+      break;
+    }
+    default:
+      throw CompileError(CompilePhase::kMapping,
+                         "state statement reached stateless lowering");
+  }
+}
+
+void lower_stateful(const StatefulBody& body,
+                    banzai::CompiledPipeline& kernel) {
+  const auto& t = atoms::template_info(body.config.kind);
+  // StatefulOp carries fixed-size pools sized for the paper's templates; a
+  // future template outgrowing them must fail loudly, like intrinsic arity.
+  bool oversized = body.slots.size() > 2 || body.config.preds.size() > 3 ||
+                   body.config.leaves.size() > 4;
+  for (const auto& leaf : body.config.leaves)
+    oversized = oversized || leaf.size() > 2;
+  if (oversized)
+    throw CompileError(CompilePhase::kMapping,
+                       "stateful template '" + t.name +
+                           "' exceeds the micro-op pools (2 states, 3 "
+                           "predicates, 4 leaves, 2 arms per leaf)");
+  banzai::StatefulOp so;
+  so.num_states = static_cast<std::uint8_t>(body.slots.size());
+  so.pred_levels = static_cast<std::uint8_t>(t.pred_levels);
+  for (std::size_t k = 0; k < body.slots.size(); ++k) {
+    so.slots[k].var = kernel.intern_state(body.slots[k].var);
+    so.slots[k].is_array = body.slots[k].is_array;
+    so.slots[k].index_field = body.slots[k].index
+                                  ? static_cast<std::uint32_t>(
+                                        *body.slots[k].index)
+                                  : 0;
+  }
+  for (std::size_t i = 0; i < body.config.preds.size(); ++i) {
+    so.preds[i].rel = lower_rel(body.config.preds[i].rel);
+    so.preds[i].a = lower_ref(body.config.preds[i].a, body.input_ids);
+    so.preds[i].b = lower_ref(body.config.preds[i].b, body.input_ids);
+  }
+  for (std::size_t leaf = 0; leaf < body.config.leaves.size(); ++leaf)
+    for (std::size_t k = 0; k < body.config.leaves[leaf].size(); ++k) {
+      const atoms::ArmConfig& arm = body.config.leaves[leaf][k];
+      so.arms[leaf][k].mode = lower_arm_mode(arm.mode);
+      so.arms[leaf][k].src1 = lower_ref(arm.src1, body.input_ids);
+      so.arms[leaf][k].src2 = lower_ref(arm.src2, body.input_ids);
+    }
+  so.lut = &atoms::lut_eval;
+  std::vector<banzai::KLiveOut> los;
+  los.reserve(body.liveouts.size());
+  for (const LiveOutRt& l : body.liveouts)
+    los.push_back({static_cast<std::uint32_t>(l.id),
+                   static_cast<std::uint8_t>(l.state_idx), l.use_new});
+  kernel.add_stateful(so, los);
+}
+
 class CodeGenerator {
  public:
   CodeGenerator(const CodeletPipeline& pvsm, const Program& prog,
@@ -182,9 +361,11 @@ class CodeGenerator {
 
     banzai::Machine machine(target_.machine_spec(), FieldTable{});
     std::vector<banzai::Stage> stages;
+    kernel_ = std::make_shared<banzai::CompiledPipeline>();
 
     for (std::size_t si = 0; si < result.fitted.stages.size(); ++si) {
       banzai::Stage stage;
+      if (kernel_) kernel_->begin_stage();
       for (const auto& codelet : result.fitted.stages[si]) {
         CodeletReport report;
         report.stage = static_cast<int>(si) + 1;
@@ -198,6 +379,20 @@ class CodeGenerator {
 
     machine.fields() = std::move(fields);
     machine.stages() = std::move(stages);
+    // Seal verifies the in-place preconditions (disjoint writes, no
+    // intra-stage RAW, exclusive state ownership).  Today's pipeliner always
+    // satisfies them; should a future pass break one — or should any atom
+    // above have failed to lower — the machine simply ships without a kernel
+    // and runs on closures (the documented fallback) rather than failing the
+    // whole compile for the reference path too.
+    if (kernel_) {
+      try {
+        kernel_->seal(machine.fields().size());
+        machine.set_kernel(std::move(kernel_));
+      } catch (const std::logic_error&) {
+        kernel_.reset();
+      }
+    }
     for (const auto& d : prog_.state_vars)
       machine.state().declare(d.name, static_cast<std::size_t>(d.size),
                               !d.is_array, d.init);
@@ -269,6 +464,20 @@ class CodeGenerator {
     }
   }
 
+  // Runs one atom's kernel lowering; any failure (unlowerable construct,
+  // pool overflow, builder misuse) drops the kernel and lets the machine
+  // ship closure-only — the documented fallback — instead of failing the
+  // compile for the reference path too.
+  template <typename Fn>
+  void lower_atom(Fn&& lower) {
+    if (!kernel_) return;
+    try {
+      lower();
+    } catch (const std::exception&) {
+      kernel_.reset();
+    }
+  }
+
   ConfiguredAtom build_atom(const Codelet& codelet, FieldTable& fields,
                             CodeletReport& report, double& synth_seconds) {
     if (!codelet.is_stateful()) {
@@ -307,6 +516,7 @@ class CodeGenerator {
       report.atom = "Stateless";
     }
     CompiledStmt cs = CompiledStmt::compile(stmt, fields);
+    lower_atom([&] { lower_stateless(cs, *kernel_); });
     atom.output_fields = {cs.dst};
     atom.exec = [cs](const Packet& in, Packet& out, StateStore&) {
       cs.exec(in, out);
@@ -360,6 +570,8 @@ class CodeGenerator {
       body.liveouts.push_back({fields.intern(b.field), b.state_idx, b.use_new});
     body.config = synth.config;
 
+    lower_atom([&] { lower_stateful(body, *kernel_); });
+
     ConfiguredAtom atom;
     atom.kind = AtomKind::kStateful;
     atom.label = report.atom + " atom: " + codelet.str();
@@ -391,6 +603,7 @@ class CodeGenerator {
   const std::map<std::string, std::string>& final_names_;
   synthesis::SynthOptions synth_opts_;
   std::map<std::string, std::vector<std::string>> liveouts_;
+  std::shared_ptr<banzai::CompiledPipeline> kernel_;  // built alongside stages
 };
 
 }  // namespace

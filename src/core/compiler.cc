@@ -24,6 +24,7 @@ CompileResult compile(std::string_view source,
   r.pvsm = pipeline_schedule(r.normalized.tac);
   r.codegen = generate_code(r.pvsm, r.normalized.ssa, target,
                             r.normalized.final_names, options.synth);
+  r.machine().set_engine(options.engine);
   r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

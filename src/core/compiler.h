@@ -20,6 +20,12 @@ namespace domino {
 
 struct CompileOptions {
   synthesis::SynthOptions synth;
+  // Execution engine the compiled machine starts on (see banzai/kernel.h and
+  // docs/ARCHITECTURE.md "Execution engines").  kKernel — the default — runs
+  // the fused micro-op program lowered at compile time; kClosure walks the
+  // per-atom closures (the reference semantics).  Both are always built and
+  // bit-exact; flip per machine at any time with Machine::set_engine.
+  banzai::ExecEngine engine = banzai::ExecEngine::kKernel;
 };
 
 struct CompileResult {

@@ -1,6 +1,7 @@
 #include "ir/intrinsics.h"
 
 #include <array>
+#include <stdexcept>
 
 namespace domino {
 namespace {
@@ -13,11 +14,25 @@ std::uint32_t mix(std::uint32_t h, std::uint32_t v) {
   return h;
 }
 
-std::uint32_t hash_n(std::uint32_t seed,
-                     const std::vector<banzai::Value>& args) {
+std::uint32_t hash_n(std::uint32_t seed, const banzai::Value* args,
+                     std::size_t n) {
   std::uint32_t h = seed;
-  for (banzai::Value a : args) h = mix(h, static_cast<std::uint32_t>(a));
+  for (std::size_t i = 0; i < n; ++i)
+    h = mix(h, static_cast<std::uint32_t>(args[i]));
   return h & 0x7fffffffu;  // non-negative so `% size` indexes are in range
+}
+
+banzai::Value hash2_raw(const banzai::Value* a, std::size_t n) {
+  return static_cast<banzai::Value>(hash_n(0xdeadbeefu, a, n));
+}
+banzai::Value hash3_raw(const banzai::Value* a, std::size_t n) {
+  return static_cast<banzai::Value>(hash_n(0xcafef00du, a, n));
+}
+banzai::Value hash4_raw(const banzai::Value* a, std::size_t n) {
+  return static_cast<banzai::Value>(hash_n(0x8badf00du, a, n));
+}
+banzai::Value isqrt_raw(const banzai::Value* a, std::size_t) {
+  return isqrt(a[0]);
 }
 
 const std::array<IntrinsicInfo, 5> kIntrinsics = {{
@@ -51,6 +66,10 @@ std::int32_t sqrt_interval_impl(std::int32_t c) {
   return static_cast<std::int32_t>(kInterval * 256 / root);
 }
 
+banzai::Value sqrt_interval_raw(const banzai::Value* a, std::size_t) {
+  return sqrt_interval_impl(a[0]);
+}
+
 }  // namespace
 
 std::optional<IntrinsicInfo> intrinsic_info(const std::string& name) {
@@ -78,17 +97,29 @@ std::int32_t isqrt(std::int32_t v) {
   return static_cast<std::int32_t>(r);
 }
 
+RawIntrinsicFn intrinsic_raw_fn(const std::string& name) {
+  if (name == "hash2") return &hash2_raw;
+  if (name == "hash3") return &hash3_raw;
+  if (name == "hash4") return &hash4_raw;
+  if (name == "isqrt") return &isqrt_raw;
+  if (name == "sqrt_interval") return &sqrt_interval_raw;
+  return nullptr;
+}
+
 banzai::Value eval_intrinsic(const std::string& name,
                              const std::vector<banzai::Value>& args) {
-  if (name == "hash2")
-    return static_cast<banzai::Value>(hash_n(0xdeadbeefu, args));
-  if (name == "hash3")
-    return static_cast<banzai::Value>(hash_n(0xcafef00du, args));
-  if (name == "hash4")
-    return static_cast<banzai::Value>(hash_n(0x8badf00du, args));
-  if (name == "isqrt") return isqrt(args.at(0));
-  if (name == "sqrt_interval") return sqrt_interval_impl(args.at(0));
-  return 0;
+  const RawIntrinsicFn fn = intrinsic_raw_fn(name);
+  if (fn == nullptr) return 0;
+  // Sema enforces arity at compile time; this guards direct callers so a
+  // raw body indexing args[0] can never read an empty buffer.  (The info
+  // lookup stays inside the error branch — this is the closure engine's
+  // per-packet path.)
+  if (args.empty()) {
+    const auto info = intrinsic_info(name);
+    if (info.has_value() && info->arity > 0)
+      throw std::out_of_range("intrinsic '" + name + "': missing argument");
+  }
+  return fn(args.data(), args.size());
 }
 
 }  // namespace domino

@@ -37,6 +37,14 @@ std::optional<IntrinsicInfo> intrinsic_info(const std::string& name);
 banzai::Value eval_intrinsic(const std::string& name,
                              const std::vector<banzai::Value>& args);
 
+// Raw-pointer form of the same implementations, for the fused kernel VM
+// (banzai/kernel.h) whose execution path carries no strings or vectors.
+// Returns nullptr for unknown names.  eval_intrinsic routes through these
+// bodies, so the two forms cannot drift.
+using RawIntrinsicFn = banzai::Value (*)(const banzai::Value* args,
+                                         std::size_t n);
+RawIntrinsicFn intrinsic_raw_fn(const std::string& name);
+
 // Integer square root (floor), used by the CoDel control law.
 std::int32_t isqrt(std::int32_t v);
 

@@ -1,0 +1,455 @@
+// The engine-equivalence contract of the fused micro-op kernel
+// (banzai/kernel.h): for every corpus algorithm, the kClosure and kKernel
+// engines are bit-exact on every packet field and every state cell, across
+// all four runtimes — per-packet Machine::process, batched BatchSim, the
+// sharded Fleet/FleetService, and NetFabric-hosted nodes — on the seeded
+// workloads, on a full-range fuzz corpus (wrap-around arithmetic, division
+// by zero, hostile array indices), across snapshot/restore between engines,
+// and under mid-stream engine flips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/batch.h"
+#include "banzai/fleet.h"
+#include "banzai/service.h"
+#include "core/compiler.h"
+#include "sim/netfabric.h"
+#include "sim/tracegen.h"
+
+namespace {
+
+using banzai::ExecEngine;
+using banzai::Machine;
+using banzai::Packet;
+
+// Compiles `source` on the least expressive paper target that accepts it,
+// falling back to the LUT-extended target (CoDel), or nullopt.
+std::optional<domino::CompileResult> compile_least(const std::string& source) {
+  for (const auto& t : atoms::paper_targets()) {
+    try {
+      return domino::compile(source, t);
+    } catch (const domino::CompileError&) {
+    }
+  }
+  try {
+    return domino::compile(source, atoms::lut_extended_target());
+  } catch (const domino::CompileError&) {
+    return std::nullopt;
+  }
+}
+
+Machine engine_clone(const Machine& proto, ExecEngine engine) {
+  Machine m = proto.clone();
+  m.set_engine(engine);
+  return m;
+}
+
+// The algorithm's seeded workload as machine packets.
+std::vector<Packet> workload_packets(const algorithms::AlgorithmInfo& alg,
+                                     const banzai::FieldTable& fields, int n,
+                                     unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::map<std::string, banzai::Value> f;
+    alg.workload(rng, i, f);
+    Packet p(fields.size());
+    for (const auto& [k, v] : f)
+      if (fields.try_id_of(k).has_value()) p.set(fields.id_of(k), v);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Full-range random packets: every machine field (inputs, temporaries)
+// uniformly over int32, plus adversarial extremes.  Exercises wrapping,
+// x/0, INT_MIN/-1, shift masking and out-of-range state indices on both
+// engines identically.
+std::vector<Packet> fuzz_packets(const banzai::FieldTable& fields, int n,
+                                 unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int64_t> full(
+      std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max());
+  const banzai::Value extremes[] = {
+      0, 1, -1, std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max()};
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Packet p(fields.size());
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (rng() % 8 == 0)
+        p.set(f, extremes[rng() % 5]);
+      else
+        p.set(f, static_cast<banzai::Value>(full(rng)));
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Flow-key fields for sharded runs: the algorithm's declared inputs.
+std::vector<banzai::FieldId> flow_key_of(const algorithms::AlgorithmInfo& alg,
+                                         const banzai::FieldTable& fields) {
+  std::vector<banzai::FieldId> key;
+  for (const auto& name : alg.input_fields)
+    if (auto id = fields.try_id_of(name)) key.push_back(*id);
+  return key;
+}
+
+void expect_packets_equal(const std::vector<Packet>& a,
+                          const std::vector<Packet>& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << ": packet " << i;
+}
+
+TEST(KernelLoweringTest, EveryCompilableAlgorithmCarriesASealedKernel) {
+  int compiled_count = 0;
+  for (const auto& alg : algorithms::corpus()) {
+    auto compiled = compile_least(alg.source);
+    if (!compiled.has_value()) continue;
+    ++compiled_count;
+    const Machine& m = compiled->machine();
+    ASSERT_NE(m.kernel(), nullptr) << alg.name;
+    EXPECT_TRUE(m.kernel()->sealed()) << alg.name;
+    EXPECT_EQ(m.kernel()->num_stages(), m.num_stages()) << alg.name;
+    EXPECT_EQ(m.kernel()->num_ops(), m.num_atoms()) << alg.name;
+    EXPECT_EQ(m.kernel()->num_fields(), m.fields().size()) << alg.name;
+    // compile() selects the kernel engine by default…
+    EXPECT_EQ(m.engine(), ExecEngine::kKernel) << alg.name;
+    EXPECT_NE(m.active_kernel(), nullptr) << alg.name;
+    // …and the closure path stays selectable as the reference.
+    Machine closure = engine_clone(m, ExecEngine::kClosure);
+    EXPECT_EQ(closure.active_kernel(), nullptr) << alg.name;
+  }
+  // Table 4: everything except CoDel maps to a paper target, and CoDel maps
+  // to the LUT extension — the corpus-wide contract below rests on this.
+  EXPECT_GE(compiled_count, 10);
+}
+
+TEST(KernelDifferentialTest, PerPacketCorpusWorkloads) {
+  for (const auto& alg : algorithms::corpus()) {
+    auto compiled = compile_least(alg.source);
+    if (!compiled.has_value()) continue;
+    Machine closure = engine_clone(compiled->machine(), ExecEngine::kClosure);
+    Machine kernel = engine_clone(compiled->machine(), ExecEngine::kKernel);
+    const auto trace =
+        workload_packets(alg, compiled->machine().fields(), 4000, 7);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const Packet a = closure.process(trace[i]);
+      const Packet b = kernel.process(trace[i]);
+      ASSERT_EQ(a, b) << alg.name << ": packet " << i;
+    }
+    EXPECT_TRUE(closure.state() == kernel.state()) << alg.name;
+  }
+}
+
+TEST(KernelDifferentialTest, PerPacketFuzzCorpus) {
+  for (const auto& alg : algorithms::corpus()) {
+    auto compiled = compile_least(alg.source);
+    if (!compiled.has_value()) continue;
+    Machine closure = engine_clone(compiled->machine(), ExecEngine::kClosure);
+    Machine kernel = engine_clone(compiled->machine(), ExecEngine::kKernel);
+    const auto trace = fuzz_packets(compiled->machine().fields(), 2500, 99);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const Packet a = closure.process(trace[i]);
+      const Packet b = kernel.process(trace[i]);
+      ASSERT_EQ(a, b) << alg.name << ": fuzz packet " << i;
+    }
+    EXPECT_TRUE(closure.state() == kernel.state()) << alg.name;
+  }
+}
+
+TEST(KernelDifferentialTest, BatchedAcrossBatchSizes) {
+  for (const auto& alg : algorithms::corpus()) {
+    auto compiled = compile_least(alg.source);
+    if (!compiled.has_value()) continue;
+    const auto trace =
+        workload_packets(alg, compiled->machine().fields(), 3000, 11);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{7},
+                              std::size_t{256}}) {
+      Machine closure =
+          engine_clone(compiled->machine(), ExecEngine::kClosure);
+      Machine kernel = engine_clone(compiled->machine(), ExecEngine::kKernel);
+      banzai::BatchSim a(closure, batch), b(kernel, batch);
+      a.enqueue_all(trace);
+      b.enqueue_all(trace);
+      a.run();
+      b.run();
+      expect_packets_equal(a.egress(), b.egress(),
+                           alg.name + " batch=" + std::to_string(batch));
+      EXPECT_TRUE(closure.state() == kernel.state())
+          << alg.name << " batch=" << batch;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, ShardedFleet) {
+  for (const auto& alg : algorithms::corpus()) {
+    auto compiled = compile_least(alg.source);
+    if (!compiled.has_value()) continue;
+    const auto key = flow_key_of(alg, compiled->machine().fields());
+    if (key.empty()) continue;
+    const auto trace =
+        workload_packets(alg, compiled->machine().fields(), 3000, 13);
+    for (std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+      banzai::FleetConfig cfg;
+      cfg.num_shards = shards;
+      cfg.batch_size = 64;
+      cfg.parallel = true;
+      cfg.flow_key = key;
+      banzai::Fleet a(engine_clone(compiled->machine(), ExecEngine::kClosure),
+                      cfg);
+      banzai::Fleet b(engine_clone(compiled->machine(), ExecEngine::kKernel),
+                      cfg);
+      const auto ra = a.run(trace).egress_in_order();
+      const auto rb = b.run(trace).egress_in_order();
+      expect_packets_equal(ra, rb,
+                           alg.name + " shards=" + std::to_string(shards));
+      for (std::size_t s = 0; s < shards; ++s)
+        EXPECT_TRUE(a.shard_machine(s).state() == b.shard_machine(s).state())
+            << alg.name << " shard " << s;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, StreamingFleetService) {
+  // The always-on runtime: same ShardCore, live ingest threads.  Egress is
+  // released in global arrival order, so the two engines must deliver
+  // identical packet sequences and identical per-slot state.
+  for (const char* name : {"flowlets", "heavy_hitters", "stfq"}) {
+    const auto& alg = algorithms::algorithm(name);
+    auto compiled = compile_least(alg.source);
+    ASSERT_TRUE(compiled.has_value()) << name;
+    const auto key = flow_key_of(alg, compiled->machine().fields());
+    ASSERT_FALSE(key.empty()) << name;
+    const auto trace =
+        workload_packets(alg, compiled->machine().fields(), 2000, 17);
+
+    banzai::ServiceConfig cfg;
+    cfg.num_shards = 2;
+    cfg.num_slots = 4;
+    cfg.batch_size = 64;
+    cfg.backpressure = banzai::Backpressure::kBlock;
+    cfg.flow_key = key;
+
+    std::vector<Packet> egress[2];
+    banzai::ServiceSnapshot snaps[2];
+    const ExecEngine engines[] = {ExecEngine::kClosure, ExecEngine::kKernel};
+    for (int e = 0; e < 2; ++e) {
+      banzai::FleetService svc(engine_clone(compiled->machine(), engines[e]),
+                               cfg);
+      svc.start();
+      svc.ingest_all(trace);
+      svc.stop();
+      egress[e] = svc.drain_egress();
+      snaps[e] = svc.snapshot();
+    }
+    expect_packets_equal(egress[0], egress[1], std::string(name) + " service");
+    ASSERT_EQ(snaps[0].slot_state.size(), snaps[1].slot_state.size());
+    for (std::size_t s = 0; s < snaps[0].slot_state.size(); ++s)
+      EXPECT_TRUE(snaps[0].slot_state[s] == snaps[1].slot_state[s])
+          << name << " slot " << s;
+  }
+}
+
+TEST(KernelDifferentialTest, FabricHostedNodes) {
+  // NetFabric runs hosted machines through Machine::process (and ShardCore
+  // for multi-pipeline nodes); a kernel-engined ingress must yield the same
+  // deliveries, paths, marks and final state as the closure engine.
+  netsim::FlowTraceConfig tc;
+  tc.num_packets = 3000;
+  tc.num_flows = 40;
+  tc.zipf_skew = 1.1;
+  tc.seed = 21;
+  auto trace = netsim::generate_flow_trace(tc);
+  netsim::sort_by_arrival(trace);
+
+  for (const char* name : {"flowlets", "conga"}) {
+    auto compiled = compile_least(algorithms::algorithm(name).source);
+    ASSERT_TRUE(compiled.has_value()) << name;
+    const auto binding = netsim::FieldBinding::resolve(
+        compiled->machine().fields(), compiled->output_map());
+
+    netsim::NetFabricConfig fc;
+    fc.num_leaves = 2;
+    fc.num_spines = 2;
+    fc.port.bytes_per_tick = 900;
+    netsim::NetFabric a(fc), b(fc);
+    for (int leaf = 0; leaf < fc.num_leaves; ++leaf) {
+      a.host_ingress(leaf,
+                     engine_clone(compiled->machine(), ExecEngine::kClosure),
+                     binding);
+      b.host_ingress(leaf,
+                     engine_clone(compiled->machine(), ExecEngine::kKernel),
+                     binding);
+    }
+    for (const auto& tp : trace) {
+      const auto ends =
+          netsim::flow_endpoints(tp.flow_id, fc.num_leaves, /*salt=*/5);
+      a.inject(tp, ends.first, ends.second);
+      b.inject(tp, ends.first, ends.second);
+    }
+    a.run();
+    b.run();
+    ASSERT_EQ(a.delivered().size(), b.delivered().size()) << name;
+    for (std::size_t i = 0; i < a.delivered().size(); ++i) {
+      const auto& da = a.delivered()[i];
+      const auto& db = b.delivered()[i];
+      ASSERT_EQ(da.path, db.path) << name << ": packet " << i;
+      ASSERT_EQ(da.delivered_tick, db.delivered_tick) << name << ": " << i;
+      ASSERT_EQ(da.ingress_mark, db.ingress_mark) << name << ": " << i;
+      ASSERT_EQ(da.ingress_view, db.ingress_view) << name << ": " << i;
+    }
+    EXPECT_EQ(a.stats().dropped, b.stats().dropped) << name;
+    for (int leaf = 0; leaf < fc.num_leaves; ++leaf)
+      EXPECT_TRUE(a.ingress_machine(leaf)->state() ==
+                  b.ingress_machine(leaf)->state())
+          << name << " leaf " << leaf;
+  }
+}
+
+TEST(KernelDifferentialTest, SnapshotRestoreMigratesAcrossEngines) {
+  // State checkpointed on one engine must resume bit-exactly on the other,
+  // in both directions — the representation of persistent state is shared.
+  for (const char* name : {"flowlets", "heavy_hitters", "conga"}) {
+    const auto& alg = algorithms::algorithm(name);
+    auto compiled = compile_least(alg.source);
+    ASSERT_TRUE(compiled.has_value()) << name;
+    const auto trace =
+        workload_packets(alg, compiled->machine().fields(), 2000, 29);
+    const std::size_t half = trace.size() / 2;
+
+    // Reference: the whole trace on the closure engine.
+    Machine ref = engine_clone(compiled->machine(), ExecEngine::kClosure);
+    std::vector<Packet> ref_out;
+    for (const auto& p : trace) ref_out.push_back(ref.process(p));
+
+    for (int dir = 0; dir < 2; ++dir) {
+      const ExecEngine first = dir == 0 ? ExecEngine::kClosure
+                                        : ExecEngine::kKernel;
+      const ExecEngine second = dir == 0 ? ExecEngine::kKernel
+                                         : ExecEngine::kClosure;
+      Machine m1 = engine_clone(compiled->machine(), first);
+      std::vector<Packet> out;
+      for (std::size_t i = 0; i < half; ++i)
+        out.push_back(m1.process(trace[i]));
+      Machine m2 = engine_clone(compiled->machine(), second);
+      m2.restore_state(m1.snapshot_state());
+      for (std::size_t i = half; i < trace.size(); ++i)
+        out.push_back(m2.process(trace[i]));
+      expect_packets_equal(out, ref_out,
+                           std::string(name) + " dir=" + std::to_string(dir));
+      EXPECT_TRUE(m2.state() == ref.state()) << name << " dir=" << dir;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, EngineFlipMidStreamIsSeamless) {
+  // Both paths read and write the same FieldTable ids and StateStore, so
+  // toggling the engine between packets must be invisible.
+  const auto& alg = algorithms::algorithm("flowlets");
+  auto compiled = compile_least(alg.source);
+  ASSERT_TRUE(compiled.has_value());
+  const auto trace =
+      workload_packets(alg, compiled->machine().fields(), 3000, 31);
+
+  Machine ref = engine_clone(compiled->machine(), ExecEngine::kClosure);
+  Machine flip = engine_clone(compiled->machine(), ExecEngine::kKernel);
+  std::mt19937 rng(5);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (rng() % 64 == 0)
+      flip.set_engine(flip.engine() == ExecEngine::kKernel
+                          ? ExecEngine::kClosure
+                          : ExecEngine::kKernel);
+    ASSERT_EQ(ref.process(trace[i]), flip.process(trace[i])) << "packet " << i;
+  }
+  EXPECT_TRUE(ref.state() == flip.state());
+}
+
+TEST(KernelGuardTest, RunBeforeSealAndNarrowPacketsAreRejected) {
+  banzai::CompiledPipeline pipe;
+  pipe.begin_stage();
+  pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(1));
+  banzai::StateStore store;
+  Packet p(1);
+  EXPECT_THROW(pipe.run(p, store), std::logic_error);
+  pipe.seal(4);
+  Packet narrow(2);  // program addresses 4 fields
+  EXPECT_THROW(pipe.run(narrow, store), std::invalid_argument);
+}
+
+TEST(KernelGuardTest, AddingAnOpBeforeTheFirstStageThrows) {
+  banzai::CompiledPipeline pipe;
+  EXPECT_THROW(pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(1)),
+               std::logic_error);
+}
+
+TEST(KernelGuardTest, SealRejectsFieldIdsBeyondTheProgramWidth) {
+  banzai::CompiledPipeline pipe;
+  pipe.begin_stage();
+  pipe.add_alu(banzai::KOp::kMov, 3, banzai::KSrc::field_ref(1));
+  EXPECT_THROW(pipe.seal(2), std::logic_error) << "dst 3 >= 2 fields";
+}
+
+TEST(KernelGuardTest, SealRejectsSharedStateOwnership) {
+  // §2.3 state locality: a state variable owned by two ops would have its
+  // update sequence reordered by op-major batching — seal must refuse.
+  banzai::CompiledPipeline pipe;
+  pipe.begin_stage();
+  banzai::StatefulOp a;
+  a.num_states = 1;
+  a.slots[0].var = pipe.intern_state("x");
+  pipe.add_stateful(a, {{0, 0, true}});
+  pipe.begin_stage();
+  banzai::StatefulOp b = a;
+  pipe.add_stateful(b, {{1, 0, true}});
+  EXPECT_THROW(pipe.seal(2), std::logic_error);
+}
+
+TEST(KernelGuardTest, SealRejectsIntraStageHazards) {
+  // Two ops of one stage writing the same field…
+  {
+    banzai::CompiledPipeline pipe;
+    pipe.begin_stage();
+    pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(1));
+    pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(2));
+    EXPECT_THROW(pipe.seal(1), std::logic_error);
+  }
+  // …and a later op reading an earlier op's output within one stage are both
+  // violations of the stage-parallel contract the lowering depends on.
+  {
+    banzai::CompiledPipeline pipe;
+    pipe.begin_stage();
+    pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(1));
+    pipe.add_alu(banzai::KOp::kMov, 1, banzai::KSrc::field_ref(0));
+    EXPECT_THROW(pipe.seal(2), std::logic_error);
+  }
+  // The same two ops in different stages are plain dataflow.
+  {
+    banzai::CompiledPipeline pipe;
+    pipe.begin_stage();
+    pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(1));
+    pipe.begin_stage();
+    pipe.add_alu(banzai::KOp::kMov, 1, banzai::KSrc::field_ref(0));
+    pipe.seal(2);
+    banzai::StateStore store;
+    Packet p(2);
+    pipe.run(p, store);
+    EXPECT_EQ(p.get(0), 1);
+    EXPECT_EQ(p.get(1), 1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// FieldTable and Packet edge cases the kernel lowering depends on: micro-ops
+// address packet fields by dense FieldId, so interning must be idempotent,
+// unknown lookups must fail loudly, and the name<->id mapping must survive
+// machine cloning and state snapshot/restore unchanged.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "algorithms/corpus.h"
+#include "banzai/packet.h"
+#include "core/compiler.h"
+
+namespace {
+
+using banzai::FieldId;
+using banzai::FieldTable;
+using banzai::Packet;
+
+TEST(FieldTableTest, InternAssignsDenseIdsInOrder) {
+  FieldTable ft;
+  EXPECT_EQ(ft.size(), 0u);
+  EXPECT_EQ(ft.intern("a"), 0u);
+  EXPECT_EQ(ft.intern("b"), 1u);
+  EXPECT_EQ(ft.intern("c"), 2u);
+  EXPECT_EQ(ft.size(), 3u);
+  EXPECT_EQ(ft.names()[1], "b");
+}
+
+TEST(FieldTableTest, DuplicateInternReturnsTheExistingId) {
+  FieldTable ft;
+  const FieldId a = ft.intern("a");
+  const FieldId b = ft.intern("b");
+  EXPECT_EQ(ft.intern("a"), a);
+  EXPECT_EQ(ft.intern("b"), b);
+  EXPECT_EQ(ft.size(), 2u) << "duplicate intern must not grow the table";
+}
+
+TEST(FieldTableTest, InternIsStableAcrossRehashes) {
+  // Many interns force the index map through rehashes; earlier ids and names
+  // must be unaffected (micro-ops hold the raw ids forever).
+  FieldTable ft;
+  const FieldId first = ft.intern("field_0");
+  for (int i = 1; i < 1000; ++i) ft.intern("field_" + std::to_string(i));
+  EXPECT_EQ(ft.id_of("field_0"), first);
+  for (int i = 0; i < 1000; ++i) {
+    const auto name = "field_" + std::to_string(i);
+    EXPECT_EQ(ft.id_of(name), static_cast<FieldId>(i));
+    EXPECT_EQ(ft.name_of(static_cast<FieldId>(i)), name);
+  }
+}
+
+TEST(FieldTableTest, UnknownLookupsFailLoudly) {
+  FieldTable ft;
+  ft.intern("known");
+  EXPECT_THROW(ft.id_of("unknown"), std::out_of_range);
+  EXPECT_FALSE(ft.try_id_of("unknown").has_value());
+  EXPECT_TRUE(ft.try_id_of("known").has_value());
+  EXPECT_THROW(ft.name_of(5), std::out_of_range);
+}
+
+TEST(FieldTableTest, LookupIsExactNotPrefix) {
+  FieldTable ft;
+  ft.intern("flow");
+  EXPECT_FALSE(ft.try_id_of("flow_id").has_value());
+  EXPECT_FALSE(ft.try_id_of("flo").has_value());
+  EXPECT_FALSE(ft.try_id_of("").has_value());
+}
+
+TEST(FieldTableTest, NamesStableAcrossCloneAndSnapshotRestore) {
+  auto compiled = domino::compile(algorithms::algorithm("flowlets").source,
+                                  *atoms::find_target("banzai-praw"));
+  banzai::Machine& m = compiled.machine();
+  std::vector<std::string> names = m.fields().names();
+  ASSERT_FALSE(names.empty());
+
+  // Snapshot/restore touches only the StateStore, never the FieldTable.
+  m.restore_state(m.snapshot_state());
+  EXPECT_EQ(m.fields().names(), names);
+
+  // A clone carries an identical table: same names, same ids — this is what
+  // lets a shared kernel program address any replica's packets.
+  banzai::Machine copy = m.clone();
+  EXPECT_EQ(copy.fields().names(), names);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(copy.fields().id_of(names[i]), m.fields().id_of(names[i]));
+}
+
+TEST(PacketTest, CheckedAccessorsThrowAndUnwrittenFieldsReadZero) {
+  Packet p(3);
+  EXPECT_EQ(p.num_fields(), 3u);
+  for (FieldId f = 0; f < 3; ++f) EXPECT_EQ(p.get(f), 0);
+  p.set(2, 42);
+  EXPECT_EQ(p.get(2), 42);
+  EXPECT_THROW(p.get(3), std::out_of_range);
+  EXPECT_THROW(p.set(3, 1), std::out_of_range);
+}
+
+TEST(PacketTest, EqualityIsFieldwise) {
+  Packet a(2), b(2), c(3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c) << "different widths are never equal";
+  b.set(1, 7);
+  EXPECT_NE(a, b);
+  a.set(1, 7);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
