@@ -7,7 +7,10 @@
 // applications can drive compiled pipelines.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "algorithms/corpus.h"
 #include "banzai/batch.h"
@@ -19,8 +22,13 @@ namespace {
 
 domino::CompileResult compile_alg(const std::string& name,
                                   const std::string& target) {
+  // Request the native engine so the machine carries all three paths; the
+  // set_engine call in each benchmark picks the one under test.  Falls back
+  // (closure/kernel only) when the host has no toolchain.
+  domino::CompileOptions opts;
+  opts.engine = banzai::ExecEngine::kNative;
   return domino::compile(algorithms::algorithm(name).source,
-                         *atoms::find_target(target));
+                         *atoms::find_target(target), opts);
 }
 
 std::vector<banzai::Packet> make_workload(
@@ -122,17 +130,31 @@ void BM_Compile(benchmark::State& state, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Engine pairs: the closure path (reference semantics) vs the fused
-  // micro-op kernel (banzai/kernel.h), on the same compiled machines.  The
-  // acceptance bar for the kernel engine is >= 2x median packets/sec.
+  // Engine triples on the same compiled machines: the closure path
+  // (reference semantics), the fused micro-op kernel VM (banzai/kernel.h),
+  // and the AOT-compiled native function (banzai/native.h).  Acceptance
+  // bars: kernel >= 2x closure, native >= kernel, median packets/sec —
+  // measured numbers are recorded in EXPERIMENTS.md.
   struct EngineCase {
     const char* label;
     banzai::ExecEngine engine;
   };
-  const EngineCase engines[] = {
+  std::vector<EngineCase> engines = {
       {"closure", banzai::ExecEngine::kClosure},
       {"kernel", banzai::ExecEngine::kKernel},
   };
+  {
+    // Native rows only when the host toolchain can build the pipelines —
+    // otherwise a kNative machine silently degrades to the kernel VM and
+    // the row would mislabel kernel numbers.
+    auto probe = compile_alg("flowlets", "banzai-praw");
+    if (probe.machine().native() != nullptr)
+      engines.push_back({"native", banzai::ExecEngine::kNative});
+    else
+      std::fprintf(stderr, "note: native engine unavailable (%s); skipping "
+                           "native rows\n",
+                   probe.machine().native_fallback_reason().c_str());
+  }
   for (const char* name : {"flowlets", "heavy_hitters", "conga", "stfq"}) {
     const std::string target =
         std::string(name) == "conga" ? "banzai-pairs" : "banzai-nested";

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <vector>
 
 #include "algorithms/corpus.h"
 #include "banzai/fleet.h"
@@ -61,7 +62,16 @@ int main(int argc, char** argv) {
 
   const auto& alg = algorithms::algorithm("flowlets");
   auto target = *atoms::find_target("banzai-praw");
-  domino::CompileResult compiled = domino::compile(alg.source, target);
+  // Request all three engines; machines fall back to closure/kernel rows
+  // when the host has no toolchain for the native path.
+  domino::CompileOptions copts;
+  copts.engine = banzai::ExecEngine::kNative;
+  domino::CompileResult compiled = domino::compile(alg.source, target, copts);
+  const bool have_native = compiled.machine().native() != nullptr;
+  if (!have_native)
+    std::fprintf(stderr, "note: native engine unavailable (%s); skipping "
+                         "native rows\n",
+                 compiled.machine().native_fallback_reason().c_str());
 
   netsim::FlowTraceConfig cfg;
   cfg.num_packets = num_packets;
@@ -83,9 +93,10 @@ int main(int argc, char** argv) {
                         {"engine", "shards", "pkts/sec", "speedup"});
   bench_util::print_rule(widths);
 
-  // Baseline 1: sequential per-packet engine, closure path (the reference
-  // semantics) and the fused micro-op kernel on the same machine.
-  double seq_pps = 0, kernel_seq_pps = 0;
+  // Baseline 1: sequential per-packet engine — closure path (the reference
+  // semantics), the fused micro-op kernel, and the AOT native function on
+  // the same machine.
+  double seq_pps = 0, kernel_seq_pps = 0, native_seq_pps = 0;
   {
     banzai::Machine m = compiled.machine().clone();
     m.set_engine(banzai::ExecEngine::kClosure);
@@ -105,6 +116,16 @@ int main(int argc, char** argv) {
                                    bench_util::fmt(kernel_seq_pps, 0),
                                    bench_util::fmt(kernel_seq_pps / seq_pps, 2)});
   }
+  if (have_native) {
+    banzai::Machine m = compiled.machine().clone();
+    m.set_engine(banzai::ExecEngine::kNative);
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& p : trace) m.process(p);
+    native_seq_pps = static_cast<double>(trace.size()) / seconds_since(t0);
+    bench_util::print_row(widths, {"Machine::process [native]", "-",
+                                   bench_util::fmt(native_seq_pps, 0),
+                                   bench_util::fmt(native_seq_pps / seq_pps, 2)});
+  }
 
   // Baseline 2: cycle-accurate pipeline simulation.
   {
@@ -120,17 +141,19 @@ int main(int argc, char** argv) {
                            bench_util::fmt(pps / seq_pps, 2)});
   }
 
-  // The engine under test: batched shards on worker threads, closure vs the
-  // fused kernel on identical fleets.
+  // The engine under test: batched shards on worker threads — closure,
+  // fused kernel and AOT native on identical fleets.
   double one_shard_pps = 0, four_shard_pps = 0;
   struct EngineCase {
     const char* label;
     banzai::ExecEngine engine;
   };
-  const EngineCase engines[] = {
+  std::vector<EngineCase> engines = {
       {"Fleet [closure]", banzai::ExecEngine::kClosure},
       {"Fleet [kernel]", banzai::ExecEngine::kKernel},
   };
+  if (have_native)
+    engines.push_back({"Fleet [native]", banzai::ExecEngine::kNative});
   for (const EngineCase& ec : engines) {
     banzai::Machine proto = compiled.machine().clone();
     proto.set_engine(ec.engine);
@@ -161,6 +184,9 @@ int main(int argc, char** argv) {
 
   std::printf("\nkernel vs closure, sequential per-packet: %.2fx\n",
               kernel_seq_pps / seq_pps);
+  if (have_native)
+    std::printf("native vs kernel, sequential per-packet: %.2fx\n",
+                native_seq_pps / kernel_seq_pps);
   std::printf("4-shard vs 1-shard aggregate (kernel): %.2fx\n",
               four_shard_pps / one_shard_pps);
   // Engine-matched ratio: kernel fleet over kernel sequential, so this

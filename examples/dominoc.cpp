@@ -6,8 +6,11 @@
 //
 // Options:
 //   --target <name>     Banzai target (default: least expressive that fits)
-//   --artifacts         dump every pass artifact (Figures 5-9 equivalents)
+//   --artifacts         dump every pass artifact (Figures 5-9 equivalents),
+//                       including the lowered micro-op kernel disassembly
 //   --emit-p4           print the generated P4-16 program
+//   --emit-cc           print the native AOT C++ the kNative engine compiles
+//                       and dlopens (core/emit.cc)
 //   --dot               print dependency graph + condensed DAG (graphviz)
 //   --run <n>           push n seeded workload packets through the machine
 //                       (corpus programs only) and print a state summary
@@ -21,6 +24,7 @@
 #include "algorithms/corpus.h"
 #include "banzai/sim.h"
 #include "core/compiler.h"
+#include "core/emit.h"
 #include "core/pipeline.h"
 #include "p4/p4gen.h"
 
@@ -30,7 +34,7 @@ int usage() {
   std::printf(
       "usage: dominoc --list\n"
       "       dominoc <program|file.domino> [--target <name>] [--artifacts]\n"
-      "               [--emit-p4] [--dot] [--run <n>]\n");
+      "               [--emit-p4] [--emit-cc] [--dot] [--run <n>]\n");
   return 2;
 }
 
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
   }
 
   std::string target_name;
-  bool artifacts = false, emit_p4 = false, dot = false;
+  bool artifacts = false, emit_p4 = false, emit_cc = false, dot = false;
   int run_packets = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--target") == 0 && i + 1 < argc)
@@ -89,6 +93,8 @@ int main(int argc, char** argv) {
       artifacts = true;
     else if (std::strcmp(argv[i], "--emit-p4") == 0)
       emit_p4 = true;
+    else if (std::strcmp(argv[i], "--emit-cc") == 0)
+      emit_cc = true;
     else if (std::strcmp(argv[i], "--dot") == 0)
       dot = true;
     else if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc)
@@ -152,6 +158,19 @@ int main(int argc, char** argv) {
     std::printf("\n--- SSA ---\n%s", compiled->normalized.ssa.str().c_str());
     std::printf("\n--- three-address code ---\n%s",
                 compiled->normalized.tac.str().c_str());
+    if (compiled->machine().kernel() != nullptr)
+      std::printf("\n--- micro-op kernel ---\n%s",
+                  compiled->machine().kernel()->str().c_str());
+  }
+  if (emit_cc) {
+    const auto* kernel = compiled->machine().kernel();
+    if (kernel == nullptr) {
+      std::fprintf(stderr,
+                   "--emit-cc: this machine carries no lowered micro-op "
+                   "program (closure-only)\n");
+      return 1;
+    }
+    std::printf("\n%s", domino::emit_native_cc(*kernel).c_str());
   }
   if (dot) {
     std::printf("\n%s", domino::dep_graph_dot(compiled->normalized.tac).c_str());

@@ -21,7 +21,9 @@
 // selected, BatchSim hands whole batches to CompiledPipeline::run_batch
 // instead: the same stage-major argument taken to its limit (op-major over
 // the flat micro-op program, executed in place) — see banzai/kernel.h, and
-// tests/kernel_test.cc for the engine differential.
+// tests/kernel_test.cc for the engine differential.  Under kNative the batch
+// goes to the AOT-compiled function of banzai/native.h, where the host
+// optimizer already scheduled the whole pipeline as one straight-line body.
 #pragma once
 
 #include <algorithm>
@@ -75,11 +77,10 @@ class BatchSim {
 
  private:
   void run_batch(std::size_t start, std::size_t n) {
-    // Kernel engine: the fused micro-op program runs the whole batch through
-    // all stages in place on the ingress storage — op-major, one state
-    // resolution per batch, no ping-pong copies at all.
-    if (const CompiledPipeline* k = machine_.active_kernel()) {
-      k->run_batch(&ingress_[start], n, machine_.state());
+    // Kernel/native engines: the compiled program runs the whole batch
+    // through all stages in place on the ingress storage — generation-cached
+    // state bindings, no ping-pong copies at all.
+    if (machine_.run_compiled_batch(&ingress_[start], n)) {
       for (std::size_t i = 0; i < n; ++i)
         egress_.push_back(std::move(ingress_[start + i]));
       return;

@@ -2,12 +2,98 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 namespace banzai {
 
 namespace {
 
 constexpr std::size_t kInlineStateVars = 16;
+
+const char* kop_name(KOp code) {
+  switch (code) {
+    case KOp::kMov: return "mov";
+    case KOp::kNeg: return "neg";
+    case KOp::kLNot: return "lnot";
+    case KOp::kBitNot: return "bnot";
+    case KOp::kAdd: return "add";
+    case KOp::kSub: return "sub";
+    case KOp::kMul: return "mul";
+    case KOp::kDiv: return "div";
+    case KOp::kMod: return "mod";
+    case KOp::kShl: return "shl";
+    case KOp::kShr: return "shr";
+    case KOp::kBitAnd: return "and";
+    case KOp::kBitOr: return "or";
+    case KOp::kBitXor: return "xor";
+    case KOp::kLAnd: return "land";
+    case KOp::kLOr: return "lor";
+    case KOp::kLt: return "lt";
+    case KOp::kLe: return "le";
+    case KOp::kGt: return "gt";
+    case KOp::kGe: return "ge";
+    case KOp::kEq: return "eq";
+    case KOp::kNe: return "ne";
+    case KOp::kSelect: return "sel";
+    case KOp::kIntrinsic: return "intrin";
+    case KOp::kStateful: return "stateful";
+  }
+  return "?";
+}
+
+const char* krel_name(KRel rel) {
+  switch (rel) {
+    case KRel::kAlways: return "always";
+    case KRel::kLt: return "<";
+    case KRel::kLe: return "<=";
+    case KRel::kGt: return ">";
+    case KRel::kGe: return ">=";
+    case KRel::kEq: return "==";
+    case KRel::kNe: return "!=";
+  }
+  return "?";
+}
+
+const char* karm_name(KArm mode) {
+  switch (mode) {
+    case KArm::kKeep: return "keep";
+    case KArm::kSet: return "set";
+    case KArm::kAdd: return "add";
+    case KArm::kSubt: return "sub";
+    case KArm::kSetAdd: return "set+";
+    case KArm::kSetSub: return "set-";
+    case KArm::kAddSub: return "add-sub";
+    case KArm::kLutAdd: return "lut+";
+  }
+  return "?";
+}
+
+std::string src_str(const KSrc& s) {
+  return s.is_const ? std::to_string(s.cst) : "f" + std::to_string(s.field);
+}
+
+std::string ref_str(const KRef& r) {
+  switch (r.kind) {
+    case KRef::Kind::kConst: return std::to_string(r.cst);
+    case KRef::Kind::kField: return "f" + std::to_string(r.field);
+    case KRef::Kind::kState: return "s" + std::to_string(r.state_idx);
+  }
+  return "?";
+}
+
+int operand_count(KOp code) {
+  switch (code) {
+    case KOp::kMov:
+    case KOp::kNeg:
+    case KOp::kLNot:
+    case KOp::kBitNot:
+      return 1;
+    case KOp::kSelect:
+      return 3;
+    default:
+      return 2;
+  }
+}
 
 bool eval_pred(const KPred& pred, const Packet& p, const Value* states_in) {
   if (pred.rel == KRel::kAlways) return true;
@@ -216,14 +302,6 @@ void CompiledPipeline::verify_in_place_safe() const {
 void CompiledPipeline::run_batch(Packet* pkts, std::size_t n,
                                  StateStore& state) const {
   if (n == 0) return;
-  if (!sealed_)
-    throw std::logic_error("CompiledPipeline: run before seal()");
-  for (std::size_t i = 0; i < n; ++i)
-    if (pkts[i].num_fields() < num_fields_)
-      throw std::invalid_argument(
-          "CompiledPipeline: packet narrower than the compiled program's "
-          "field table");
-
   // One state resolution per batch.
   StateVar* inline_vars[kInlineStateVars];
   std::vector<StateVar*> heap_vars;
@@ -232,8 +310,20 @@ void CompiledPipeline::run_batch(Packet* pkts, std::size_t n,
     heap_vars.resize(state_names_.size());
     vars = heap_vars.data();
   }
-  for (std::size_t k = 0; k < state_names_.size(); ++k)
-    vars[k] = &state.var(state_names_[k]);
+  resolve_state(state, vars);
+  run_batch_bound(pkts, n, vars);
+}
+
+void CompiledPipeline::run_batch_bound(Packet* pkts, std::size_t n,
+                                       StateVar* const* vars) const {
+  if (n == 0) return;
+  if (!sealed_)
+    throw std::logic_error("CompiledPipeline: run before seal()");
+  for (std::size_t i = 0; i < n; ++i)
+    if (pkts[i].num_fields() < num_fields_)
+      throw std::invalid_argument(
+          "CompiledPipeline: packet narrower than the compiled program's "
+          "field table");
 
   // Op-major: one dispatch per op per batch, packets innermost.
   for (const MicroOp& op : ops_) {
@@ -337,7 +427,7 @@ void CompiledPipeline::run_batch(Packet* pkts, std::size_t n,
       }
       case KOp::kStateful: {
         const StatefulOp& so = stateful_[op.aux];
-        StateVar* sv[2] = {vars[so.slots[0].var],
+        StateVar* const sv[2] = {vars[so.slots[0].var],
                            so.num_states > 1 ? vars[so.slots[1].var] : nullptr};
         for (std::size_t i = 0; i < n; ++i) {
           Packet& p = pkts[i];
@@ -382,6 +472,86 @@ void CompiledPipeline::run_batch(Packet* pkts, std::size_t n,
       }
     }
   }
+}
+
+std::string CompiledPipeline::str() const {
+  std::ostringstream os;
+  os << "micro-op kernel: " << ops_.size() << " ops, " << stages_.size()
+     << " stages, " << num_fields_ << " fields, " << state_names_.size()
+     << " state vars" << (sealed_ ? "" : " (unsealed)") << "\n";
+  for (std::size_t si = 0; si < stages_.size(); ++si) {
+    const StageRange& st = stages_[si];
+    os << "stage " << si << " (ops " << st.begin << ".." << st.end << "):\n";
+    for (std::uint32_t i = st.begin; i < st.end; ++i) {
+      const MicroOp& op = ops_[i];
+      os << "  [" << i << "] " << kop_name(op.code);
+      switch (op.code) {
+        case KOp::kIntrinsic: {
+          const IntrinsicOp& io = intrinsics_[op.aux];
+          os << "#" << op.aux << " f" << op.dst << " <- (";
+          for (std::size_t a = 0; a < io.num_args; ++a)
+            os << (a ? ", " : "") << src_str(io.args[a]);
+          os << ")";
+          if (io.mod > 0) os << " % " << io.mod;
+          break;
+        }
+        case KOp::kStateful: {
+          const StatefulOp& so = stateful_[op.aux];
+          os << "#" << op.aux;
+          for (std::size_t k = 0; k < so.num_states; ++k) {
+            const StatefulOp::Slot& slot = so.slots[k];
+            os << " s" << k << "=" << state_names_[slot.var];
+            if (slot.is_array) os << "[f" << slot.index_field << "]";
+          }
+          const int num_preds = so.pred_levels == 0 ? 0
+                                : so.pred_levels == 1 ? 1
+                                                      : 3;
+          for (int p = 0; p < num_preds; ++p) {
+            os << " p" << p + 1 << ":(";
+            if (so.preds[p].rel == KRel::kAlways)
+              os << "always";
+            else
+              os << ref_str(so.preds[p].a) << " " << krel_name(so.preds[p].rel)
+                 << " " << ref_str(so.preds[p].b);
+            os << ")";
+          }
+          const std::size_t num_leaves = so.pred_levels == 0 ? 1
+                                         : so.pred_levels == 1 ? 2
+                                                               : 4;
+          for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+            os << " L" << leaf << ":[";
+            for (std::size_t k = 0; k < so.num_states; ++k) {
+              const KArmOp& arm = so.arms[leaf][k];
+              os << (k ? "; " : "") << karm_name(arm.mode);
+              if (arm.mode != KArm::kKeep)
+                os << "(" << ref_str(arm.src1) << "," << ref_str(arm.src2)
+                   << ")";
+            }
+            os << "]";
+          }
+          for (std::uint32_t l = so.liveout_begin; l < so.liveout_end; ++l)
+            os << " out:f" << liveouts_[l].dst << "="
+               << (liveouts_[l].use_new ? "new" : "old") << "(s"
+               << int(liveouts_[l].state_idx) << ")";
+          break;
+        }
+        default: {
+          os << " f" << op.dst << " <- " << src_str(op.a);
+          const int argc = operand_count(op.code);
+          if (argc >= 2) os << ", " << src_str(op.b);
+          if (argc >= 3) os << ", " << src_str(op.c);
+          break;
+        }
+      }
+      os << "\n";
+    }
+  }
+  if (!state_names_.empty()) {
+    os << "state table:\n";
+    for (std::size_t k = 0; k < state_names_.size(); ++k)
+      os << "  s[" << k << "] = " << state_names_[k] << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace banzai

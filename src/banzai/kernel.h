@@ -60,7 +60,13 @@ namespace banzai {
 //              semantics, always available.
 //   kKernel  — run the lowered micro-op program; falls back to closures on
 //              machines that carry no kernel (e.g. hand-assembled ones).
-enum class ExecEngine { kClosure, kKernel };
+//   kNative  — run the AOT-emitted C++ of the same micro-op program,
+//              compiled by the host toolchain and loaded via dlopen
+//              (core/emit.* + banzai/native.*): no dispatch loop at all.
+//              Falls back to kKernel (then closures) on machines that carry
+//              no native pipeline — no toolchain on the host, emission
+//              failure — with the reason recorded on the Machine.
+enum class ExecEngine { kClosure, kKernel, kNative };
 
 // An intrinsic body: args are already evaluated, in call order.  The lowering
 // supplies pointers to the canned implementations in ir/intrinsics.cc so the
@@ -226,20 +232,46 @@ class CompiledPipeline {
   // variables are resolved once per batch and packets iterate innermost, so
   // each op's configuration is loaded once per batch rather than per packet.
   void run_batch(Packet* pkts, std::size_t n, StateStore& state) const;
+  // Same, with the by-name state resolution already done by the caller:
+  // `vars[k]` must be the StateVar for state_names()[k].  This is the
+  // zero-lookup path behind Machine's generation-keyed binding cache.
+  void run_batch_bound(Packet* pkts, std::size_t n,
+                       StateVar* const* vars) const;
+  // Resolves this program's state table against `state`, in slot order.
+  // `vars` must have room for num_state_vars() pointers.
+  void resolve_state(StateStore& state, StateVar** vars) const {
+    for (std::size_t k = 0; k < state_names_.size(); ++k)
+      vars[k] = &state.var(state_names_[k]);
+  }
 
   // --- Introspection ------------------------------------------------------
+  struct StageRange {
+    std::uint32_t begin = 0, end = 0;
+  };
+
   bool sealed() const { return sealed_; }
   std::size_t num_ops() const { return ops_.size(); }
   std::size_t num_stages() const { return stages_.size(); }
   std::size_t num_state_vars() const { return state_names_.size(); }
   std::size_t num_fields() const { return num_fields_; }
   const std::vector<std::string>& state_names() const { return state_names_; }
+  // The raw program, for the disassembler (str()), the C++ emitter
+  // (core/emit.*) and the native loader's fn-pointer tables
+  // (banzai/native.*).  Stable only after seal().
+  const std::vector<MicroOp>& ops() const { return ops_; }
+  const std::vector<StageRange>& stage_ranges() const { return stages_; }
+  const std::vector<StatefulOp>& stateful_pool() const { return stateful_; }
+  const std::vector<IntrinsicOp>& intrinsic_pool() const {
+    return intrinsics_;
+  }
+  const std::vector<KLiveOut>& liveout_pool() const { return liveouts_; }
+  // Human-readable disassembly: one line per op (opcode, dst, operands),
+  // grouped by stage range, with the state table appended — the final
+  // lowering artifact, inspectable like every normalization pass
+  // (`dominoc --artifacts`).
+  std::string str() const;
 
  private:
-  struct StageRange {
-    std::uint32_t begin = 0, end = 0;
-  };
-
   void require_open_stage() const;
   void verify_in_place_safe() const;
 

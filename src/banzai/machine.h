@@ -9,6 +9,7 @@
 
 #include "banzai/atom.h"
 #include "banzai/kernel.h"
+#include "banzai/native.h"
 #include "banzai/packet.h"
 #include "banzai/state.h"
 
@@ -71,17 +72,29 @@ struct Stage {
 
 // A fully configured machine: the output of Domino code generation.
 //
-// A compiled machine carries two interchangeable execution paths:
+// A compiled machine carries up to three interchangeable execution paths:
 //   * the closure path — per-atom std::function closures walked stage by
-//     stage (the reference semantics, always present), and
+//     stage (the reference semantics, always present),
 //   * the kernel path — the flat micro-op program the lowering pass emits
-//     (banzai/kernel.h), shared read-only across clones.
+//     (banzai/kernel.h), shared read-only across clones, and
+//   * the native path — the same program AOT-emitted as C++ (core/emit.*),
+//     compiled by the host toolchain and dlopen'd (banzai/native.h); absent
+//     when no toolchain exists, with the reason recorded.
 // The ExecEngine toggle (CompileOptions::engine, or set_engine) selects
-// which one process() and the engines layered on it use.  The two paths are
+// which one process() and the engines layered on it use.  All paths are
 // bit-exact on every packet field and state cell for every input — the
 // engine-equivalence contract tests/kernel_test.cc enforces corpus-wide —
-// so flipping the toggle mid-stream is legal: both paths read and write the
-// same FieldTable ids and the same StateStore.
+// so flipping the toggle mid-stream is legal: every path reads and writes
+// the same FieldTable ids and the same StateStore.
+//
+// State binding cache: the kernel and native paths address state through
+// pre-resolved StateVar pointers.  Resolving them costs one by-name hash
+// lookup per state variable; the cache below keys the resolved bindings on
+// the StateStore's generation counter (state.h), so the steady-state
+// per-packet path (Machine::process in NetFabric nodes, single-packet
+// service drains) does zero name lookups.  restore_state() and clone() bump
+// or re-key the generation, so stale pointers into a replaced map can never
+// be dereferenced.
 class Machine {
  public:
   Machine() = default;
@@ -114,9 +127,11 @@ class Machine {
     return m;
   }
 
-  // Engine selection.  A machine without a lowered kernel (hand-assembled,
-  // or pre-dating the lowering pass) silently executes on closures whatever
-  // the toggle says — kKernel is a request, active_kernel() is the truth.
+  // Engine selection.  Each value is a request; the dispatch is the truth:
+  // a machine without a lowered kernel (hand-assembled, or pre-dating the
+  // lowering pass) executes on closures whatever the toggle says, and
+  // kNative without a loaded native pipeline runs the kernel VM — the
+  // graceful-degradation ladder native > kernel > closure.
   ExecEngine engine() const { return engine_; }
   void set_engine(ExecEngine engine) { engine_ = engine; }
   void set_kernel(std::shared_ptr<const CompiledPipeline> kernel) {
@@ -124,22 +139,77 @@ class Machine {
   }
   const CompiledPipeline* kernel() const { return kernel_.get(); }
   // The kernel execution actually dispatches to: non-null only when a
-  // lowered program is attached AND the engine toggle selects it.
+  // lowered program is attached AND the engine toggle resolves to it —
+  // including a kNative request degrading to the VM.
   const CompiledPipeline* active_kernel() const {
-    return engine_ == ExecEngine::kKernel ? kernel_.get() : nullptr;
+    if (kernel_ == nullptr) return nullptr;
+    if (engine_ == ExecEngine::kKernel) return kernel_.get();
+    if (engine_ == ExecEngine::kNative && native_ == nullptr)
+      return kernel_.get();
+    return nullptr;
+  }
+
+  // The native (AOT-compiled, dlopen'd) pipeline.  Attached by the compiler
+  // driver when CompileOptions::engine == kNative and the host toolchain
+  // accepts the emitted source; shared across clones like the kernel.  The
+  // native path binds state through the kernel's state table, so a native
+  // pipeline is only dispatched to when the kernel is attached too.
+  void set_native(std::shared_ptr<const NativePipeline> native) {
+    native_ = std::move(native);
+    if (native_ != nullptr) native_fallback_.clear();
+  }
+  const NativePipeline* native() const { return native_.get(); }
+  const NativePipeline* active_native() const {
+    return engine_ == ExecEngine::kNative && kernel_ != nullptr
+               ? native_.get()
+               : nullptr;
+  }
+  // Why a kNative request is running on the kernel VM instead: empty when a
+  // native pipeline is attached (or was never requested).
+  void set_native_fallback(std::string reason) {
+    native_fallback_ = std::move(reason);
+  }
+  const std::string& native_fallback_reason() const {
+    return native_fallback_;
   }
 
   // Runs one packet through all stages back-to-back (functionally equivalent
   // to the pipelined execution; see PipelineSim for the cycle-accurate form
   // and BatchSim for the batched throughput engine).  Dispatches to the
-  // fused micro-op program when the kernel engine is selected.
+  // native function or the fused micro-op program when those engines are
+  // selected.
   Packet process(Packet pkt) {
-    if (const CompiledPipeline* k = active_kernel()) {
-      k->run(pkt, state_);
-      return pkt;
+    if (!run_compiled_batch(&pkt, 1)) {
+      for (const Stage& s : stages_) pkt = s.execute(pkt, state_);
     }
-    for (const Stage& s : stages_) pkt = s.execute(pkt, state_);
     return pkt;
+  }
+
+  // Runs `n` packets in place through whichever compiled path the engine
+  // toggle resolves to, using the generation-keyed state bindings.  Returns
+  // false when the machine must execute on closures (no lowered program, or
+  // the closure engine is selected) — the caller owns that path.
+  bool run_compiled_batch(Packet* pkts, std::size_t n) {
+    if (const NativePipeline* nat = active_native()) {
+      if (n == 0) return true;
+      for (std::size_t i = 0; i < n; ++i)
+        if (pkts[i].num_fields() < nat->num_fields())
+          throw std::invalid_argument(
+              "native pipeline: packet narrower than the compiled program's "
+              "field table");
+      rebind_state_if_stale();
+      bind_.pkt_ptrs.resize(n);
+      for (std::size_t i = 0; i < n; ++i) bind_.pkt_ptrs[i] = pkts[i].data();
+      nat->run(bind_.pkt_ptrs.data(), n, bind_.views.data());
+      return true;
+    }
+    if (const CompiledPipeline* k = active_kernel()) {
+      if (n == 0) return true;
+      rebind_state_if_stale();
+      k->run_batch_bound(pkts, n, bind_.vars.data());
+      return true;
+    }
+    return false;
   }
 
   // Checkpoint and restore of the mutable half of the machine.  The pipeline
@@ -153,17 +223,53 @@ class Machine {
   // value and reach state only through the StateStore& they are handed at
   // execution time, so replicas never share mutable state — this is what the
   // Fleet relies on to scale one compiled program across shards.  The lowered
-  // kernel, immutable after sealing and stateless at execution time, is
-  // shared between replicas rather than copied.
+  // kernel and the native pipeline, immutable after sealing/loading and
+  // stateless at execution time, are shared between replicas rather than
+  // copied.  The copied StateStore takes a fresh generation, so the replica's
+  // binding cache can never dereference pointers into the source's store.
   Machine clone() const { return *this; }
 
  private:
+  // Resolved state bindings for the kernel/native paths, keyed on the
+  // StateStore generation.  Copying a Machine copies the store (fresh
+  // generation) but the cache too — the generation mismatch forces a rebind
+  // before first use, so the copied pointers are never dereferenced.  Moves
+  // keep both valid: unordered_map moves preserve node addresses.
+  struct BindingCache {
+    std::uint64_t gen = 0;
+    const CompiledPipeline* prog = nullptr;
+    std::vector<StateVar*> vars;        // slot order of kernel state table
+    std::vector<NativeStateView> views; // same order, for the native ABI
+    std::vector<Value*> pkt_ptrs;       // scratch for native batch calls
+  };
+
+  void rebind_state_if_stale() {
+    if (bind_.prog == kernel_.get() && bind_.gen == state_.generation())
+      return;
+    const std::size_t n = kernel_->num_state_vars();
+    bind_.vars.clear();
+    bind_.views.clear();
+    bind_.vars.reserve(n);
+    bind_.views.reserve(n);
+    for (const std::string& name : kernel_->state_names()) {
+      StateVar& v = state_.var(name);
+      bind_.vars.push_back(&v);
+      bind_.views.push_back(
+          NativeStateView{v.data(), static_cast<std::uint64_t>(v.size())});
+    }
+    bind_.prog = kernel_.get();
+    bind_.gen = state_.generation();
+  }
+
   MachineSpec spec_;
   FieldTable fields_;
   std::vector<Stage> stages_;
   StateStore state_;
   ExecEngine engine_ = ExecEngine::kClosure;
   std::shared_ptr<const CompiledPipeline> kernel_;
+  std::shared_ptr<const NativePipeline> native_;
+  std::string native_fallback_;
+  BindingCache bind_;
 };
 
 }  // namespace banzai

@@ -1,0 +1,224 @@
+#include "banzai/native.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace banzai {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? std::string(v) : fallback;
+}
+
+// POSIX-shell single-quoting with embedded quotes escaped ('\''), so paths
+// with spaces or apostrophes survive the `system()` round trip.
+std::string shq(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+// `system("command -v ...")` so PATH lookup matches what the compile step's
+// shell will do.
+bool on_path(const std::string& exe) {
+  if (exe.empty()) return false;
+  const std::string probe = "command -v " + shq(exe) + " >/dev/null 2>&1";
+  return std::system(probe.c_str()) == 0;
+}
+
+// FNV-1a 64-bit over the source text plus the compile command shape: a flag
+// or compiler change must miss the cache, or stale objects would shadow it.
+std::string content_hash(const std::string& source, const std::string& cxx,
+                         const std::string& flags) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+    h *= 0x100000001b3ull;
+  };
+  mix(source);
+  mix(cxx);
+  mix(flags);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+bool write_file(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
+                                                  const std::string& source,
+                                                  const NativeOptions& opts) {
+  NativeLoadResult result;
+  if (const char* off = std::getenv("DOMINO_NATIVE_DISABLE");
+      off != nullptr && off[0] != '\0') {
+    result.error = "native engine disabled by DOMINO_NATIVE_DISABLE";
+    return result;
+  }
+  if (!prog.sealed()) {
+    result.error = "cannot load a native pipeline for an unsealed program";
+    return result;
+  }
+
+  // Resolve the host compiler: explicit option, then environment, then the
+  // first conventional name on PATH.
+  std::string cxx = opts.compiler.empty()
+                        ? env_or("DOMINO_NATIVE_CXX", "")
+                        : opts.compiler;
+  if (cxx.empty()) {
+    for (const char* candidate : {"c++", "g++", "clang++"}) {
+      if (on_path(candidate)) {
+        cxx = candidate;
+        break;
+      }
+    }
+    if (cxx.empty()) {
+      result.error =
+          "no host C++ compiler found (tried c++, g++, clang++; set "
+          "DOMINO_NATIVE_CXX to point at one)";
+      return result;
+    }
+  } else if (!on_path(cxx)) {
+    result.error = "host C++ compiler '" + cxx +
+                   "' not found on PATH (from DOMINO_NATIVE_CXX or "
+                   "NativeOptions::compiler)";
+    return result;
+  }
+
+  const std::string flags =
+      opts.extra_flags.empty() ? env_or("DOMINO_NATIVE_CXXFLAGS", "")
+                               : opts.extra_flags;
+  const std::string cache =
+      opts.cache_dir.empty()
+          ? env_or("DOMINO_NATIVE_CACHE", "/tmp/domino-native-cache")
+          : opts.cache_dir;
+
+  std::error_code ec;
+  fs::create_directories(cache, ec);
+  if (ec) {
+    result.error = "cannot create native cache dir '" + cache +
+                   "': " + ec.message();
+    return result;
+  }
+
+  const std::string hash = content_hash(source, cxx, flags);
+  const fs::path src_path = fs::path(cache) / (hash + ".cc");
+  const fs::path so_path = fs::path(cache) / (hash + ".so");
+  result.source_path = src_path.string();
+  result.so_path = so_path.string();
+
+  if (opts.force_recompile || !fs::exists(so_path)) {
+    // Write source and compile via process-unique temporaries, then rename
+    // into place: two racing cold-cache loads never read each other's torn
+    // files, both succeed, and the content hash guarantees the renamed
+    // artifacts are interchangeable.
+    // Keep the .cc/.so suffixes on the temporaries — the host compiler
+    // infers the source language and output kind from them.
+    const std::string tmp_tag =
+        ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const fs::path tmp_src = fs::path(cache) / (hash + tmp_tag + ".cc");
+    if (!write_file(tmp_src, source)) {
+      result.error = "cannot write emitted source to " + tmp_src.string();
+      return result;
+    }
+    const fs::path tmp_so = fs::path(cache) / (hash + tmp_tag + ".so");
+    const fs::path log_path = fs::path(tmp_so.string() + ".log");
+    const std::string cmd = shq(cxx) + " -std=c++17 -O2 -fPIC -shared " +
+                            flags + " -o " + shq(tmp_so.string()) + " " +
+                            shq(tmp_src.string()) + " > " +
+                            shq(log_path.string()) + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    if (status != 0) {
+      std::string log = read_file(log_path);
+      if (log.size() > 2000) log.resize(2000);
+      fs::remove(tmp_src, ec);
+      fs::remove(tmp_so, ec);
+      fs::remove(log_path, ec);
+      result.error = "host compile failed (exit " + std::to_string(status) +
+                     "): " + cxx + " -O2 -fPIC -shared\n" + log;
+      return result;
+    }
+    fs::remove(log_path, ec);
+    fs::rename(tmp_src, src_path, ec);  // keep the artifact inspectable
+    if (ec) fs::remove(tmp_src, ec);
+    fs::rename(tmp_so, so_path, ec);
+    if (ec) {
+      fs::remove(tmp_so, ec);
+      result.error = "cannot move compiled object into cache: " +
+                     so_path.string();
+      return result;
+    }
+  } else {
+    result.cache_hit = true;
+  }
+
+  void* handle = ::dlopen(so_path.string().c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* why = ::dlerror();
+    result.error = std::string("dlopen failed: ") +
+                   (why != nullptr ? why : "(no dlerror)");
+    return result;
+  }
+  auto fn = reinterpret_cast<NativeEntryFn>(
+      ::dlsym(handle, kNativeEntrySymbol));
+  if (fn == nullptr) {
+    ::dlclose(handle);
+    result.error = std::string("entry symbol '") + kNativeEntrySymbol +
+                   "' missing from " + so_path.string();
+    return result;
+  }
+
+  auto pipeline = std::shared_ptr<NativePipeline>(new NativePipeline());
+  pipeline->handle_ = handle;
+  pipeline->fn_ = fn;
+  pipeline->num_fields_ = prog.num_fields();
+  pipeline->state_names_ = prog.state_names();
+  pipeline->so_path_ = so_path.string();
+  pipeline->intrinsics_.reserve(prog.intrinsic_pool().size());
+  for (const IntrinsicOp& io : prog.intrinsic_pool())
+    pipeline->intrinsics_.push_back(io.fn);
+  pipeline->luts_.reserve(prog.stateful_pool().size());
+  for (const StatefulOp& so : prog.stateful_pool())
+    pipeline->luts_.push_back(so.lut);
+  result.pipeline = std::move(pipeline);
+  return result;
+}
+
+NativePipeline::~NativePipeline() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+}  // namespace banzai

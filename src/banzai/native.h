@@ -1,0 +1,136 @@
+// Native AOT execution of a compiled pipeline: the paper's actual Banzai
+// strategy.  Banzai does not interpret atom configurations — it code-generates
+// C++ per atom and compiles it with the host toolchain.  The kNative engine
+// does the same for the whole pipeline at once: core/emit.cc prints the
+// sealed CompiledPipeline micro-op program as one flat `extern "C"` function
+// (straight-line per-op code, stage barriers as comments), and the loader
+// here shells out to the host C++ compiler (`-O2 -fPIC -shared`), caches the
+// resulting shared object under a content hash of the emitted source, and
+// `dlopen`s it.  Where the kernel VM pays one switch dispatch per op per
+// batch, the native function pays none — the host optimizer sees the entire
+// pipeline as a single function and schedules it like any other hot loop.
+//
+// ABI: the emitted translation unit is self-contained (it re-declares the
+// structs below as layout-identical PODs and carries its own copies of the
+// total-arithmetic helpers from banzai/value.h), so the .so links against
+// nothing.  Everything host-resident — state cells, intrinsic bodies, LUT
+// ROMs — reaches the generated code through one fixed ABI struct of raw
+// pointers, resolved once at load time (functions) or once per binding
+// generation (state views; see Machine's binding cache in machine.h).
+//
+// Fallback contract: loading is best-effort.  No host toolchain, a disabled
+// engine (DOMINO_NATIVE_DISABLE), an emission or compile or dlopen failure —
+// each returns a NativeLoadResult carrying the reason instead of a pipeline,
+// and the Machine keeps executing on the kernel VM (then closures), with the
+// reason recorded via Machine::native_fallback_reason().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "banzai/kernel.h"
+#include "banzai/value.h"
+
+namespace banzai {
+
+// One bound state variable as the generated code sees it: raw cells plus the
+// cell count for index clamping.  Layout must match the POD the emitter
+// prints into every generated translation unit (core/emit.cc, kAbiPrelude).
+struct NativeStateView {
+  Value* cells = nullptr;
+  std::uint64_t size = 0;
+};
+
+// The fixed ABI struct passed to every generated entry point.  `states` is
+// indexed by the program's dense state-slot ids, `intrinsics` by position in
+// the CompiledPipeline intrinsic pool, `luts` by position in the stateful
+// pool.  Layout must match the emitter's POD (core/emit.cc, kAbiPrelude).
+struct NativeAbi {
+  const NativeStateView* states = nullptr;
+  const IntrinsicFn* intrinsics = nullptr;
+  const LutFn* luts = nullptr;
+};
+
+// Every generated pipeline exports exactly this entry point: process `n`
+// packets (one field array each) through the whole pipeline, in place.
+using NativeEntryFn = void (*)(Value* const* pkts, std::uint64_t n,
+                               const NativeAbi* abi);
+inline constexpr char kNativeEntrySymbol[] = "domino_pipeline_run";
+
+// Knobs for the out-of-process compile.  Every field falls back to an
+// environment variable, then to a built-in default:
+//   compiler    DOMINO_NATIVE_CXX       first of c++ / g++ / clang++ on PATH
+//   extra_flags DOMINO_NATIVE_CXXFLAGS  (appended to -std=c++17 -O2 -fPIC
+//                                        -shared)
+//   cache_dir   DOMINO_NATIVE_CACHE     /tmp/domino-native-cache
+// Setting DOMINO_NATIVE_DISABLE (to anything non-empty) refuses to load and
+// reports the documented fallback reason — the switch CI and tests use to
+// exercise the no-toolchain path deterministically.
+struct NativeOptions {
+  std::string compiler;
+  std::string extra_flags;
+  std::string cache_dir;
+  bool force_recompile = false;  // ignore a cached .so, rebuild it
+};
+
+class NativePipeline;
+
+struct NativeLoadResult {
+  std::shared_ptr<const NativePipeline> pipeline;  // null on failure
+  std::string error;        // why `pipeline` is null; empty on success
+  std::string source_path;  // emitted .cc in the cache (when written)
+  std::string so_path;      // compiled shared object in the cache
+  bool cache_hit = false;   // .so was reused, host compiler never ran
+};
+
+// A loaded native pipeline: the dlopen handle, the resolved entry point, and
+// the load-time function-pointer tables (intrinsics, LUTs) the ABI struct
+// points at.  Immutable after load and stateless at execution time — shared
+// across machine clones exactly like the CompiledPipeline it was emitted
+// from; concurrent run() calls against different state views are safe.
+class NativePipeline {
+ public:
+  // Compiles `source` (the emit_native_cc rendering of `prog`) and loads it.
+  // `prog` supplies the ABI tables and the shape metadata; it must be the
+  // same sealed program the source was emitted from.
+  static NativeLoadResult compile_and_load(const CompiledPipeline& prog,
+                                           const std::string& source,
+                                           const NativeOptions& opts = {});
+
+  NativePipeline(const NativePipeline&) = delete;
+  NativePipeline& operator=(const NativePipeline&) = delete;
+  ~NativePipeline();
+
+  // Runs `n` packets (raw field arrays, one per packet) through the whole
+  // pipeline in place.  `views[k]` must be the bound view of
+  // state_names()[k] — callers hold them in Machine's binding cache.
+  void run(Value* const* pkts, std::uint64_t n,
+           const NativeStateView* views) const {
+    NativeAbi abi;
+    abi.states = views;
+    abi.intrinsics = intrinsics_.data();
+    abi.luts = luts_.data();
+    fn_(pkts, n, &abi);
+  }
+
+  std::size_t num_fields() const { return num_fields_; }
+  std::size_t num_state_vars() const { return state_names_.size(); }
+  const std::vector<std::string>& state_names() const { return state_names_; }
+  const std::string& so_path() const { return so_path_; }
+
+ private:
+  NativePipeline() = default;
+
+  void* handle_ = nullptr;
+  NativeEntryFn fn_ = nullptr;
+  std::vector<IntrinsicFn> intrinsics_;  // one per intrinsic-pool entry
+  std::vector<LutFn> luts_;              // one per stateful-pool entry
+  std::vector<std::string> state_names_;
+  std::size_t num_fields_ = 0;
+  std::string so_path_;
+};
+
+}  // namespace banzai

@@ -67,6 +67,10 @@ class Packet {
   Value& operator[](FieldId id) { return fields_[id]; }
   Value operator[](FieldId id) const { return fields_[id]; }
 
+  // Raw field storage, for the native engine's packet-pointer batches.
+  Value* data() { return fields_.data(); }
+  const Value* data() const { return fields_.data(); }
+
   std::size_t num_fields() const { return fields_.size(); }
 
   bool operator==(const Packet& o) const { return fields_ == o.fields_; }

@@ -7,7 +7,9 @@
 // locality discipline (each state variable is touched by exactly one atom).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -37,6 +39,11 @@ class StateVar {
 
   void fill(Value v) { cells_.assign(cells_.size(), v); }
   const std::vector<Value>& cells() const { return cells_; }
+  // Raw cell storage, for engines that bind state once and then address it
+  // without lookups (the kernel's bound batch path and the native engine's
+  // NativeStateView).  The storage never reallocates after construction:
+  // every mutator writes in place.
+  Value* data() { return cells_.data(); }
 
   bool operator==(const StateVar& o) const {
     return scalar_ == o.scalar_ && cells_ == o.cells_;
@@ -58,11 +65,34 @@ class StateVar {
 };
 
 // All state variables of one program instance.
+//
+// Generation counter: callers that cache StateVar* bindings (the per-Machine
+// binding cache behind Machine::process, see machine.h) key the cache on
+// generation().  Every operation that could invalidate pointers into vars_ —
+// declare(), restore(), and copy construction/assignment (fresh map nodes) —
+// assigns a new process-unique generation, so a cached (generation, pointers)
+// pair can never be revalidated against a different map.  Moves keep the
+// generation: unordered_map moves preserve node addresses, so cached pointers
+// stay valid and travel with the value.  Cell mutation through StateVar&
+// never changes the map structure and never bumps the generation.
 class StateStore {
  public:
+  StateStore() : gen_(next_generation()) {}
+  StateStore(const StateStore& o) : vars_(o.vars_), gen_(next_generation()) {}
+  StateStore& operator=(const StateStore& o) {
+    vars_ = o.vars_;
+    gen_ = next_generation();
+    return *this;
+  }
+  StateStore(StateStore&&) = default;
+  StateStore& operator=(StateStore&&) = default;
+
+  std::uint64_t generation() const { return gen_; }
+
   void declare(std::string_view name, std::size_t size, bool scalar,
                Value init = 0) {
     vars_.insert_or_assign(std::string(name), StateVar(size, scalar, init));
+    gen_ = next_generation();
   }
 
   StateVar& var(std::string_view name) {
@@ -112,11 +142,18 @@ class StateStore {
     if (!same_shape(snap))
       throw std::invalid_argument(
           "StateStore::restore: snapshot shape does not match this store");
-    vars_ = snap.vars_;
+    vars_ = snap.vars_;  // fresh map nodes: stale StateVar* must not survive
+    gen_ = next_generation();
   }
 
  private:
+  static std::uint64_t next_generation() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::unordered_map<std::string, StateVar> vars_;
+  std::uint64_t gen_ = 0;
 };
 
 }  // namespace banzai

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "banzai/native.h"
+#include "core/emit.h"
 #include "core/parser.h"
 #include "core/pipeline.h"
 #include "core/sema.h"
@@ -25,6 +27,25 @@ CompileResult compile(std::string_view source,
   r.codegen = generate_code(r.pvsm, r.normalized.ssa, target,
                             r.normalized.final_names, options.synth);
   r.machine().set_engine(options.engine);
+  // Native AOT: emit the lowered program as C++, hand it to the host
+  // toolchain, dlopen the result.  Best-effort by design — a machine that
+  // cannot go native ships on the kernel VM with the reason recorded, never
+  // a failed compile (the paper's all-or-nothing contract is about mapping
+  // the program to the target, not about the simulation substrate).
+  if (options.engine == banzai::ExecEngine::kNative) {
+    banzai::Machine& m = r.machine();
+    if (m.kernel() == nullptr) {
+      m.set_native_fallback(
+          "no lowered micro-op program to emit (machine is closure-only)");
+    } else {
+      banzai::NativeLoadResult load = banzai::NativePipeline::compile_and_load(
+          *m.kernel(), emit_native_cc(*m.kernel()), options.native);
+      if (load.pipeline != nullptr)
+        m.set_native(std::move(load.pipeline));
+      else
+        m.set_native_fallback(std::move(load.error));
+    }
+  }
   r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

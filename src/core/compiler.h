@@ -23,9 +23,17 @@ struct CompileOptions {
   // Execution engine the compiled machine starts on (see banzai/kernel.h and
   // docs/ARCHITECTURE.md "Execution engines").  kKernel — the default — runs
   // the fused micro-op program lowered at compile time; kClosure walks the
-  // per-atom closures (the reference semantics).  Both are always built and
-  // bit-exact; flip per machine at any time with Machine::set_engine.
+  // per-atom closures (the reference semantics); kNative additionally emits
+  // the micro-op program as C++ (core/emit.*), compiles it with the host
+  // toolchain and dlopens it (banzai/native.*) — falling back to kKernel,
+  // with the reason recorded on the machine
+  // (Machine::native_fallback_reason), when no toolchain is available.
+  // All engines are bit-exact; flip per machine at any time with
+  // Machine::set_engine.
   banzai::ExecEngine engine = banzai::ExecEngine::kKernel;
+  // Host-compiler knobs for kNative (compiler, flags, .so cache directory);
+  // every field also honors its environment variable (see banzai/native.h).
+  banzai::NativeOptions native;
 };
 
 struct CompileResult {

@@ -1,0 +1,315 @@
+#include "core/emit.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "banzai/native.h"
+
+namespace domino {
+
+using banzai::CompiledPipeline;
+using banzai::IntrinsicOp;
+using banzai::KArm;
+using banzai::KArmOp;
+using banzai::KOp;
+using banzai::KPred;
+using banzai::KRef;
+using banzai::KRel;
+using banzai::KSrc;
+using banzai::MicroOp;
+using banzai::StatefulOp;
+using banzai::Value;
+
+namespace {
+
+// The self-contained prelude of every generated translation unit: the total
+// arithmetic of banzai/value.h (duplicated textually — the .so must link
+// against nothing) and the ABI PODs, layout-identical to NativeStateView /
+// NativeAbi in banzai/native.h.  Keep the three in sync.
+constexpr const char* kPrelude = R"(#include <cstddef>
+#include <cstdint>
+
+namespace {
+
+using Value = std::int32_t;
+
+inline Value wrap_add(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) +
+                            static_cast<std::uint32_t>(b));
+}
+inline Value wrap_sub(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) -
+                            static_cast<std::uint32_t>(b));
+}
+inline Value wrap_mul(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) *
+                            static_cast<std::uint32_t>(b));
+}
+inline Value total_div(Value a, Value b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return INT32_MIN;
+  return a / b;
+}
+inline Value total_mod(Value a, Value b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return 0;
+  return a % b;
+}
+inline Value shift_left(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a)
+                            << (static_cast<std::uint32_t>(b) & 31u));
+}
+inline Value shift_right(Value a, Value b) {
+  return a >> (static_cast<std::uint32_t>(b) & 31u);
+}
+
+}  // namespace
+
+extern "C" {
+
+struct DominoNativeStateView {
+  Value* cells;
+  std::uint64_t size;
+};
+
+struct DominoNativeAbi {
+  const DominoNativeStateView* states;
+  Value (*const* intrinsics)(const Value*, std::size_t);
+  Value (*const* luts)(Value);
+};
+)";
+
+std::string literal(Value v) {
+  // INT32_MIN has no decimal literal in C++; every other value prints as-is.
+  if (v == INT32_MIN) return "(-2147483647 - 1)";
+  return std::to_string(v);
+}
+
+std::string src_expr(const KSrc& s) {
+  return s.is_const ? literal(s.cst) : "f[" + std::to_string(s.field) + "]";
+}
+
+// A stateful-template operand inside the op's block: `in0`/`in1` are the
+// pre-update state loads declared at the top of the block.
+std::string ref_expr(const KRef& r) {
+  switch (r.kind) {
+    case KRef::Kind::kConst: return literal(r.cst);
+    case KRef::Kind::kField: return "f[" + std::to_string(r.field) + "]";
+    case KRef::Kind::kState: return "in" + std::to_string(r.state_idx);
+  }
+  return "0";
+}
+
+std::string pred_expr(const KPred& p) {
+  const char* rel = "";
+  switch (p.rel) {
+    case KRel::kAlways: return "true";
+    case KRel::kLt: rel = "<"; break;
+    case KRel::kLe: rel = "<="; break;
+    case KRel::kGt: rel = ">"; break;
+    case KRel::kGe: rel = ">="; break;
+    case KRel::kEq: rel = "=="; break;
+    case KRel::kNe: rel = "!="; break;
+  }
+  return ref_expr(p.a) + " " + rel + " " + ref_expr(p.b);
+}
+
+// The update-arm value for state k of one leaf; `x` is the pre-update value.
+std::string arm_expr(const KArmOp& arm, std::size_t k, std::uint32_t lut_idx) {
+  const std::string x = "in" + std::to_string(k);
+  const std::string s1 = ref_expr(arm.src1);
+  const std::string s2 = ref_expr(arm.src2);
+  switch (arm.mode) {
+    case KArm::kKeep: return x;
+    case KArm::kSet: return s1;
+    case KArm::kAdd: return "wrap_add(" + x + ", " + s1 + ")";
+    case KArm::kSubt: return "wrap_sub(" + x + ", " + s1 + ")";
+    case KArm::kSetAdd: return "wrap_add(" + s1 + ", " + s2 + ")";
+    case KArm::kSetSub: return "wrap_sub(" + s1 + ", " + s2 + ")";
+    case KArm::kAddSub:
+      return "wrap_sub(wrap_add(" + x + ", " + s1 + "), " + s2 + ")";
+    case KArm::kLutAdd:
+      return "wrap_add(abi->luts[" + std::to_string(lut_idx) + "](" + s1 +
+             "), " + s2 + ")";
+  }
+  return x;
+}
+
+std::string alu_expr(const MicroOp& op) {
+  const std::string a = src_expr(op.a);
+  const std::string b = src_expr(op.b);
+  switch (op.code) {
+    case KOp::kMov: return a;
+    case KOp::kNeg: return "wrap_sub(0, " + a + ")";
+    case KOp::kLNot: return "(" + a + " == 0 ? 1 : 0)";
+    case KOp::kBitNot: return "~" + a;
+    case KOp::kAdd: return "wrap_add(" + a + ", " + b + ")";
+    case KOp::kSub: return "wrap_sub(" + a + ", " + b + ")";
+    case KOp::kMul: return "wrap_mul(" + a + ", " + b + ")";
+    case KOp::kDiv: return "total_div(" + a + ", " + b + ")";
+    case KOp::kMod: return "total_mod(" + a + ", " + b + ")";
+    case KOp::kShl: return "shift_left(" + a + ", " + b + ")";
+    case KOp::kShr: return "shift_right(" + a + ", " + b + ")";
+    case KOp::kBitAnd: return "(" + a + " & " + b + ")";
+    case KOp::kBitOr: return "(" + a + " | " + b + ")";
+    case KOp::kBitXor: return "(" + a + " ^ " + b + ")";
+    case KOp::kLAnd: return "((" + a + " != 0 && " + b + " != 0) ? 1 : 0)";
+    case KOp::kLOr: return "((" + a + " != 0 || " + b + " != 0) ? 1 : 0)";
+    case KOp::kLt: return "(" + a + " < " + b + " ? 1 : 0)";
+    case KOp::kLe: return "(" + a + " <= " + b + " ? 1 : 0)";
+    case KOp::kGt: return "(" + a + " > " + b + " ? 1 : 0)";
+    case KOp::kGe: return "(" + a + " >= " + b + " ? 1 : 0)";
+    case KOp::kEq: return "(" + a + " == " + b + " ? 1 : 0)";
+    case KOp::kNe: return "(" + a + " != " + b + " ? 1 : 0)";
+    case KOp::kSelect:
+      return "(" + a + " != 0 ? " + b + " : " + src_expr(op.c) + ")";
+    case KOp::kIntrinsic:
+    case KOp::kStateful:
+      break;  // handled by their own emitters
+  }
+  return "0";
+}
+
+void emit_intrinsic(std::ostringstream& os, const MicroOp& op,
+                    const IntrinsicOp& io) {
+  os << "    {\n";
+  if (io.num_args > 0) {
+    os << "      const Value argv[" << int(io.num_args) << "] = {";
+    for (std::size_t a = 0; a < io.num_args; ++a)
+      os << (a ? ", " : "") << src_expr(io.args[a]);
+    os << "};\n";
+    os << "      Value v = abi->intrinsics[" << op.aux << "](argv, "
+       << int(io.num_args) << ");\n";
+  } else {
+    os << "      Value v = abi->intrinsics[" << op.aux << "](nullptr, 0);\n";
+  }
+  if (io.mod > 0)
+    os << "      v = total_mod(v, " << literal(io.mod) << ");\n";
+  os << "      f[" << op.dst << "] = v;\n";
+  os << "    }\n";
+}
+
+// One leaf of the decision tree: the update arms for every owned state.
+// Arms read only `in0`/`in1` (pre-update values), packet fields and
+// constants, so assignment order within a leaf is immaterial.
+void emit_leaf(std::ostringstream& os, const StatefulOp& so, std::size_t leaf,
+               std::uint32_t lut_idx, const char* indent) {
+  for (std::size_t k = 0; k < so.num_states; ++k) {
+    const KArmOp& arm = so.arms[leaf][k];
+    if (arm.mode == KArm::kKeep) continue;  // out{k} already holds in{k}
+    os << indent << "out" << k << " = " << arm_expr(arm, k, lut_idx) << ";\n";
+  }
+}
+
+void emit_stateful(std::ostringstream& os, const CompiledPipeline& prog,
+                   const MicroOp& op) {
+  const StatefulOp& so = prog.stateful_pool()[op.aux];
+  os << "    {  // stateful #" << op.aux;
+  for (std::size_t k = 0; k < so.num_states; ++k)
+    os << " s" << k << "=" << prog.state_names()[so.slots[k].var];
+  os << "\n";
+  // Loads: every arm and predicate sees the pre-update values.
+  for (std::size_t k = 0; k < so.num_states; ++k) {
+    const StatefulOp::Slot& slot = so.slots[k];
+    os << "      const DominoNativeStateView& s" << k << " = abi->states["
+       << slot.var << "];\n";
+    if (slot.is_array) {
+      // Mirrors StateVar::clamp: wrap hostile indices like truncated
+      // hardware address lines.
+      os << "      const std::uint64_t x" << k
+         << " = static_cast<std::uint64_t>(static_cast<std::uint32_t>(f["
+         << slot.index_field << "])) % s" << k << ".size;\n";
+      os << "      const Value in" << k << " = s" << k << ".cells[x" << k
+         << "];\n";
+    } else {
+      os << "      const Value in" << k << " = s" << k << ".cells[0];\n";
+    }
+  }
+  for (std::size_t k = 0; k < so.num_states; ++k)
+    os << "      Value out" << k << " = in" << k << ";\n";
+  // The decision tree, as real branches.
+  if (so.pred_levels == 0) {
+    emit_leaf(os, so, 0, op.aux, "      ");
+  } else if (so.pred_levels == 1) {
+    os << "      if (" << pred_expr(so.preds[0]) << ") {\n";
+    emit_leaf(os, so, 0, op.aux, "        ");
+    os << "      } else {\n";
+    emit_leaf(os, so, 1, op.aux, "        ");
+    os << "      }\n";
+  } else {
+    os << "      if (" << pred_expr(so.preds[0]) << ") {\n";
+    os << "        if (" << pred_expr(so.preds[1]) << ") {\n";
+    emit_leaf(os, so, 0, op.aux, "          ");
+    os << "        } else {\n";
+    emit_leaf(os, so, 1, op.aux, "          ");
+    os << "        }\n";
+    os << "      } else {\n";
+    os << "        if (" << pred_expr(so.preds[2]) << ") {\n";
+    emit_leaf(os, so, 2, op.aux, "          ");
+    os << "        } else {\n";
+    emit_leaf(os, so, 3, op.aux, "          ");
+    os << "        }\n";
+    os << "      }\n";
+  }
+  // Stores, then live-out publication.
+  for (std::size_t k = 0; k < so.num_states; ++k) {
+    if (so.slots[k].is_array)
+      os << "      s" << k << ".cells[x" << k << "] = out" << k << ";\n";
+    else
+      os << "      s" << k << ".cells[0] = out" << k << ";\n";
+  }
+  for (std::uint32_t l = so.liveout_begin; l < so.liveout_end; ++l) {
+    const banzai::KLiveOut& lo = prog.liveout_pool()[l];
+    os << "      f[" << lo.dst << "] = "
+       << (lo.use_new ? "out" : "in") << int(lo.state_idx) << ";\n";
+  }
+  os << "    }\n";
+}
+
+}  // namespace
+
+std::string emit_native_cc(const CompiledPipeline& prog) {
+  if (!prog.sealed())
+    throw std::logic_error("emit_native_cc: program is not sealed");
+  std::ostringstream os;
+  os << "// Generated by domino (core/emit.cc) — do not edit.\n"
+     << "// One sealed CompiledPipeline as straight-line C++: " << prog.num_ops()
+     << " ops over " << prog.num_stages() << " stages, " << prog.num_fields()
+     << " packet fields, " << prog.num_state_vars() << " state vars.\n";
+  if (prog.num_state_vars() > 0) {
+    os << "// State table:\n";
+    for (std::size_t k = 0; k < prog.state_names().size(); ++k)
+      os << "//   states[" << k << "] = " << prog.state_names()[k] << "\n";
+  }
+  os << kPrelude;
+  os << "\nvoid " << banzai::kNativeEntrySymbol
+     << "(Value* const* pkts, std::uint64_t n,\n"
+     << "     const DominoNativeAbi* abi) {\n"
+     << "  for (std::uint64_t pi = 0; pi < n; ++pi) {\n"
+     << "    Value* const f = pkts[pi];\n";
+  const auto& stages = prog.stage_ranges();
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    os << "    // ---- stage " << si << " ----\n";
+    for (std::uint32_t i = stages[si].begin; i < stages[si].end; ++i) {
+      const MicroOp& op = prog.ops()[i];
+      switch (op.code) {
+        case KOp::kIntrinsic:
+          emit_intrinsic(os, op, prog.intrinsic_pool()[op.aux]);
+          break;
+        case KOp::kStateful:
+          emit_stateful(os, prog, op);
+          break;
+        default:
+          os << "    f[" << op.dst << "] = " << alu_expr(op) << ";\n";
+          break;
+      }
+    }
+  }
+  os << "  }\n"
+     << "}\n"
+     << "\n}  // extern \"C\"\n";
+  return os.str();
+}
+
+}  // namespace domino

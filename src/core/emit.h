@@ -1,0 +1,25 @@
+// AOT C++ emission (the paper's Banzai code-generation strategy, §5 "Banzai
+// simulates a switch pipeline... generated C++ is compiled with the host
+// toolchain"): prints a sealed CompiledPipeline micro-op program as one
+// self-contained translation unit exporting a single `extern "C"` function —
+// straight-line per-op code with stage barriers as comments, state slots
+// addressed through a raw view array, intrinsics and LUT ROMs called through
+// the fixed ABI struct of banzai/native.h.  The loader there compiles and
+// dlopens the result; `dominoc --emit-cc` dumps it as an artifact.
+//
+// Determinism: the emitted text is a pure function of the program, so the
+// loader's content-hash cache turns repeated compiles of one program into a
+// single host-compiler invocation per machine boot.
+#pragma once
+
+#include <string>
+
+#include "banzai/kernel.h"
+
+namespace domino {
+
+// Renders `prog` as compilable C++ exporting banzai::kNativeEntrySymbol.
+// Throws std::logic_error if the program is not sealed.
+std::string emit_native_cc(const banzai::CompiledPipeline& prog);
+
+}  // namespace domino

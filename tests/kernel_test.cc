@@ -1,15 +1,19 @@
-// The engine-equivalence contract of the fused micro-op kernel
-// (banzai/kernel.h): for every corpus algorithm, the kClosure and kKernel
-// engines are bit-exact on every packet field and every state cell, across
-// all four runtimes — per-packet Machine::process, batched BatchSim, the
-// sharded Fleet/FleetService, and NetFabric-hosted nodes — on the seeded
-// workloads, on a full-range fuzz corpus (wrap-around arithmetic, division
-// by zero, hostile array indices), across snapshot/restore between engines,
-// and under mid-stream engine flips.
+// The engine-equivalence contract of the compiled execution paths
+// (banzai/kernel.h, banzai/native.h): for every corpus algorithm, the
+// kClosure, kKernel and kNative engines are bit-exact on every packet field
+// and every state cell, across all four runtimes — per-packet
+// Machine::process, batched BatchSim, the sharded Fleet/FleetService, and
+// NetFabric-hosted nodes — on the seeded workloads, on a full-range fuzz
+// corpus (wrap-around arithmetic, division by zero, hostile array indices),
+// across snapshot/restore between engines, and under mid-stream engine
+// flips.  The native engine participates whenever the host toolchain can
+// build it (the machines record a fallback reason otherwise); the loader
+// itself is covered in tests/native_test.cc.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
@@ -29,20 +33,47 @@ using banzai::ExecEngine;
 using banzai::Machine;
 using banzai::Packet;
 
+const char* engine_name(ExecEngine e) {
+  switch (e) {
+    case ExecEngine::kClosure: return "closure";
+    case ExecEngine::kKernel: return "kernel";
+    case ExecEngine::kNative: return "native";
+  }
+  return "?";
+}
+
+// Compile with the native engine requested: machines carry the closure and
+// kernel paths always, plus the AOT pipeline when the host toolchain exists.
+domino::CompileOptions native_options() {
+  domino::CompileOptions opts;
+  opts.engine = ExecEngine::kNative;
+  return opts;
+}
+
 // Compiles `source` on the least expressive paper target that accepts it,
 // falling back to the LUT-extended target (CoDel), or nullopt.
 std::optional<domino::CompileResult> compile_least(const std::string& source) {
   for (const auto& t : atoms::paper_targets()) {
     try {
-      return domino::compile(source, t);
+      return domino::compile(source, t, native_options());
     } catch (const domino::CompileError&) {
     }
   }
   try {
-    return domino::compile(source, atoms::lut_extended_target());
+    return domino::compile(source, atoms::lut_extended_target(),
+                           native_options());
   } catch (const domino::CompileError&) {
     return std::nullopt;
   }
+}
+
+// Every engine this machine can actually execute: closure and kernel always,
+// native only when the loader attached a pipeline (no toolchain -> the
+// machine records a fallback reason and the differential narrows to two).
+std::vector<ExecEngine> engines_of(const Machine& m) {
+  std::vector<ExecEngine> v{ExecEngine::kClosure, ExecEngine::kKernel};
+  if (m.native() != nullptr) v.push_back(ExecEngine::kNative);
+  return v;
 }
 
 Machine engine_clone(const Machine& proto, ExecEngine engine) {
@@ -71,7 +102,7 @@ std::vector<Packet> workload_packets(const algorithms::AlgorithmInfo& alg,
 
 // Full-range random packets: every machine field (inputs, temporaries)
 // uniformly over int32, plus adversarial extremes.  Exercises wrapping,
-// x/0, INT_MIN/-1, shift masking and out-of-range state indices on both
+// x/0, INT_MIN/-1, shift masking and out-of-range state indices on all
 // engines identically.
 std::vector<Packet> fuzz_packets(const banzai::FieldTable& fields, int n,
                                  unsigned seed) {
@@ -126,32 +157,69 @@ TEST(KernelLoweringTest, EveryCompilableAlgorithmCarriesASealedKernel) {
     EXPECT_EQ(m.kernel()->num_stages(), m.num_stages()) << alg.name;
     EXPECT_EQ(m.kernel()->num_ops(), m.num_atoms()) << alg.name;
     EXPECT_EQ(m.kernel()->num_fields(), m.fields().size()) << alg.name;
-    // compile() selects the kernel engine by default…
-    EXPECT_EQ(m.engine(), ExecEngine::kKernel) << alg.name;
-    EXPECT_NE(m.active_kernel(), nullptr) << alg.name;
-    // …and the closure path stays selectable as the reference.
+    // compile() honors the requested engine…
+    EXPECT_EQ(m.engine(), ExecEngine::kNative) << alg.name;
+    // …and either the native pipeline is attached or the reason it is not
+    // was recorded (never both, never neither).
+    EXPECT_NE(m.native() != nullptr, !m.native_fallback_reason().empty())
+        << alg.name << ": " << m.native_fallback_reason();
+    // The closure path stays selectable as the reference.
     Machine closure = engine_clone(m, ExecEngine::kClosure);
     EXPECT_EQ(closure.active_kernel(), nullptr) << alg.name;
+    EXPECT_EQ(closure.active_native(), nullptr) << alg.name;
   }
   // Table 4: everything except CoDel maps to a paper target, and CoDel maps
   // to the LUT extension — the corpus-wide contract below rests on this.
   EXPECT_GE(compiled_count, 10);
 }
 
+TEST(KernelLoweringTest, NativeEngineIsAvailableOrSkipsLoudly) {
+  auto compiled = compile_least(algorithms::algorithm("flowlets").source);
+  ASSERT_TRUE(compiled.has_value());
+  const Machine& m = compiled->machine();
+  if (m.native() == nullptr)
+    GTEST_SKIP() << "native engine unavailable on this host — differentials "
+                    "cover closure/kernel only.  Reason: "
+                 << m.native_fallback_reason();
+  EXPECT_NE(m.active_native(), nullptr);
+  EXPECT_EQ(m.native()->num_fields(), m.fields().size());
+  EXPECT_EQ(m.native()->num_state_vars(), m.kernel()->num_state_vars());
+}
+
+TEST(KernelLoweringTest, DisassemblyNamesEveryOpAndStateVar) {
+  auto compiled = compile_least(algorithms::algorithm("flowlets").source);
+  ASSERT_TRUE(compiled.has_value());
+  const auto* kernel = compiled->machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string text = kernel->str();
+  for (std::size_t si = 0; si < kernel->num_stages(); ++si)
+    EXPECT_NE(text.find("stage " + std::to_string(si)), std::string::npos);
+  for (const auto& name : kernel->state_names())
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  // One line per op, addressed by index.
+  EXPECT_NE(text.find("[" + std::to_string(kernel->num_ops() - 1) + "]"),
+            std::string::npos);
+}
+
 TEST(KernelDifferentialTest, PerPacketCorpusWorkloads) {
   for (const auto& alg : algorithms::corpus()) {
     auto compiled = compile_least(alg.source);
     if (!compiled.has_value()) continue;
-    Machine closure = engine_clone(compiled->machine(), ExecEngine::kClosure);
-    Machine kernel = engine_clone(compiled->machine(), ExecEngine::kKernel);
     const auto trace =
         workload_packets(alg, compiled->machine().fields(), 4000, 7);
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-      const Packet a = closure.process(trace[i]);
-      const Packet b = kernel.process(trace[i]);
-      ASSERT_EQ(a, b) << alg.name << ": packet " << i;
+    for (ExecEngine engine : engines_of(compiled->machine())) {
+      if (engine == ExecEngine::kClosure) continue;
+      Machine closure = engine_clone(compiled->machine(), ExecEngine::kClosure);
+      Machine under = engine_clone(compiled->machine(), engine);
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Packet a = closure.process(trace[i]);
+        const Packet b = under.process(trace[i]);
+        ASSERT_EQ(a, b) << alg.name << " [" << engine_name(engine)
+                        << "]: packet " << i;
+      }
+      EXPECT_TRUE(closure.state() == under.state())
+          << alg.name << " [" << engine_name(engine) << "]";
     }
-    EXPECT_TRUE(closure.state() == kernel.state()) << alg.name;
   }
 }
 
@@ -159,15 +227,20 @@ TEST(KernelDifferentialTest, PerPacketFuzzCorpus) {
   for (const auto& alg : algorithms::corpus()) {
     auto compiled = compile_least(alg.source);
     if (!compiled.has_value()) continue;
-    Machine closure = engine_clone(compiled->machine(), ExecEngine::kClosure);
-    Machine kernel = engine_clone(compiled->machine(), ExecEngine::kKernel);
     const auto trace = fuzz_packets(compiled->machine().fields(), 2500, 99);
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-      const Packet a = closure.process(trace[i]);
-      const Packet b = kernel.process(trace[i]);
-      ASSERT_EQ(a, b) << alg.name << ": fuzz packet " << i;
+    for (ExecEngine engine : engines_of(compiled->machine())) {
+      if (engine == ExecEngine::kClosure) continue;
+      Machine closure = engine_clone(compiled->machine(), ExecEngine::kClosure);
+      Machine under = engine_clone(compiled->machine(), engine);
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Packet a = closure.process(trace[i]);
+        const Packet b = under.process(trace[i]);
+        ASSERT_EQ(a, b) << alg.name << " [" << engine_name(engine)
+                        << "]: fuzz packet " << i;
+      }
+      EXPECT_TRUE(closure.state() == under.state())
+          << alg.name << " [" << engine_name(engine) << "]";
     }
-    EXPECT_TRUE(closure.state() == kernel.state()) << alg.name;
   }
 }
 
@@ -181,16 +254,21 @@ TEST(KernelDifferentialTest, BatchedAcrossBatchSizes) {
                               std::size_t{256}}) {
       Machine closure =
           engine_clone(compiled->machine(), ExecEngine::kClosure);
-      Machine kernel = engine_clone(compiled->machine(), ExecEngine::kKernel);
-      banzai::BatchSim a(closure, batch), b(kernel, batch);
-      a.enqueue_all(trace);
-      b.enqueue_all(trace);
-      a.run();
-      b.run();
-      expect_packets_equal(a.egress(), b.egress(),
-                           alg.name + " batch=" + std::to_string(batch));
-      EXPECT_TRUE(closure.state() == kernel.state())
-          << alg.name << " batch=" << batch;
+      banzai::BatchSim ref(closure, batch);
+      ref.enqueue_all(trace);
+      ref.run();
+      for (ExecEngine engine : engines_of(compiled->machine())) {
+        if (engine == ExecEngine::kClosure) continue;
+        Machine under = engine_clone(compiled->machine(), engine);
+        banzai::BatchSim sim(under, batch);
+        sim.enqueue_all(trace);
+        sim.run();
+        expect_packets_equal(ref.egress(), sim.egress(),
+                             alg.name + " [" + engine_name(engine) +
+                                 "] batch=" + std::to_string(batch));
+        EXPECT_TRUE(closure.state() == under.state())
+            << alg.name << " [" << engine_name(engine) << "] batch=" << batch;
+      }
     }
   }
 }
@@ -209,25 +287,29 @@ TEST(KernelDifferentialTest, ShardedFleet) {
       cfg.batch_size = 64;
       cfg.parallel = true;
       cfg.flow_key = key;
-      banzai::Fleet a(engine_clone(compiled->machine(), ExecEngine::kClosure),
-                      cfg);
-      banzai::Fleet b(engine_clone(compiled->machine(), ExecEngine::kKernel),
-                      cfg);
-      const auto ra = a.run(trace).egress_in_order();
-      const auto rb = b.run(trace).egress_in_order();
-      expect_packets_equal(ra, rb,
-                           alg.name + " shards=" + std::to_string(shards));
-      for (std::size_t s = 0; s < shards; ++s)
-        EXPECT_TRUE(a.shard_machine(s).state() == b.shard_machine(s).state())
-            << alg.name << " shard " << s;
+      banzai::Fleet ref(engine_clone(compiled->machine(), ExecEngine::kClosure),
+                        cfg);
+      const auto ra = ref.run(trace).egress_in_order();
+      for (ExecEngine engine : engines_of(compiled->machine())) {
+        if (engine == ExecEngine::kClosure) continue;
+        banzai::Fleet under(engine_clone(compiled->machine(), engine), cfg);
+        const auto rb = under.run(trace).egress_in_order();
+        expect_packets_equal(ra, rb,
+                             alg.name + " [" + engine_name(engine) +
+                                 "] shards=" + std::to_string(shards));
+        for (std::size_t s = 0; s < shards; ++s)
+          EXPECT_TRUE(ref.shard_machine(s).state() ==
+                      under.shard_machine(s).state())
+              << alg.name << " [" << engine_name(engine) << "] shard " << s;
+      }
     }
   }
 }
 
 TEST(KernelDifferentialTest, StreamingFleetService) {
   // The always-on runtime: same ShardCore, live ingest threads.  Egress is
-  // released in global arrival order, so the two engines must deliver
-  // identical packet sequences and identical per-slot state.
+  // released in global arrival order, so all engines must deliver identical
+  // packet sequences and identical per-slot state.
   for (const char* name : {"flowlets", "heavy_hitters", "stfq"}) {
     const auto& alg = algorithms::algorithm(name);
     auto compiled = compile_least(alg.source);
@@ -244,10 +326,10 @@ TEST(KernelDifferentialTest, StreamingFleetService) {
     cfg.backpressure = banzai::Backpressure::kBlock;
     cfg.flow_key = key;
 
-    std::vector<Packet> egress[2];
-    banzai::ServiceSnapshot snaps[2];
-    const ExecEngine engines[] = {ExecEngine::kClosure, ExecEngine::kKernel};
-    for (int e = 0; e < 2; ++e) {
+    const auto engines = engines_of(compiled->machine());
+    std::vector<std::vector<Packet>> egress(engines.size());
+    std::vector<banzai::ServiceSnapshot> snaps(engines.size());
+    for (std::size_t e = 0; e < engines.size(); ++e) {
       banzai::FleetService svc(engine_clone(compiled->machine(), engines[e]),
                                cfg);
       svc.start();
@@ -256,18 +338,23 @@ TEST(KernelDifferentialTest, StreamingFleetService) {
       egress[e] = svc.drain_egress();
       snaps[e] = svc.snapshot();
     }
-    expect_packets_equal(egress[0], egress[1], std::string(name) + " service");
-    ASSERT_EQ(snaps[0].slot_state.size(), snaps[1].slot_state.size());
-    for (std::size_t s = 0; s < snaps[0].slot_state.size(); ++s)
-      EXPECT_TRUE(snaps[0].slot_state[s] == snaps[1].slot_state[s])
-          << name << " slot " << s;
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      expect_packets_equal(egress[0], egress[e],
+                           std::string(name) + " service [" +
+                               engine_name(engines[e]) + "]");
+      ASSERT_EQ(snaps[0].slot_state.size(), snaps[e].slot_state.size());
+      for (std::size_t s = 0; s < snaps[0].slot_state.size(); ++s)
+        EXPECT_TRUE(snaps[0].slot_state[s] == snaps[e].slot_state[s])
+            << name << " [" << engine_name(engines[e]) << "] slot " << s;
+    }
   }
 }
 
 TEST(KernelDifferentialTest, FabricHostedNodes) {
   // NetFabric runs hosted machines through Machine::process (and ShardCore
-  // for multi-pipeline nodes); a kernel-engined ingress must yield the same
-  // deliveries, paths, marks and final state as the closure engine.
+  // for multi-pipeline nodes); a kernel- or native-engined ingress must
+  // yield the same deliveries, paths, marks and final state as the closure
+  // engine.
   netsim::FlowTraceConfig tc;
   tc.num_packets = 3000;
   tc.num_flows = 40;
@@ -286,43 +373,54 @@ TEST(KernelDifferentialTest, FabricHostedNodes) {
     fc.num_leaves = 2;
     fc.num_spines = 2;
     fc.port.bytes_per_tick = 900;
-    netsim::NetFabric a(fc), b(fc);
-    for (int leaf = 0; leaf < fc.num_leaves; ++leaf) {
-      a.host_ingress(leaf,
-                     engine_clone(compiled->machine(), ExecEngine::kClosure),
-                     binding);
-      b.host_ingress(leaf,
-                     engine_clone(compiled->machine(), ExecEngine::kKernel),
-                     binding);
+
+    auto run_fabric = [&](ExecEngine engine) {
+      auto fabric = std::make_unique<netsim::NetFabric>(fc);
+      for (int leaf = 0; leaf < fc.num_leaves; ++leaf)
+        fabric->host_ingress(leaf, engine_clone(compiled->machine(), engine),
+                             binding);
+      for (const auto& tp : trace) {
+        const auto ends =
+            netsim::flow_endpoints(tp.flow_id, fc.num_leaves, /*salt=*/5);
+        fabric->inject(tp, ends.first, ends.second);
+      }
+      fabric->run();
+      return fabric;
+    };
+
+    auto ref = run_fabric(ExecEngine::kClosure);
+    for (ExecEngine engine : engines_of(compiled->machine())) {
+      if (engine == ExecEngine::kClosure) continue;
+      auto under = run_fabric(engine);
+      ASSERT_EQ(ref->delivered().size(), under->delivered().size())
+          << name << " [" << engine_name(engine) << "]";
+      for (std::size_t i = 0; i < ref->delivered().size(); ++i) {
+        const auto& da = ref->delivered()[i];
+        const auto& db = under->delivered()[i];
+        ASSERT_EQ(da.path, db.path)
+            << name << " [" << engine_name(engine) << "]: packet " << i;
+        ASSERT_EQ(da.delivered_tick, db.delivered_tick)
+            << name << " [" << engine_name(engine) << "]: " << i;
+        ASSERT_EQ(da.ingress_mark, db.ingress_mark)
+            << name << " [" << engine_name(engine) << "]: " << i;
+        ASSERT_EQ(da.ingress_view, db.ingress_view)
+            << name << " [" << engine_name(engine) << "]: " << i;
+      }
+      EXPECT_EQ(ref->stats().dropped, under->stats().dropped)
+          << name << " [" << engine_name(engine) << "]";
+      for (int leaf = 0; leaf < fc.num_leaves; ++leaf)
+        EXPECT_TRUE(ref->ingress_machine(leaf)->state() ==
+                    under->ingress_machine(leaf)->state())
+            << name << " [" << engine_name(engine) << "] leaf " << leaf;
     }
-    for (const auto& tp : trace) {
-      const auto ends =
-          netsim::flow_endpoints(tp.flow_id, fc.num_leaves, /*salt=*/5);
-      a.inject(tp, ends.first, ends.second);
-      b.inject(tp, ends.first, ends.second);
-    }
-    a.run();
-    b.run();
-    ASSERT_EQ(a.delivered().size(), b.delivered().size()) << name;
-    for (std::size_t i = 0; i < a.delivered().size(); ++i) {
-      const auto& da = a.delivered()[i];
-      const auto& db = b.delivered()[i];
-      ASSERT_EQ(da.path, db.path) << name << ": packet " << i;
-      ASSERT_EQ(da.delivered_tick, db.delivered_tick) << name << ": " << i;
-      ASSERT_EQ(da.ingress_mark, db.ingress_mark) << name << ": " << i;
-      ASSERT_EQ(da.ingress_view, db.ingress_view) << name << ": " << i;
-    }
-    EXPECT_EQ(a.stats().dropped, b.stats().dropped) << name;
-    for (int leaf = 0; leaf < fc.num_leaves; ++leaf)
-      EXPECT_TRUE(a.ingress_machine(leaf)->state() ==
-                  b.ingress_machine(leaf)->state())
-          << name << " leaf " << leaf;
   }
 }
 
 TEST(KernelDifferentialTest, SnapshotRestoreMigratesAcrossEngines) {
-  // State checkpointed on one engine must resume bit-exactly on the other,
-  // in both directions — the representation of persistent state is shared.
+  // State checkpointed on one engine must resume bit-exactly on any other,
+  // in every direction — the representation of persistent state is shared,
+  // and restore_state() must invalidate the binding cache (a stale pointer
+  // into the replaced map would read freed memory; ASan watches this path).
   for (const char* name : {"flowlets", "heavy_hitters", "conga"}) {
     const auto& alg = algorithms::algorithm(name);
     auto compiled = compile_least(alg.source);
@@ -336,46 +434,86 @@ TEST(KernelDifferentialTest, SnapshotRestoreMigratesAcrossEngines) {
     std::vector<Packet> ref_out;
     for (const auto& p : trace) ref_out.push_back(ref.process(p));
 
-    for (int dir = 0; dir < 2; ++dir) {
-      const ExecEngine first = dir == 0 ? ExecEngine::kClosure
-                                        : ExecEngine::kKernel;
-      const ExecEngine second = dir == 0 ? ExecEngine::kKernel
-                                         : ExecEngine::kClosure;
-      Machine m1 = engine_clone(compiled->machine(), first);
-      std::vector<Packet> out;
-      for (std::size_t i = 0; i < half; ++i)
-        out.push_back(m1.process(trace[i]));
-      Machine m2 = engine_clone(compiled->machine(), second);
-      m2.restore_state(m1.snapshot_state());
-      for (std::size_t i = half; i < trace.size(); ++i)
-        out.push_back(m2.process(trace[i]));
-      expect_packets_equal(out, ref_out,
-                           std::string(name) + " dir=" + std::to_string(dir));
-      EXPECT_TRUE(m2.state() == ref.state()) << name << " dir=" << dir;
+    const auto engines = engines_of(compiled->machine());
+    for (ExecEngine first : engines) {
+      for (ExecEngine second : engines) {
+        if (first == second) continue;
+        Machine m1 = engine_clone(compiled->machine(), first);
+        std::vector<Packet> out;
+        for (std::size_t i = 0; i < half; ++i)
+          out.push_back(m1.process(trace[i]));
+        Machine m2 = engine_clone(compiled->machine(), second);
+        m2.restore_state(m1.snapshot_state());
+        for (std::size_t i = half; i < trace.size(); ++i)
+          out.push_back(m2.process(trace[i]));
+        const std::string what = std::string(name) + " " +
+                                 engine_name(first) + "->" +
+                                 engine_name(second);
+        expect_packets_equal(out, ref_out, what);
+        EXPECT_TRUE(m2.state() == ref.state()) << what;
+      }
     }
   }
 }
 
 TEST(KernelDifferentialTest, EngineFlipMidStreamIsSeamless) {
-  // Both paths read and write the same FieldTable ids and StateStore, so
-  // toggling the engine between packets must be invisible.
+  // All paths read and write the same FieldTable ids and StateStore, so
+  // rotating the engine between packets must be invisible.
   const auto& alg = algorithms::algorithm("flowlets");
   auto compiled = compile_least(alg.source);
   ASSERT_TRUE(compiled.has_value());
   const auto trace =
       workload_packets(alg, compiled->machine().fields(), 3000, 31);
 
+  const auto engines = engines_of(compiled->machine());
   Machine ref = engine_clone(compiled->machine(), ExecEngine::kClosure);
-  Machine flip = engine_clone(compiled->machine(), ExecEngine::kKernel);
+  Machine flip = engine_clone(compiled->machine(), engines.back());
   std::mt19937 rng(5);
+  std::size_t which = engines.size() - 1;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (rng() % 64 == 0)
-      flip.set_engine(flip.engine() == ExecEngine::kKernel
-                          ? ExecEngine::kClosure
-                          : ExecEngine::kKernel);
+    if (rng() % 64 == 0) {
+      which = (which + 1 + rng() % (engines.size() - 1)) % engines.size();
+      flip.set_engine(engines[which]);
+    }
     ASSERT_EQ(ref.process(trace[i]), flip.process(trace[i])) << "packet " << i;
   }
   EXPECT_TRUE(ref.state() == flip.state());
+}
+
+TEST(KernelDifferentialTest, RestoreMidStreamRebindsStateCleanly) {
+  // The binding-cache variant of a reshard cycle: process on cached
+  // bindings, snapshot, keep processing, restore the snapshot (replacing
+  // the StateStore's map wholesale), keep processing.  Every compiled
+  // engine must match a closure machine driven through the same sequence.
+  const auto& alg = algorithms::algorithm("heavy_hitters");
+  auto compiled = compile_least(alg.source);
+  ASSERT_TRUE(compiled.has_value());
+  const auto trace =
+      workload_packets(alg, compiled->machine().fields(), 3000, 37);
+  const std::size_t a = trace.size() / 3, b = 2 * trace.size() / 3;
+
+  for (ExecEngine engine : engines_of(compiled->machine())) {
+    Machine ref = engine_clone(compiled->machine(), ExecEngine::kClosure);
+    Machine under = engine_clone(compiled->machine(), engine);
+    std::vector<Packet> ref_out, out;
+    banzai::StateStore ref_snap, snap;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (i == a) {
+        ref_snap = ref.snapshot_state();
+        snap = under.snapshot_state();
+      }
+      if (i == b) {
+        ref.restore_state(ref_snap);
+        under.restore_state(snap);
+      }
+      ref_out.push_back(ref.process(trace[i]));
+      out.push_back(under.process(trace[i]));
+    }
+    expect_packets_equal(ref_out, out,
+                         std::string("restore mid-stream [") +
+                             engine_name(engine) + "]");
+    EXPECT_TRUE(ref.state() == under.state()) << engine_name(engine);
+  }
 }
 
 TEST(KernelGuardTest, RunBeforeSealAndNarrowPacketsAreRejected) {
@@ -450,6 +588,26 @@ TEST(KernelGuardTest, SealRejectsIntraStageHazards) {
     EXPECT_EQ(p.get(0), 1);
     EXPECT_EQ(p.get(1), 1);
   }
+}
+
+TEST(StateGenerationTest, MutationsAndCopiesRetireTheGeneration) {
+  banzai::StateStore s;
+  const auto g0 = s.generation();
+  s.declare("x", 4, /*scalar=*/false);
+  const auto g1 = s.generation();
+  EXPECT_NE(g0, g1) << "declare must retire cached bindings";
+
+  banzai::StateStore copy = s;  // fresh map nodes -> fresh generation
+  EXPECT_NE(copy.generation(), g1);
+  EXPECT_TRUE(copy == s) << "generation is identity, not content";
+
+  const banzai::StateStore snap = s.snapshot();
+  s.var("x").store(0, 42);
+  EXPECT_EQ(s.generation(), g1)
+      << "cell writes keep pointers valid and must not rebind";
+  s.restore(snap);
+  EXPECT_NE(s.generation(), g1) << "restore replaces the map wholesale";
+  EXPECT_EQ(s.var("x").load(0), 0);
 }
 
 }  // namespace

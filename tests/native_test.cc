@@ -1,0 +1,227 @@
+// The native AOT loader (banzai/native.{h,cc}) and emitter (core/emit.*):
+// fallback behaviour when no toolchain exists, the content-hash .so cache,
+// deterministic emission, and the Machine-level degradation ladder
+// native > kernel > closure.  The engine differential itself lives in
+// tests/kernel_test.cc.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "algorithms/corpus.h"
+#include "banzai/native.h"
+#include "core/compiler.h"
+#include "core/emit.h"
+
+namespace {
+
+using banzai::ExecEngine;
+using banzai::Machine;
+using banzai::Packet;
+
+domino::CompileResult compile_flowlets(const domino::CompileOptions& opts) {
+  return domino::compile(algorithms::algorithm("flowlets").source,
+                         *atoms::find_target("banzai-praw"), opts);
+}
+
+// A per-test cache directory so cache-hit assertions cannot be satisfied by
+// another test's (or another run's) leftovers.
+std::string fresh_cache_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("domino-native-test-" + tag + "-" +
+                    std::to_string(static_cast<long>(::getpid())));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<Packet> flowlet_workload(const domino::CompileResult& compiled,
+                                     int n) {
+  const auto& alg = algorithms::algorithm("flowlets");
+  std::mt19937 rng(3);
+  std::vector<Packet> out;
+  for (int i = 0; i < n; ++i) {
+    std::map<std::string, banzai::Value> f;
+    alg.workload(rng, i, f);
+    Packet p(compiled.machine().fields().size());
+    for (const auto& [k, v] : f)
+      if (compiled.machine().fields().try_id_of(k).has_value())
+        p.set(compiled.machine().fields().id_of(k), v);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+bool toolchain_available() {
+  domino::CompileOptions opts;
+  opts.engine = ExecEngine::kNative;
+  static const bool available =
+      compile_flowlets(opts).machine().native() != nullptr;
+  return available;
+}
+
+TEST(NativeEmitTest, EmissionIsDeterministicAndSelfDescribing) {
+  domino::CompileOptions opts;  // kernel only: emission needs no toolchain
+  auto compiled = compile_flowlets(opts);
+  const auto* kernel = compiled.machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string once = domino::emit_native_cc(*kernel);
+  const std::string twice = domino::emit_native_cc(*kernel);
+  EXPECT_EQ(once, twice) << "content-hash caching depends on determinism";
+  // The fixed entry point, the per-stage barriers and the state table all
+  // appear in the artifact.
+  EXPECT_NE(once.find(banzai::kNativeEntrySymbol), std::string::npos);
+  EXPECT_NE(once.find("extern \"C\""), std::string::npos);
+  for (std::size_t s = 0; s < kernel->num_stages(); ++s)
+    EXPECT_NE(once.find("---- stage " + std::to_string(s) + " ----"),
+              std::string::npos);
+  for (const auto& name : kernel->state_names())
+    EXPECT_NE(once.find(name), std::string::npos);
+}
+
+TEST(NativeEmitTest, UnsealedProgramsAreRejected) {
+  banzai::CompiledPipeline pipe;
+  pipe.begin_stage();
+  pipe.add_alu(banzai::KOp::kMov, 0, banzai::KSrc::constant(1));
+  EXPECT_THROW(domino::emit_native_cc(pipe), std::logic_error);
+}
+
+TEST(NativeLoaderTest, MissingToolchainFallsBackWithRecordedReason) {
+  domino::CompileOptions opts;
+  opts.engine = ExecEngine::kNative;
+  opts.native.compiler = "/nonexistent/dominoc-no-such-cxx";
+  auto compiled = compile_flowlets(opts);
+  Machine& m = compiled.machine();
+  // The machine ships without a native pipeline but records why…
+  EXPECT_EQ(m.native(), nullptr);
+  ASSERT_FALSE(m.native_fallback_reason().empty());
+  EXPECT_NE(m.native_fallback_reason().find("not found"), std::string::npos)
+      << m.native_fallback_reason();
+  // …and a kNative request degrades to the kernel VM, not to a crash: the
+  // engine toggle still reads kNative, dispatch resolves to the kernel.
+  EXPECT_EQ(m.engine(), ExecEngine::kNative);
+  EXPECT_EQ(m.active_native(), nullptr);
+  ASSERT_NE(m.active_kernel(), nullptr);
+  auto ref = compile_flowlets(domino::CompileOptions{});
+  ref.machine().set_engine(ExecEngine::kClosure);
+  for (const Packet& p : flowlet_workload(compiled, 500))
+    ASSERT_EQ(m.process(p), ref.machine().process(p));
+}
+
+TEST(NativeLoaderTest, DisableSwitchFallsBackWithRecordedReason) {
+  ::setenv("DOMINO_NATIVE_DISABLE", "1", 1);
+  domino::CompileOptions opts;
+  opts.engine = ExecEngine::kNative;
+  auto compiled = compile_flowlets(opts);
+  ::unsetenv("DOMINO_NATIVE_DISABLE");
+  EXPECT_EQ(compiled.machine().native(), nullptr);
+  EXPECT_NE(
+      compiled.machine().native_fallback_reason().find("DOMINO_NATIVE_DISABLE"),
+      std::string::npos)
+      << compiled.machine().native_fallback_reason();
+}
+
+TEST(NativeLoaderTest, SecondLoadOfTheSameProgramHitsTheSoCache) {
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  auto compiled = compile_flowlets(opts);
+  const auto* kernel = compiled.machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string source = domino::emit_native_cc(*kernel);
+
+  banzai::NativeOptions nopts;
+  nopts.cache_dir = fresh_cache_dir("cachehit");
+  auto first = banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ASSERT_NE(first.pipeline, nullptr) << first.error;
+  EXPECT_FALSE(first.cache_hit) << "fresh cache dir cannot hit";
+  EXPECT_TRUE(std::filesystem::exists(first.so_path));
+  EXPECT_TRUE(std::filesystem::exists(first.source_path));
+
+  auto second =
+      banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ASSERT_NE(second.pipeline, nullptr) << second.error;
+  EXPECT_TRUE(second.cache_hit) << "identical source+flags must reuse the .so";
+  EXPECT_EQ(first.so_path, second.so_path);
+
+  // Both handles execute, and agree.
+  Machine a = compiled.machine().clone();
+  Machine b = compiled.machine().clone();
+  a.set_native(first.pipeline);
+  b.set_native(second.pipeline);
+  a.set_engine(ExecEngine::kNative);
+  b.set_engine(ExecEngine::kNative);
+  ASSERT_NE(a.active_native(), nullptr);
+  for (const Packet& p : flowlet_workload(compiled, 500))
+    ASSERT_EQ(a.process(p), b.process(p));
+  EXPECT_TRUE(a.state() == b.state());
+
+  std::filesystem::remove_all(nopts.cache_dir);
+}
+
+TEST(NativeLoaderTest, FlagChangeMissesTheCache) {
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  auto compiled = compile_flowlets(opts);
+  const std::string source =
+      domino::emit_native_cc(*compiled.machine().kernel());
+
+  banzai::NativeOptions nopts;
+  nopts.cache_dir = fresh_cache_dir("flags");
+  auto plain = banzai::NativePipeline::compile_and_load(
+      *compiled.machine().kernel(), source, nopts);
+  ASSERT_NE(plain.pipeline, nullptr) << plain.error;
+  nopts.extra_flags = "-O1";
+  auto flagged = banzai::NativePipeline::compile_and_load(
+      *compiled.machine().kernel(), source, nopts);
+  ASSERT_NE(flagged.pipeline, nullptr) << flagged.error;
+  EXPECT_FALSE(flagged.cache_hit)
+      << "a flag change must produce a distinct cached object";
+  EXPECT_NE(plain.so_path, flagged.so_path);
+  std::filesystem::remove_all(nopts.cache_dir);
+}
+
+TEST(NativeLoaderTest, BrokenSourceReportsTheCompilerError) {
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  auto compiled = compile_flowlets(opts);
+  banzai::NativeOptions nopts;
+  nopts.cache_dir = fresh_cache_dir("broken");
+  auto result = banzai::NativePipeline::compile_and_load(
+      *compiled.machine().kernel(), "this is not C++ at all {", nopts);
+  EXPECT_EQ(result.pipeline, nullptr);
+  EXPECT_NE(result.error.find("host compile failed"), std::string::npos)
+      << result.error;
+  std::filesystem::remove_all(nopts.cache_dir);
+}
+
+TEST(NativeLoaderTest, NativeMachinesShareThePipelineAcrossClones) {
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  opts.engine = ExecEngine::kNative;
+  auto compiled = compile_flowlets(opts);
+  ASSERT_NE(compiled.machine().native(), nullptr)
+      << compiled.machine().native_fallback_reason();
+  Machine a = compiled.machine().clone();
+  Machine b = compiled.machine().clone();
+  EXPECT_EQ(a.native(), b.native()) << "clones share the loaded .so";
+  // Independent state: interleaved processing must match two independent
+  // closure machines fed the same split.
+  Machine ra = compiled.machine().clone();
+  Machine rb = compiled.machine().clone();
+  ra.set_engine(ExecEngine::kClosure);
+  rb.set_engine(ExecEngine::kClosure);
+  const auto trace = flowlet_workload(compiled, 1000);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i % 2 == 0)
+      ASSERT_EQ(a.process(trace[i]), ra.process(trace[i])) << i;
+    else
+      ASSERT_EQ(b.process(trace[i]), rb.process(trace[i])) << i;
+  }
+  EXPECT_TRUE(a.state() == ra.state());
+  EXPECT_TRUE(b.state() == rb.state());
+}
+
+}  // namespace
