@@ -4,10 +4,10 @@
 // one clock per tick — and pays a packet allocation per stage hand-off.
 // BatchSim advances a whole batch of packets through each stage before moving
 // to the next ("stage-major" order): the stage's atom closures and the state
-// they touch stay hot in cache across the batch, the two ping-pong buffers
-// reuse their storage across stages, and per-packet atom dispatch is
-// amortized through ConfiguredAtom::exec_batch — leaving one allocation per
-// packet (the retained egress copy) instead of one per packet per stage.
+// they touch stay hot in cache across the batch, per-packet atom dispatch is
+// amortized through ConfiguredAtom::exec_batch, and on the compiled engines
+// the whole batch runs in place — leaving one allocation per packet (the
+// retained egress copy) instead of one per packet per stage.
 //
 // Stage-major order is observationally identical to packet-major order
 // because every state variable is local to exactly one atom in one stage
@@ -17,13 +17,23 @@
 // The differential tests in tests/batch_test.cc prove this against both
 // PipelineSim and sequential Machine::process on the whole algorithm corpus.
 //
-// When the machine carries a lowered kernel and the kKernel engine is
-// selected, BatchSim hands whole batches to CompiledPipeline::run_batch
-// instead: the same stage-major argument taken to its limit (op-major over
-// the flat micro-op program, executed in place) — see banzai/kernel.h, and
-// tests/kernel_test.cc for the engine differential.  Under kNative the batch
-// goes to the AOT-compiled function of banzai/native.h, where the host
-// optimizer already scheduled the whole pipeline as one straight-line body.
+// Batch currency: every batch goes through the machine's single typed entry
+// point, Machine::run_batch(BatchView).  The dispatch knob picks the shape:
+//   kRows     — the ingress slice is handed over row-major, in place.
+//   kColumnar — the slice is transposed into the sim's ColumnBatch
+//               (struct-of-arrays, banzai/column.h) first, run column-major
+//               — the kernel VM's column loops, or the emitted columnar
+//               entry point under kNative — and transposed back.
+//   kAuto     — rows.  The default.  BatchSim's ingress arrives row-major,
+//               and on corpus-scale pipelines (3–14 ops) the two transposes
+//               cost more than the fused column loops recoup (EXPERIMENTS.md,
+//               "Batch shape") — columnar wins when the batch already LIVES
+//               columnar (Machine::run_batch(BatchView::columns(...))
+//               directly), so kColumnar is an explicit opt-in here, kept for
+//               workloads and hosts where the trade measures the other way.
+// Either shape is bit-exact with sequential Machine::process — the columnar
+// differential in tests/batch_test.cc and tests/kernel_test.cc holds this
+// corpus-wide.
 #pragma once
 
 #include <algorithm>
@@ -31,29 +41,40 @@
 #include <utility>
 #include <vector>
 
+#include "banzai/column.h"
 #include "banzai/machine.h"
 #include "banzai/packet.h"
 
 namespace banzai {
 
+// How BatchSim shapes each batch before handing it to Machine::run_batch.
+enum class BatchDispatch { kAuto, kRows, kColumnar };
+
 struct BatchStats {
   std::uint64_t batches = 0;
+  std::uint64_t columnar_batches = 0;  // of those, run as ColumnBatch
   std::uint64_t packets = 0;
 };
 
 class BatchSim {
  public:
-  explicit BatchSim(Machine& machine, std::size_t batch_size = 256)
-      : machine_(machine), batch_size_(batch_size ? batch_size : 1) {}
+  explicit BatchSim(Machine& machine, std::size_t batch_size = 256,
+                    BatchDispatch dispatch = BatchDispatch::kAuto)
+      : machine_(machine),
+        batch_size_(batch_size ? batch_size : 1),
+        dispatch_(dispatch) {}
 
+  // The one ingress path: move-append.  The overload for a whole trace
+  // steals the vector when the queue is empty and reserves + moves
+  // otherwise — never an element-by-element copy.
   void enqueue(Packet pkt) { ingress_.push_back(std::move(pkt)); }
-
-  void enqueue_all(std::vector<Packet> pkts) {
+  void enqueue(std::vector<Packet> pkts) {
     if (ingress_.empty()) {
       ingress_ = std::move(pkts);
-    } else {
-      for (Packet& p : pkts) ingress_.push_back(std::move(p));
+      return;
     }
+    ingress_.reserve(ingress_.size() + pkts.size());
+    for (Packet& p : pkts) ingress_.push_back(std::move(p));
   }
 
   // Drains the entire ingress through the pipeline, batch by batch, in
@@ -70,45 +91,59 @@ class BatchSim {
     ingress_.clear();
   }
 
-  std::vector<Packet>& egress() { return egress_; }
+  // Moves the accumulated egress out, leaving the queue empty (capacity
+  // included — a drained sim holds no packet storage).  The const accessor
+  // remains for inspection; there is no mutable reference into the queue.
+  std::vector<Packet> take_egress() {
+    return std::exchange(egress_, std::vector<Packet>());
+  }
   const std::vector<Packet>& egress() const { return egress_; }
   const BatchStats& stats() const { return stats_; }
   std::size_t batch_size() const { return batch_size_; }
+  BatchDispatch dispatch() const { return dispatch_; }
 
  private:
+  bool use_columns() const {
+    switch (dispatch_) {
+      case BatchDispatch::kRows: return false;
+      case BatchDispatch::kColumnar: return true;
+      case BatchDispatch::kAuto: return false;  // see the header comment
+    }
+    return false;
+  }
+
   void run_batch(std::size_t start, std::size_t n) {
-    // Kernel/native engines: the compiled program runs the whole batch
-    // through all stages in place on the ingress storage — generation-cached
-    // state bindings, no ping-pong copies at all.
-    if (machine_.run_compiled_batch(&ingress_[start], n)) {
-      for (std::size_t i = 0; i < n; ++i)
-        egress_.push_back(std::move(ingress_[start + i]));
-      return;
+    Packet* slice = &ingress_[start];
+    if (use_columns()) {
+      const CompiledPipeline* k = machine_.kernel();
+      if (k != nullptr) {
+        // Liveness-guided transpose: populate only the columns the program
+        // reads before writing, copy back only the columns it stores to.
+        // Every other field passes through untouched in the row packets.
+        const auto& in = k->live_in_fields();
+        const auto& out = k->written_fields();
+        cols_.gather_fields(slice, n, k->num_fields(), in.data(), in.size());
+        machine_.run_batch(BatchView::columns(cols_));
+        cols_.scatter_fields(slice, out.data(), out.size());
+      } else {
+        cols_.gather(slice, n, machine_.fields().size());
+        machine_.run_batch(BatchView::columns(cols_));
+        cols_.scatter(slice);
+      }
+      ++stats_.columnar_batches;
+    } else {
+      machine_.run_batch(BatchView::rows(slice, n));
     }
-    const auto& stages = machine_.stages();
-    if (stages.empty()) {
-      for (std::size_t i = 0; i < n; ++i)
-        egress_.push_back(std::move(ingress_[start + i]));
-      return;
-    }
-    cur_.resize(n);
-    next_.resize(n);
-    // Stage 0 consumes straight from the ingress slice; later stages
-    // ping-pong between the two reusable buffers.
-    stages[0].execute_batch(&ingress_[start], cur_.data(), n,
-                            machine_.state());
-    for (std::size_t s = 1; s < stages.size(); ++s) {
-      stages[s].execute_batch(cur_.data(), next_.data(), n, machine_.state());
-      std::swap(cur_, next_);
-    }
-    for (std::size_t i = 0; i < n; ++i) egress_.push_back(std::move(cur_[i]));
+    for (std::size_t i = 0; i < n; ++i)
+      egress_.push_back(std::move(ingress_[start + i]));
   }
 
   Machine& machine_;
   std::size_t batch_size_;
+  BatchDispatch dispatch_;
   std::vector<Packet> ingress_;
   std::vector<Packet> egress_;
-  std::vector<Packet> cur_, next_;  // ping-pong stage buffers
+  ColumnBatch cols_;  // reused transpose buffer for columnar batches
   BatchStats stats_;
 };
 

@@ -10,7 +10,7 @@ namespace banzai {
 
 ShardCore::ShardCore(const Machine& prototype, std::size_t num_slots,
                      std::size_t num_shards, std::size_t batch_size,
-                     std::vector<FieldId> flow_key)
+                     std::vector<FieldId> flow_key, BatchDispatch dispatch)
     : num_shards_(num_shards == 0 ? 1 : num_shards),
       flow_key_(std::move(flow_key)) {
   if (num_slots == 0) num_slots = num_shards_;
@@ -26,7 +26,7 @@ ShardCore::ShardCore(const Machine& prototype, std::size_t num_slots,
   sims_.reserve(num_slots);
   for (std::size_t v = 0; v < num_slots; ++v) {
     slots_.push_back(prototype.clone());
-    sims_.emplace_back(slots_.back(), batch_size);
+    sims_.emplace_back(slots_.back(), batch_size, dispatch);
   }
   scratch_.resize(num_shards_);
   for (Scratch& sc : scratch_) sc.idx.resize(num_slots);
@@ -67,10 +67,9 @@ void ShardCore::drain(std::size_t shard, const std::size_t* slot_ids,
     BatchSim& sim = sims_[slot];
     for (std::size_t k : idx) sim.enqueue(std::move(pkts[k]));
     sim.run();
-    std::vector<Packet>& egress = sim.egress();
+    std::vector<Packet> egress = sim.take_egress();
     for (std::size_t k = 0; k < idx.size(); ++k)
       out[idx[k]] = std::move(egress[k]);
-    egress.clear();
     idx.clear();
   }
   sc.touched.clear();
@@ -104,7 +103,7 @@ std::vector<Packet> FleetResult::egress_in_order() const {
 Fleet::Fleet(const Machine& prototype, FleetConfig config)
     : config_(std::move(config)),
       core_(prototype, config_.num_shards, config_.num_shards,
-            config_.batch_size, config_.flow_key),
+            config_.batch_size, config_.flow_key, config_.batch_dispatch),
       buffers_(core_.num_shards()) {
   config_.num_shards = core_.num_shards();
 }

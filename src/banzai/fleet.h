@@ -38,7 +38,8 @@ class ShardCore {
  public:
   ShardCore(const Machine& prototype, std::size_t num_slots,
             std::size_t num_shards, std::size_t batch_size,
-            std::vector<FieldId> flow_key);
+            std::vector<FieldId> flow_key,
+            BatchDispatch dispatch = BatchDispatch::kAuto);
   // Machines are copyable, but sims_ binds Machine& into this core's slots_:
   // a copy would silently execute against the source's state.
   ShardCore(const ShardCore&) = delete;
@@ -91,6 +92,9 @@ struct FleetConfig {
   std::size_t num_shards = 1;
   std::size_t batch_size = 256;
   bool parallel = true;  // run shards on worker threads
+  // Batch shape each slot's BatchSim hands to Machine::run_batch (see
+  // banzai/batch.h): kAuto keeps row-major ingress row-major.
+  BatchDispatch batch_dispatch = BatchDispatch::kAuto;
   // Packet fields hashed together to pick a shard: the flow key.  Must be
   // non-empty unless num_shards == 1.
   std::vector<FieldId> flow_key;

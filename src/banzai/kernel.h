@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "banzai/column.h"
 #include "banzai/packet.h"
 #include "banzai/state.h"
 #include "banzai/value.h"
@@ -190,9 +191,17 @@ struct StatefulOp {
   std::uint32_t liveout_begin = 0, liveout_end = 0;  // into the live-out pool
 };
 
+// Which well-known body `fn` points at.  Recorded at lowering time so the
+// native emitter can print the body inline instead of calling through the
+// ABI function-pointer table — which is what lets the columnar entry point
+// vectorize hashing.  kOpaque intrinsics (isqrt, ROM lookups, anything
+// loopy) are only reachable through the pointer.
+enum class IntrinsicKind : std::uint8_t { kOpaque, kHash2, kHash3, kHash4 };
+
 struct IntrinsicOp {
   static constexpr std::size_t kMaxArgs = 4;
   IntrinsicFn fn = nullptr;
+  IntrinsicKind kind = IntrinsicKind::kOpaque;
   std::uint8_t num_args = 0;
   KSrc args[kMaxArgs];
   Value mod = 0;  // 0 means "no modulus"; else result = total_mod(result, mod)
@@ -237,6 +246,14 @@ class CompiledPipeline {
   // zero-lookup path behind Machine's generation-keyed binding cache.
   void run_batch_bound(Packet* pkts, std::size_t n,
                        StateVar* const* vars) const;
+  // Columnar (SoA) forms of the same op-major program: stateless ALU ops run
+  // down a whole dense column at a time (plain array loops the host
+  // vectorizer can handle), stateful/intrinsic ops keep a per-packet inner
+  // loop reading operands column-wise.  Bit-exact with run_batch on the
+  // transposed batch — the engine-equivalence contract above extends to this
+  // entry point.  `cb` must carry at least num_fields() columns.
+  void run_columns(ColumnBatch& cb, StateStore& state) const;
+  void run_columns_bound(ColumnBatch& cb, StateVar* const* vars) const;
   // Resolves this program's state table against `state`, in slot order.
   // `vars` must have room for num_state_vars() pointers.
   void resolve_state(StateStore& state, StateVar** vars) const {
@@ -254,6 +271,19 @@ class CompiledPipeline {
   std::size_t num_stages() const { return stages_.size(); }
   std::size_t num_state_vars() const { return state_names_.size(); }
   std::size_t num_fields() const { return num_fields_; }
+  // Transpose liveness sets, computed at seal() (sorted by FieldId).  Every
+  // write in this ISA is unconditional (conditionals are kSelect values and
+  // stateful update arms, never skipped stores), so a single program-order
+  // scan is exact: live_in_fields() is every field read before its first
+  // write — the only columns a gather must populate — and written_fields()
+  // is every field some op stores to — the only columns a scatter must copy
+  // back.  ColumnBatch::gather_fields/scatter_fields consume these.
+  const std::vector<std::uint32_t>& live_in_fields() const {
+    return live_in_fields_;
+  }
+  const std::vector<std::uint32_t>& written_fields() const {
+    return written_fields_;
+  }
   const std::vector<std::string>& state_names() const { return state_names_; }
   // The raw program, for the disassembler (str()), the C++ emitter
   // (core/emit.*) and the native loader's fn-pointer tables
@@ -274,6 +304,7 @@ class CompiledPipeline {
  private:
   void require_open_stage() const;
   void verify_in_place_safe() const;
+  void compute_liveness();
 
   std::vector<MicroOp> ops_;
   std::vector<StageRange> stages_;
@@ -281,6 +312,8 @@ class CompiledPipeline {
   std::vector<IntrinsicOp> intrinsics_;
   std::vector<KLiveOut> liveouts_;
   std::vector<std::string> state_names_;
+  std::vector<std::uint32_t> live_in_fields_;  // read before first write
+  std::vector<std::uint32_t> written_fields_;  // stored to by some op
   std::unordered_map<std::string, std::uint32_t> state_index_;
   std::size_t num_fields_ = 0;
   bool sealed_ = false;

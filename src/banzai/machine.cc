@@ -1,0 +1,87 @@
+#include "banzai/machine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace banzai {
+
+void Machine::run_batch(BatchView batch) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+
+  switch (active_engine()) {
+    case ExecEngine::kNative: {
+      const NativePipeline* nat = native_.get();
+      rebind_state_if_stale();
+      if (batch.columnar()) {
+        ColumnBatch& cb = batch.cols();
+        if (cb.num_fields() < nat->num_fields())
+          throw std::invalid_argument(
+              "native pipeline: column batch narrower than the compiled "
+              "program's field table");
+        if (nat->has_columnar()) {
+          nat->run_columns(cb.col_ptrs(), n, bind_.views.data());
+        } else {
+          // A .so from before the columnar emission mode: keep the columnar
+          // shape on the kernel VM rather than transposing back.
+          kernel_->run_columns_bound(cb, bind_.vars.data());
+        }
+        return;
+      }
+      Packet* pkts = batch.row_data();
+      for (std::size_t i = 0; i < n; ++i)
+        if (pkts[i].num_fields() < nat->num_fields())
+          throw std::invalid_argument(
+              "native pipeline: packet narrower than the compiled program's "
+              "field table");
+      bind_.pkt_ptrs.resize(n);
+      for (std::size_t i = 0; i < n; ++i) bind_.pkt_ptrs[i] = pkts[i].data();
+      nat->run(bind_.pkt_ptrs.data(), n, bind_.views.data());
+      return;
+    }
+    case ExecEngine::kKernel: {
+      rebind_state_if_stale();
+      if (batch.columnar())
+        kernel_->run_columns_bound(batch.cols(), bind_.vars.data());
+      else
+        kernel_->run_batch_bound(batch.row_data(), n, bind_.vars.data());
+      return;
+    }
+    case ExecEngine::kClosure:
+      break;
+  }
+
+  // Closure engine.  Columnar views take a transpose detour through row
+  // scratch: the reference semantics have no columnar form.
+  if (batch.columnar()) {
+    ColumnBatch& cb = batch.cols();
+    if (col_rows_.size() < n) col_rows_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (col_rows_[i].num_fields() != cb.num_fields())
+        col_rows_[i] = Packet(cb.num_fields());
+    cb.scatter(col_rows_.data());
+    run_closure_rows(col_rows_.data(), n);
+    cb.gather(col_rows_.data(), n, cb.num_fields());
+    return;
+  }
+  run_closure_rows(batch.row_data(), n);
+}
+
+// Stage-major over the whole batch (the order BatchSim pioneered — legal by
+// §2.3 state locality, see banzai/batch.h): stage 0 reads the callers'
+// packets into cur_, later stages ping-pong between the two reusable
+// buffers, and the final stage's output moves back into the caller's
+// storage, keeping run_batch's in-place contract.
+void Machine::run_closure_rows(Packet* pkts, std::size_t n) {
+  if (stages_.empty()) return;
+  if (cur_.size() < n) cur_.resize(n);
+  if (next_.size() < n) next_.resize(n);
+  stages_[0].execute_batch(pkts, cur_.data(), n, state_);
+  for (std::size_t s = 1; s < stages_.size(); ++s) {
+    stages_[s].execute_batch(cur_.data(), next_.data(), n, state_);
+    std::swap(cur_, next_);
+  }
+  for (std::size_t i = 0; i < n; ++i) pkts[i] = std::move(cur_[i]);
+}
+
+}  // namespace banzai

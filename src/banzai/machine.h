@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "banzai/atom.h"
+#include "banzai/column.h"
 #include "banzai/kernel.h"
 #include "banzai/native.h"
 #include "banzai/packet.h"
@@ -131,9 +132,25 @@ class Machine {
   // a machine without a lowered kernel (hand-assembled, or pre-dating the
   // lowering pass) executes on closures whatever the toggle says, and
   // kNative without a loaded native pipeline runs the kernel VM — the
-  // graceful-degradation ladder native > kernel > closure.
+  // graceful-degradation ladder native > kernel > closure.  active_engine()
+  // makes the resolved rung observable; flipping away from the closure
+  // engine releases its ping-pong scratch so a kernel/native machine does
+  // not retain closure-sized buffers.
   ExecEngine engine() const { return engine_; }
-  void set_engine(ExecEngine engine) { engine_ = engine; }
+  void set_engine(ExecEngine engine) {
+    engine_ = engine;
+    if (active_engine() != ExecEngine::kClosure) release_closure_scratch();
+  }
+  // The rung of the ladder run_batch()/process() will actually execute on —
+  // the old bool success-protocol of run_compiled_batch, made a first-class
+  // query: callers pick batch shapes (and tests assert dispatch) against
+  // this, never by probing a return value.
+  ExecEngine active_engine() const {
+    if (kernel_ == nullptr) return ExecEngine::kClosure;
+    if (engine_ == ExecEngine::kNative)
+      return native_ != nullptr ? ExecEngine::kNative : ExecEngine::kKernel;
+    return engine_;
+  }
   void set_kernel(std::shared_ptr<const CompiledPipeline> kernel) {
     kernel_ = std::move(kernel);
   }
@@ -175,42 +192,22 @@ class Machine {
 
   // Runs one packet through all stages back-to-back (functionally equivalent
   // to the pipelined execution; see PipelineSim for the cycle-accurate form
-  // and BatchSim for the batched throughput engine).  Dispatches to the
-  // native function or the fused micro-op program when those engines are
-  // selected.
+  // and BatchSim for the batched throughput engine) on whichever engine
+  // active_engine() resolves to.
   Packet process(Packet pkt) {
-    if (!run_compiled_batch(&pkt, 1)) {
-      for (const Stage& s : stages_) pkt = s.execute(pkt, state_);
-    }
+    run_batch(BatchView::rows(&pkt, 1));
     return pkt;
   }
 
-  // Runs `n` packets in place through whichever compiled path the engine
-  // toggle resolves to, using the generation-keyed state bindings.  Returns
-  // false when the machine must execute on closures (no lowered program, or
-  // the closure engine is selected) — the caller owns that path.
-  bool run_compiled_batch(Packet* pkts, std::size_t n) {
-    if (const NativePipeline* nat = active_native()) {
-      if (n == 0) return true;
-      for (std::size_t i = 0; i < n; ++i)
-        if (pkts[i].num_fields() < nat->num_fields())
-          throw std::invalid_argument(
-              "native pipeline: packet narrower than the compiled program's "
-              "field table");
-      rebind_state_if_stale();
-      bind_.pkt_ptrs.resize(n);
-      for (std::size_t i = 0; i < n; ++i) bind_.pkt_ptrs[i] = pkts[i].data();
-      nat->run(bind_.pkt_ptrs.data(), n, bind_.views.data());
-      return true;
-    }
-    if (const CompiledPipeline* k = active_kernel()) {
-      if (n == 0) return true;
-      rebind_state_if_stale();
-      k->run_batch_bound(pkts, n, bind_.vars.data());
-      return true;
-    }
-    return false;
-  }
+  // The single typed batch entry point: runs the view's packets through the
+  // whole pipeline, in place, on whichever engine active_engine() resolves
+  // to — every engine × every batch shape, no success protocol.  Row views
+  // execute directly on every engine.  Columnar views run the native
+  // columnar entry point when the loaded .so exports it, the kernel VM's
+  // columnar loops otherwise, and on the closure engine scatter into row
+  // scratch, execute the reference semantics, and gather back — correct
+  // everywhere, fast where the engine can use the shape.
+  void run_batch(BatchView batch);
 
   // Checkpoint and restore of the mutable half of the machine.  The pipeline
   // configuration is immutable after codegen, so persistent state is the only
@@ -261,6 +258,16 @@ class Machine {
     bind_.gen = state_.generation();
   }
 
+  // The closure engine's batch path (machine.cc): stage-major ping-pong over
+  // cur_/next_, plus row scratch for columnar views.  Released when the
+  // engine toggle leaves the closure rung.
+  void run_closure_rows(Packet* pkts, std::size_t n);
+  void release_closure_scratch() {
+    std::vector<Packet>().swap(cur_);
+    std::vector<Packet>().swap(next_);
+    std::vector<Packet>().swap(col_rows_);
+  }
+
   MachineSpec spec_;
   FieldTable fields_;
   std::vector<Stage> stages_;
@@ -270,6 +277,8 @@ class Machine {
   std::shared_ptr<const NativePipeline> native_;
   std::string native_fallback_;
   BindingCache bind_;
+  std::vector<Packet> cur_, next_;  // closure ping-pong stage buffers
+  std::vector<Packet> col_rows_;    // closure row scratch for columnar views
 };
 
 }  // namespace banzai

@@ -79,12 +79,23 @@ std::string read_file(const fs::path& path) {
 
 }  // namespace
 
+NativeOptions NativeOptions::from_env() {
+  NativeOptions o;
+  o.compiler = env_or("DOMINO_NATIVE_CXX", "");
+  o.extra_flags = env_or("DOMINO_NATIVE_CXXFLAGS", "");
+  o.cache_dir = env_or("DOMINO_NATIVE_CACHE", "/tmp/domino-native-cache");
+  o.disabled = !env_or("DOMINO_NATIVE_DISABLE", "").empty();
+  return o;
+}
+
 NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
                                                   const std::string& source,
                                                   const NativeOptions& opts) {
   NativeLoadResult result;
-  if (const char* off = std::getenv("DOMINO_NATIVE_DISABLE");
-      off != nullptr && off[0] != '\0') {
+  // Explicitly-set option fields win; anything left empty resolves through
+  // the one documented environment read.
+  const NativeOptions env = NativeOptions::from_env();
+  if (opts.disabled || env.disabled) {
     result.error = "native engine disabled by DOMINO_NATIVE_DISABLE";
     return result;
   }
@@ -95,9 +106,7 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
 
   // Resolve the host compiler: explicit option, then environment, then the
   // first conventional name on PATH.
-  std::string cxx = opts.compiler.empty()
-                        ? env_or("DOMINO_NATIVE_CXX", "")
-                        : opts.compiler;
+  std::string cxx = opts.compiler.empty() ? env.compiler : opts.compiler;
   if (cxx.empty()) {
     for (const char* candidate : {"c++", "g++", "clang++"}) {
       if (on_path(candidate)) {
@@ -119,12 +128,9 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
   }
 
   const std::string flags =
-      opts.extra_flags.empty() ? env_or("DOMINO_NATIVE_CXXFLAGS", "")
-                               : opts.extra_flags;
+      opts.extra_flags.empty() ? env.extra_flags : opts.extra_flags;
   const std::string cache =
-      opts.cache_dir.empty()
-          ? env_or("DOMINO_NATIVE_CACHE", "/tmp/domino-native-cache")
-          : opts.cache_dir;
+      opts.cache_dir.empty() ? env.cache_dir : opts.cache_dir;
 
   std::error_code ec;
   fs::create_directories(cache, ec);
@@ -156,7 +162,11 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
     }
     const fs::path tmp_so = fs::path(cache) / (hash + tmp_tag + ".so");
     const fs::path log_path = fs::path(tmp_so.string() + ".log");
-    const std::string cmd = shq(cxx) + " -std=c++17 -O2 -fPIC -shared " +
+    // -O3 rather than -O2: the columnar entry point is plain array loops
+    // over __restrict__ columns, and GCC only auto-vectorizes those
+    // profitably at -O3.  Host tuning (e.g. -march=native) layers on via
+    // `flags`; see the recipe on NativeOptions.
+    const std::string cmd = shq(cxx) + " -std=c++17 -O3 -fPIC -shared " +
                             flags + " -o " + shq(tmp_so.string()) + " " +
                             shq(tmp_src.string()) + " > " +
                             shq(log_path.string()) + " 2>&1";
@@ -168,7 +178,7 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
       fs::remove(tmp_so, ec);
       fs::remove(log_path, ec);
       result.error = "host compile failed (exit " + std::to_string(status) +
-                     "): " + cxx + " -O2 -fPIC -shared\n" + log;
+                     "): " + cxx + " -O3 -fPIC -shared\n" + log;
       return result;
     }
     fs::remove(log_path, ec);
@@ -200,10 +210,16 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
                    "' missing from " + so_path.string();
     return result;
   }
+  // The columnar entry is optional: absent from objects emitted before the
+  // columnar mode existed; callers probe has_columnar() and fall back to the
+  // kernel VM's columnar loops.
+  auto cols_fn = reinterpret_cast<NativeColsEntryFn>(
+      ::dlsym(handle, kNativeColsEntrySymbol));
 
   auto pipeline = std::shared_ptr<NativePipeline>(new NativePipeline());
   pipeline->handle_ = handle;
   pipeline->fn_ = fn;
+  pipeline->cols_fn_ = cols_fn;
   pipeline->num_fields_ = prog.num_fields();
   pipeline->state_names_ = prog.state_names();
   pipeline->so_path_ = so_path.string();

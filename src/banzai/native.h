@@ -4,7 +4,7 @@
 // does the same for the whole pipeline at once: core/emit.cc prints the
 // sealed CompiledPipeline micro-op program as one flat `extern "C"` function
 // (straight-line per-op code, stage barriers as comments), and the loader
-// here shells out to the host C++ compiler (`-O2 -fPIC -shared`), caches the
+// here shells out to the host C++ compiler (`-O3 -fPIC -shared`), caches the
 // resulting shared object under a content hash of the emitted source, and
 // `dlopen`s it.  Where the kernel VM pays one switch dispatch per op per
 // batch, the native function pays none — the host optimizer sees the entire
@@ -54,26 +54,50 @@ struct NativeAbi {
   const LutFn* luts = nullptr;
 };
 
-// Every generated pipeline exports exactly this entry point: process `n`
+// Every generated pipeline exports this row-major entry point: process `n`
 // packets (one field array each) through the whole pipeline, in place.
 using NativeEntryFn = void (*)(Value* const* pkts, std::uint64_t n,
                                const NativeAbi* abi);
 inline constexpr char kNativeEntrySymbol[] = "domino_pipeline_run";
 
-// Knobs for the out-of-process compile.  Every field falls back to an
-// environment variable, then to a built-in default:
+// …and the columnar twin: `cols[f]` is the dense column of field f (a
+// ColumnBatch's col_ptrs()), processed batch-major — maximal ALU runs as
+// fused column loops over __restrict__ pointers with intermediates in
+// registers, the auto-vectorizable shape.
+// Resolved optionally at load time: a .so emitted before the columnar mode
+// existed simply lacks the symbol and the Machine runs the kernel VM's
+// columnar loops instead (has_columnar() below).
+using NativeColsEntryFn = void (*)(Value* const* cols, std::uint64_t n,
+                                   const NativeAbi* abi);
+inline constexpr char kNativeColsEntrySymbol[] = "domino_pipeline_run_cols";
+
+// Knobs for the out-of-process compile.  The single resolution point for the
+// DOMINO_NATIVE_* environment is from_env(); compile_and_load() treats an
+// explicitly-set field as overriding the corresponding variable:
 //   compiler    DOMINO_NATIVE_CXX       first of c++ / g++ / clang++ on PATH
-//   extra_flags DOMINO_NATIVE_CXXFLAGS  (appended to -std=c++17 -O2 -fPIC
+//   extra_flags DOMINO_NATIVE_CXXFLAGS  (appended to -std=c++17 -O3 -fPIC
 //                                        -shared)
 //   cache_dir   DOMINO_NATIVE_CACHE     /tmp/domino-native-cache
-// Setting DOMINO_NATIVE_DISABLE (to anything non-empty) refuses to load and
-// reports the documented fallback reason — the switch CI and tests use to
-// exercise the no-toolchain path deterministically.
+//   disabled    DOMINO_NATIVE_DISABLE   false (any non-empty value disables)
+// A disabled load refuses with the documented fallback reason — the switch
+// CI and tests use to exercise the no-toolchain path deterministically.
+//
+// Tuning recipe: the default flags compile the emitted pipeline for a
+// generic host ISA.  Set DOMINO_NATIVE_CXXFLAGS="-march=native" (or
+// extra_flags) to let the columnar entry point use the full vector ISA of
+// the build machine — at the cost of a .so that may not run elsewhere; the
+// content hash keys on the flags, so both variants can share one cache.
 struct NativeOptions {
   std::string compiler;
   std::string extra_flags;
   std::string cache_dir;
+  bool disabled = false;
   bool force_recompile = false;  // ignore a cached .so, rebuild it
+
+  // Reads the DOMINO_NATIVE_* variables (empty/unset fields keep the
+  // built-in defaults listed above).  The only place the environment is
+  // consulted — compile_and_load() and every caller resolve through here.
+  static NativeOptions from_env();
 };
 
 class NativePipeline;
@@ -116,6 +140,19 @@ class NativePipeline {
     fn_(pkts, n, &abi);
   }
 
+  // Whether the loaded .so exports the columnar entry point.
+  bool has_columnar() const { return cols_fn_ != nullptr; }
+  // Runs the batch columnar: `cols[f]` is field f's dense column.  Only
+  // callable when has_columnar().
+  void run_columns(Value* const* cols, std::uint64_t n,
+                   const NativeStateView* views) const {
+    NativeAbi abi;
+    abi.states = views;
+    abi.intrinsics = intrinsics_.data();
+    abi.luts = luts_.data();
+    cols_fn_(cols, n, &abi);
+  }
+
   std::size_t num_fields() const { return num_fields_; }
   std::size_t num_state_vars() const { return state_names_.size(); }
   const std::vector<std::string>& state_names() const { return state_names_; }
@@ -126,6 +163,7 @@ class NativePipeline {
 
   void* handle_ = nullptr;
   NativeEntryFn fn_ = nullptr;
+  NativeColsEntryFn cols_fn_ = nullptr;
   std::vector<IntrinsicFn> intrinsics_;  // one per intrinsic-pool entry
   std::vector<LutFn> luts_;              // one per stateful-pool entry
   std::vector<std::string> state_names_;

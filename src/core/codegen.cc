@@ -280,6 +280,15 @@ void lower_stateless(const CompiledStmt& cs, banzai::CompiledPipeline& kernel) {
         throw CompileError(
             CompilePhase::kMapping,
             "cannot lower intrinsic '" + cs.intrinsic + "' to a micro-op");
+      // Tag the hash family so the native emitter can inline (and the
+      // columnar body vectorize) the mixer instead of calling through the
+      // ABI pointer table.
+      if (cs.intrinsic == "hash2")
+        io.kind = banzai::IntrinsicKind::kHash2;
+      else if (cs.intrinsic == "hash3")
+        io.kind = banzai::IntrinsicKind::kHash3;
+      else if (cs.intrinsic == "hash4")
+        io.kind = banzai::IntrinsicKind::kHash4;
       io.num_args = static_cast<std::uint8_t>(cs.args.size());
       for (std::size_t i = 0; i < cs.args.size(); ++i)
         io.args[i] = lower_src(cs.args[i]);

@@ -1,11 +1,16 @@
 // AOT C++ emission (the paper's Banzai code-generation strategy, §5 "Banzai
 // simulates a switch pipeline... generated C++ is compiled with the host
 // toolchain"): prints a sealed CompiledPipeline micro-op program as one
-// self-contained translation unit exporting a single `extern "C"` function —
-// straight-line per-op code with stage barriers as comments, state slots
-// addressed through a raw view array, intrinsics and LUT ROMs called through
-// the fixed ABI struct of banzai/native.h.  The loader there compiles and
-// dlopens the result; `dominoc --emit-cc` dumps it as an artifact.
+// self-contained translation unit exporting two `extern "C"` renderings of
+// the same program — the per-packet row body (banzai::kNativeEntrySymbol,
+// one outer packet loop of straight-line per-op code) and the batch-major
+// columnar body (banzai::kNativeColsEntrySymbol, one plain `for (i < n)`
+// column loop per stateless op over per-field __restrict__ pointers whose
+// width is fixed at emit time, so the host compiler can auto-vectorize).
+// Stage barriers are comments, state slots are addressed through a raw view
+// array, intrinsics and LUT ROMs are called through the fixed ABI struct of
+// banzai/native.h.  The loader there compiles and dlopens the result;
+// `dominoc --emit-cc` dumps it as an artifact.
 //
 // Determinism: the emitted text is a pure function of the program, so the
 // loader's content-hash cache turns repeated compiles of one program into a
@@ -18,7 +23,8 @@
 
 namespace domino {
 
-// Renders `prog` as compilable C++ exporting banzai::kNativeEntrySymbol.
+// Renders `prog` as compilable C++ exporting banzai::kNativeEntrySymbol
+// (row-major) and banzai::kNativeColsEntrySymbol (columnar).
 // Throws std::logic_error if the program is not sealed.
 std::string emit_native_cc(const banzai::CompiledPipeline& prog);
 

@@ -3,15 +3,19 @@
 // PipelineSim and to sequential Machine::process — every egress field of
 // every packet and the full final StateStore — on every mappable algorithm in
 // the corpus, across batch sizes including ones that straddle the trace
-// length.
+// length, and across both batch shapes (row-major and the columnar
+// ColumnBatch currency of banzai/column.h).
 #include <gtest/gtest.h>
 
 #include "banzai/batch.h"
+#include "banzai/column.h"
 #include "test_util.h"
 
 namespace {
 
 using algorithms::AlgorithmInfo;
+using banzai::BatchDispatch;
+using banzai::ColumnBatch;
 using banzai::Packet;
 
 std::vector<Packet> make_workload(const AlgorithmInfo& alg,
@@ -32,9 +36,19 @@ std::vector<Packet> make_workload(const AlgorithmInfo& alg,
   return trace;
 }
 
+const char* dispatch_name(BatchDispatch d) {
+  switch (d) {
+    case BatchDispatch::kAuto: return "auto";
+    case BatchDispatch::kRows: return "rows";
+    case BatchDispatch::kColumnar: return "cols";
+  }
+  return "?";
+}
+
 struct BatchCase {
   std::string algorithm;
   std::size_t batch_size;
+  BatchDispatch dispatch;
 };
 
 class BatchEquivalenceTest : public ::testing::TestWithParam<BatchCase> {};
@@ -63,19 +77,24 @@ TEST_P(BatchEquivalenceTest, BatchMatchesPipelineAndSequential) {
   for (const Packet& p : trace) pipe.enqueue(p);
   pipe.drain();
 
-  banzai::BatchSim batch(batch_machine, tc.batch_size);
+  banzai::BatchSim batch(batch_machine, tc.batch_size, tc.dispatch);
   std::vector<Packet> batch_in = trace;
-  batch.enqueue_all(std::move(batch_in));
+  batch.enqueue(std::move(batch_in));
   batch.run();
 
   ASSERT_EQ(pipe.egress().size(), trace.size());
-  ASSERT_EQ(batch.egress().size(), trace.size());
+  const std::vector<Packet> batch_out = batch.take_egress();
+  ASSERT_EQ(batch_out.size(), trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    ASSERT_EQ(batch.egress()[i], seq_out[i]) << "packet " << i;
-    ASSERT_EQ(batch.egress()[i], pipe.egress()[i]) << "packet " << i;
+    ASSERT_EQ(batch_out[i], seq_out[i]) << "packet " << i;
+    ASSERT_EQ(batch_out[i], pipe.egress()[i]) << "packet " << i;
   }
   EXPECT_EQ(batch_machine.state(), seq_machine.state());
   EXPECT_EQ(batch_machine.state(), pipe_machine.state());
+  // A forced-columnar run actually took the columnar path for every batch.
+  if (tc.dispatch == BatchDispatch::kColumnar) {
+    EXPECT_EQ(batch.stats().columnar_batches, batch.stats().batches);
+  }
   // Replicas have independent StateStores: running all three engines must
   // leave the prototype machine's state untouched.
   EXPECT_EQ(compiled.machine().state(), pristine_state);
@@ -87,7 +106,8 @@ std::vector<BatchCase> all_cases() {
     if (alg.paper_least_atom == "Doesn't map") continue;
     // 1 = degenerate batches; 64 = interior; 377 leaves a ragged tail batch.
     for (std::size_t bs : {std::size_t{1}, std::size_t{64}, std::size_t{377}})
-      cases.push_back({alg.name, bs});
+      for (BatchDispatch d : {BatchDispatch::kRows, BatchDispatch::kColumnar})
+        cases.push_back({alg.name, bs, d});
   }
   return cases;
 }
@@ -96,8 +116,61 @@ INSTANTIATE_TEST_SUITE_P(
     Corpus, BatchEquivalenceTest, ::testing::ValuesIn(all_cases()),
     [](const ::testing::TestParamInfo<BatchCase>& info) {
       return info.param.algorithm + "_bs" +
-             std::to_string(info.param.batch_size);
+             std::to_string(info.param.batch_size) + "_" +
+             dispatch_name(info.param.dispatch);
     });
+
+TEST(ColumnBatchTest, GatherScatterRoundTripsAndPreservesExtraFields) {
+  // Packets wider than the batch keep their trailing fields across a
+  // round-trip; the first num_fields columns transpose faithfully.
+  const std::size_t kFields = 3, kWide = 5, kN = 17;
+  std::vector<Packet> pkts;
+  for (std::size_t i = 0; i < kN; ++i) {
+    Packet p(kWide);
+    for (std::size_t f = 0; f < kWide; ++f)
+      p.set(f, static_cast<banzai::Value>(100 * i + f));
+    pkts.push_back(std::move(p));
+  }
+  const std::vector<Packet> original = pkts;
+
+  ColumnBatch cb;
+  cb.gather(pkts.data(), kN, kFields);
+  EXPECT_EQ(cb.size(), kN);
+  EXPECT_EQ(cb.num_fields(), kFields);
+  for (std::size_t f = 0; f < kFields; ++f)
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_EQ(cb.col(f)[i], original[i].get(f)) << "col " << f << " i " << i;
+
+  // Mutate one column, scatter back: only that field changes, and the two
+  // fields beyond the batch width stay untouched.
+  for (std::size_t i = 0; i < kN; ++i) cb.col(1)[i] = -1;
+  cb.scatter(pkts.data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(pkts[i].get(0), original[i].get(0));
+    EXPECT_EQ(pkts[i].get(1), -1);
+    EXPECT_EQ(pkts[i].get(2), original[i].get(2));
+    EXPECT_EQ(pkts[i].get(3), original[i].get(3));
+    EXPECT_EQ(pkts[i].get(4), original[i].get(4));
+  }
+}
+
+TEST(ColumnBatchTest, NarrowPacketsAreRejected) {
+  std::vector<Packet> pkts(3, Packet(2));
+  ColumnBatch cb;
+  EXPECT_THROW(cb.gather(pkts.data(), pkts.size(), 4), std::invalid_argument);
+  cb.gather(pkts.data(), pkts.size(), 2);
+  std::vector<Packet> narrow(3, Packet(1));
+  EXPECT_THROW(cb.scatter(narrow.data()), std::invalid_argument);
+}
+
+TEST(ColumnBatchTest, ReshapeReusesCapacityAcrossBatches) {
+  ColumnBatch cb(4, 256);
+  const banzai::Value* col0 = cb.col(0);
+  cb.reshape(4, 100);  // shrink within capacity: pointers stable
+  EXPECT_EQ(cb.col(0), col0);
+  EXPECT_EQ(cb.size(), 100u);
+  EXPECT_EQ(cb.capacity(), 256u);
+}
 
 TEST(BatchSimTest, StatsCountBatchesAndPackets) {
   const AlgorithmInfo& alg = algorithms::algorithm("flowlets");
@@ -111,7 +184,105 @@ TEST(BatchSimTest, StatsCountBatchesAndPackets) {
   sim.run();
   EXPECT_EQ(sim.stats().packets, 250u);
   EXPECT_EQ(sim.stats().batches, 3u);  // 100 + 100 + 50
+  // kAuto keeps row-major ingress row-major (see batch.h): no transposes.
+  EXPECT_EQ(sim.stats().columnar_batches, 0u);
   EXPECT_EQ(sim.egress().size(), 250u);
+}
+
+TEST(BatchSimTest, DispatchKnobControlsColumnarBatches) {
+  const AlgorithmInfo& alg = algorithms::algorithm("flowlets");
+  auto target = test_util::least_target(alg.source);
+  ASSERT_TRUE(target.has_value());
+  domino::CompileResult compiled = domino::compile(alg.source, *target);
+  const auto trace = make_workload(alg, compiled.machine(), 40, 9u);
+
+  // kAuto never transposes: BatchSim ingress is row-major, and the
+  // measured transpose cost exceeds the column-loop win on corpus-scale
+  // pipelines (EXPERIMENTS.md, "Batch shape").
+  banzai::Machine autod = compiled.machine().clone();
+  banzai::BatchSim asim(autod, 16);
+  asim.enqueue(std::vector<Packet>(trace));
+  asim.run();
+  EXPECT_EQ(asim.stats().columnar_batches, 0u);
+
+  // kColumnar is the explicit opt-in: every batch transposes.
+  banzai::Machine kernel = compiled.machine().clone();
+  banzai::BatchSim ksim(kernel, 16, banzai::BatchDispatch::kColumnar);
+  ksim.enqueue(std::vector<Packet>(trace));
+  ksim.run();
+  EXPECT_EQ(ksim.stats().columnar_batches, ksim.stats().batches);
+  EXPECT_GT(ksim.stats().columnar_batches, 0u);
+}
+
+TEST(BatchSimTest, EnqueueMovesWholeTracesAndAppends) {
+  const AlgorithmInfo& alg = algorithms::algorithm("rcp");
+  auto target = test_util::least_target(alg.source);
+  ASSERT_TRUE(target.has_value());
+  domino::CompileResult compiled = domino::compile(alg.source, *target);
+  const auto trace = make_workload(alg, compiled.machine(), 30, 5u);
+
+  // Reference: one machine fed sequentially.
+  banzai::Machine seq = compiled.machine().clone();
+  std::vector<Packet> want;
+  for (const Packet& p : trace) want.push_back(seq.process(p));
+
+  // Move-append in three chunks: a stolen vector, then two appends (the
+  // reserve+move path), preserving arrival order across chunk boundaries.
+  banzai::Machine m = compiled.machine().clone();
+  banzai::BatchSim sim(m, 8);
+  std::vector<Packet> c1(trace.begin(), trace.begin() + 10);
+  std::vector<Packet> c2(trace.begin() + 10, trace.begin() + 20);
+  sim.enqueue(std::move(c1));
+  sim.enqueue(std::move(c2));
+  for (std::size_t i = 20; i < trace.size(); ++i) sim.enqueue(trace[i]);
+  sim.run();
+
+  const std::vector<Packet> got = sim.take_egress();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "packet " << i;
+  // take_egress leaves the queue empty; a second take yields nothing.
+  EXPECT_TRUE(sim.egress().empty());
+  EXPECT_TRUE(sim.take_egress().empty());
+  EXPECT_EQ(m.state(), seq.state());
+}
+
+TEST(BatchSimTest, SnapshotRestoreMidStreamUnderColumnarDispatch) {
+  // The reshard cycle of FleetService, exercised through the columnar
+  // dispatch path: drain half columnar, snapshot, keep draining, restore,
+  // drain the rest — must match a sequential machine driven identically.
+  const AlgorithmInfo& alg = algorithms::algorithm("flowlets");
+  auto target = test_util::least_target(alg.source);
+  ASSERT_TRUE(target.has_value());
+  domino::CompileResult compiled = domino::compile(alg.source, *target);
+  const auto trace = make_workload(alg, compiled.machine(), 600, 41u);
+  const std::size_t a = 200, b = 400;
+
+  banzai::Machine ref = compiled.machine().clone();
+  banzai::Machine m = compiled.machine().clone();
+  banzai::BatchSim sim(m, 64, BatchDispatch::kColumnar);
+
+  std::vector<Packet> want, got;
+  banzai::StateStore ref_snap, snap;
+  auto drain = [&](std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) want.push_back(ref.process(trace[i]));
+    sim.enqueue(std::vector<Packet>(trace.begin() + from, trace.begin() + to));
+    sim.run();
+    for (Packet& p : sim.take_egress()) got.push_back(std::move(p));
+  };
+  drain(0, a);
+  ref_snap = ref.snapshot_state();
+  snap = m.snapshot_state();
+  drain(a, b);
+  ref.restore_state(ref_snap);
+  m.restore_state(snap);
+  drain(b, trace.size());
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "packet " << i;
+  EXPECT_EQ(m.state(), ref.state());
+  EXPECT_EQ(sim.stats().columnar_batches, sim.stats().batches);
 }
 
 TEST(BatchSimTest, ZeroBatchSizeIsClampedToOne) {

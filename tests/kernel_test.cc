@@ -255,19 +255,23 @@ TEST(KernelDifferentialTest, BatchedAcrossBatchSizes) {
       Machine closure =
           engine_clone(compiled->machine(), ExecEngine::kClosure);
       banzai::BatchSim ref(closure, batch);
-      ref.enqueue_all(trace);
+      ref.enqueue(trace);
       ref.run();
       for (ExecEngine engine : engines_of(compiled->machine())) {
         if (engine == ExecEngine::kClosure) continue;
-        Machine under = engine_clone(compiled->machine(), engine);
-        banzai::BatchSim sim(under, batch);
-        sim.enqueue_all(trace);
-        sim.run();
-        expect_packets_equal(ref.egress(), sim.egress(),
-                             alg.name + " [" + engine_name(engine) +
-                                 "] batch=" + std::to_string(batch));
-        EXPECT_TRUE(closure.state() == under.state())
-            << alg.name << " [" << engine_name(engine) << "] batch=" << batch;
+        for (banzai::BatchDispatch dispatch :
+             {banzai::BatchDispatch::kRows, banzai::BatchDispatch::kColumnar}) {
+          const std::string tag =
+              alg.name + " [" + engine_name(engine) +
+              "] batch=" + std::to_string(batch) +
+              (dispatch == banzai::BatchDispatch::kColumnar ? " cols" : " rows");
+          Machine under = engine_clone(compiled->machine(), engine);
+          banzai::BatchSim sim(under, batch, dispatch);
+          sim.enqueue(trace);
+          sim.run();
+          expect_packets_equal(ref.egress(), sim.egress(), tag);
+          EXPECT_TRUE(closure.state() == under.state()) << tag;
+        }
       }
     }
   }
@@ -478,6 +482,38 @@ TEST(KernelDifferentialTest, EngineFlipMidStreamIsSeamless) {
     ASSERT_EQ(ref.process(trace[i]), flip.process(trace[i])) << "packet " << i;
   }
   EXPECT_TRUE(ref.state() == flip.state());
+}
+
+TEST(EngineContractTest, ActiveEngineReportsTheResolvedLadderRung) {
+  // active_engine() replaces the old run_compiled_batch bool protocol: the
+  // requested engine is a wish, active_engine() is the rung the dispatch
+  // will actually execute on, observable before any packet moves.
+  const auto& alg = algorithms::algorithm("flowlets");
+  auto compiled = compile_least(alg.source);
+  ASSERT_TRUE(compiled.has_value());
+
+  Machine m = compiled->machine().clone();
+  ASSERT_NE(m.kernel(), nullptr);
+  m.set_engine(ExecEngine::kClosure);
+  EXPECT_EQ(m.active_engine(), ExecEngine::kClosure);
+  m.set_engine(ExecEngine::kKernel);
+  EXPECT_EQ(m.active_engine(), ExecEngine::kKernel);
+  // A kNative request resolves to the native rung only when the loader
+  // attached a pipeline; otherwise it degrades to the kernel VM, and the
+  // machine says so instead of failing at run time.
+  m.set_engine(ExecEngine::kNative);
+  if (m.native() != nullptr) {
+    EXPECT_EQ(m.active_engine(), ExecEngine::kNative);
+  } else {
+    EXPECT_EQ(m.active_engine(), ExecEngine::kKernel);
+    EXPECT_FALSE(m.native_fallback_reason().empty());
+  }
+
+  // A machine with no lowered kernel executes on closures whatever the
+  // toggle says.
+  Machine bare;
+  bare.set_engine(ExecEngine::kNative);
+  EXPECT_EQ(bare.active_engine(), ExecEngine::kClosure);
 }
 
 TEST(KernelDifferentialTest, RestoreMidStreamRebindsStateCleanly) {

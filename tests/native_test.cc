@@ -13,6 +13,7 @@
 #include <string>
 
 #include "algorithms/corpus.h"
+#include "banzai/batch.h"
 #include "banzai/native.h"
 #include "core/compiler.h"
 #include "core/emit.h"
@@ -122,6 +123,104 @@ TEST(NativeLoaderTest, DisableSwitchFallsBackWithRecordedReason) {
       compiled.machine().native_fallback_reason().find("DOMINO_NATIVE_DISABLE"),
       std::string::npos)
       << compiled.machine().native_fallback_reason();
+}
+
+TEST(NativeOptionsTest, FromEnvReadsTheDocumentedKnobs) {
+  // The one environment read for the native engine (see the table on
+  // NativeOptions): every knob lands in the corresponding field, and
+  // clearing the environment restores the documented defaults.
+  ::setenv("DOMINO_NATIVE_CXX", "my-cross-cxx", 1);
+  ::setenv("DOMINO_NATIVE_CXXFLAGS", "-march=native", 1);
+  ::setenv("DOMINO_NATIVE_CACHE", "/tmp/domino-native-env-test", 1);
+  ::setenv("DOMINO_NATIVE_DISABLE", "1", 1);
+  banzai::NativeOptions o = banzai::NativeOptions::from_env();
+  EXPECT_EQ(o.compiler, "my-cross-cxx");
+  EXPECT_EQ(o.extra_flags, "-march=native");
+  EXPECT_EQ(o.cache_dir, "/tmp/domino-native-env-test");
+  EXPECT_TRUE(o.disabled);
+
+  ::unsetenv("DOMINO_NATIVE_CXX");
+  ::unsetenv("DOMINO_NATIVE_CXXFLAGS");
+  ::unsetenv("DOMINO_NATIVE_CACHE");
+  ::unsetenv("DOMINO_NATIVE_DISABLE");
+  banzai::NativeOptions d = banzai::NativeOptions::from_env();
+  EXPECT_TRUE(d.compiler.empty());
+  EXPECT_TRUE(d.extra_flags.empty());
+  EXPECT_EQ(d.cache_dir, "/tmp/domino-native-cache");
+  EXPECT_FALSE(d.disabled);
+}
+
+TEST(NativeLoaderTest, HostTunedFlagsViaEnvProduceADistinctAgreeingObject) {
+  // The -march=native tuning recipe from the NativeOptions docs: exporting
+  // DOMINO_NATIVE_CXXFLAGS retunes the build without touching code, the
+  // retuned object caches under its own hash, and it stays bit-exact with
+  // the kernel VM (tuning may change speed, never results).
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  auto compiled = compile_flowlets(opts);
+  const auto* kernel = compiled.machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string source = domino::emit_native_cc(*kernel);
+
+  banzai::NativeOptions nopts;
+  nopts.cache_dir = fresh_cache_dir("march");
+  auto generic =
+      banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ASSERT_NE(generic.pipeline, nullptr) << generic.error;
+
+  ::setenv("DOMINO_NATIVE_CXXFLAGS", "-march=native", 1);
+  auto tuned = banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ::unsetenv("DOMINO_NATIVE_CXXFLAGS");
+  if (tuned.pipeline == nullptr) {
+    std::filesystem::remove_all(nopts.cache_dir);
+    GTEST_SKIP() << "host compiler rejects -march=native: " << tuned.error;
+  }
+  EXPECT_FALSE(tuned.cache_hit) << "env flags participate in the cache key";
+  EXPECT_NE(generic.so_path, tuned.so_path);
+
+  Machine m = compiled.machine().clone();
+  m.set_native(tuned.pipeline);
+  m.set_engine(ExecEngine::kNative);
+  ASSERT_NE(m.active_native(), nullptr);
+  Machine ref = compiled.machine().clone();
+  ref.set_engine(ExecEngine::kKernel);
+  for (const Packet& p : flowlet_workload(compiled, 1000))
+    ASSERT_EQ(m.process(p), ref.process(p));
+  EXPECT_TRUE(m.state() == ref.state());
+  std::filesystem::remove_all(nopts.cache_dir);
+}
+
+TEST(NativeLoaderTest, ColumnarEntryPointIsExportedAndAgreesWithRows) {
+  // Both entry points live in one emitted TU, so a freshly built .so always
+  // exports the columnar symbol; has_columnar() observes it, and columnar
+  // dispatch through the native engine matches row dispatch packet for
+  // packet and state cell for state cell.
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  opts.engine = ExecEngine::kNative;
+  auto compiled = compile_flowlets(opts);
+  ASSERT_NE(compiled.machine().native(), nullptr)
+      << compiled.machine().native_fallback_reason();
+  EXPECT_TRUE(compiled.machine().native()->has_columnar());
+  const std::string source =
+      domino::emit_native_cc(*compiled.machine().kernel());
+  EXPECT_NE(source.find(banzai::kNativeColsEntrySymbol), std::string::npos);
+
+  Machine rows = compiled.machine().clone();
+  Machine cols = compiled.machine().clone();
+  banzai::BatchSim rsim(rows, 64, banzai::BatchDispatch::kRows);
+  banzai::BatchSim csim(cols, 64, banzai::BatchDispatch::kColumnar);
+  const auto trace = flowlet_workload(compiled, 2000);
+  rsim.enqueue(trace);
+  csim.enqueue(trace);
+  rsim.run();
+  csim.run();
+  EXPECT_EQ(csim.stats().columnar_batches, csim.stats().batches);
+  EXPECT_EQ(rsim.stats().columnar_batches, 0u);
+  ASSERT_EQ(rsim.egress().size(), csim.egress().size());
+  for (std::size_t i = 0; i < rsim.egress().size(); ++i)
+    ASSERT_EQ(rsim.egress()[i], csim.egress()[i]) << "packet " << i;
+  EXPECT_TRUE(rows.state() == cols.state());
 }
 
 TEST(NativeLoaderTest, SecondLoadOfTheSameProgramHitsTheSoCache) {
