@@ -1,0 +1,176 @@
+// Wire-path throughput: what the byte-stream front end costs on top of the
+// field-vector engine.  For each algorithm the harness pre-renders the
+// seeded workload as packed network frames (the algorithm's wire spec from
+// the corpus), then times three single-thread loops over the same trace:
+//
+//   fields      process() on pre-built field vectors — the engine alone
+//   parse+run   parse each frame, process it — ingress codec added
+//   full wire   parse, process, deparse back into a frame buffer — the
+//               complete byte->byte middlebox path
+//
+// Each wire row reports packets/sec AND bytes/sec (header bytes moved per
+// direction), the number EXPERIMENTS.md records; the fields row keeps
+// pkts/sec only since no bytes cross it.
+//
+//   $ ./build/bench/bench_wire_throughput [num_packets]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/machine.h"
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "wire/codec.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* kAlgorithms[] = {"flowlets", "heavy_hitters", "rcp",
+                             "sampled_netflow"};
+
+struct WirePrep {
+  domino::CompileResult compiled;
+  wire::WireCodec rx;
+  wire::WireCodec tx;
+  std::vector<banzai::Packet> inputs;        // pre-built field vectors
+  std::vector<std::uint8_t> frames;          // packed, back to back
+  std::size_t frame_bytes = 0;
+};
+
+// The least expressive paper target that accepts the program, as the Table 4
+// harness does — not every algorithm maps to PRAW.
+atoms::BanzaiTarget least_target(const std::string& source) {
+  for (const auto& t : atoms::paper_targets()) {
+    try {
+      domino::compile(source, t);
+      return t;
+    } catch (const domino::CompileError&) {
+    }
+  }
+  throw std::runtime_error("no paper target accepts this program");
+}
+
+WirePrep prepare(const algorithms::AlgorithmInfo& alg,
+                 std::size_t num_packets) {
+  domino::CompileResult compiled =
+      domino::compile(alg.source, least_target(alg.source));
+  const auto& ft = compiled.machine().fields();
+  const wire::WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+  wire::WireCodec rx(spec, ft);
+  wire::WireCodec tx(spec, ft, compiled.output_map());
+
+  std::vector<banzai::Packet> inputs;
+  inputs.reserve(num_packets);
+  std::mt19937 rng(7);
+  for (std::size_t i = 0; i < num_packets; ++i) {
+    std::map<std::string, banzai::Value> f;
+    alg.workload(rng, static_cast<int>(i), f);
+    banzai::Packet p(ft.size());
+    for (const auto& [k, v] : f)
+      if (ft.try_id_of(k).has_value()) p.set(ft.id_of(k), v);
+    inputs.push_back(std::move(p));
+  }
+
+  const std::size_t hb = rx.header_bytes();
+  std::vector<std::uint8_t> frames(num_packets * hb);
+  for (std::size_t i = 0; i < num_packets; ++i)
+    rx.deparse_into(inputs[i], frames.data() + i * hb);
+
+  return WirePrep{std::move(compiled), std::move(rx), std::move(tx),
+                  std::move(inputs), std::move(frames), hb};
+}
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string mb_per_sec(double bytes_per_sec) {
+  return bench_util::fmt(bytes_per_sec / 1e6, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long requested = 2000000;
+  if (argc > 1) {
+    requested = std::atol(argv[1]);
+    if (requested <= 0) {
+      std::fprintf(stderr, "usage: %s [num_packets > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::size_t n = static_cast<std::size_t>(requested);
+
+  bench_util::header("Wire-path throughput — parse/deparse cost on " +
+                     std::to_string(n) + " packets per algorithm");
+  const std::vector<int> widths = {16, 10, 6, 12, 10, 10};
+  bench_util::print_rule(widths);
+  bench_util::print_row(widths, {"algorithm", "path", "hdr B", "pkts/sec",
+                                 "MB/s in", "MB/s out"});
+  bench_util::print_rule(widths);
+
+  for (const char* name : kAlgorithms) {
+    const auto& alg = algorithms::algorithm(name);
+    WirePrep prep = prepare(alg, n);
+    const std::size_t hb = prep.frame_bytes;
+    banzai::Value sink = 0;
+
+    // fields: the engine alone, on pre-built field vectors.
+    {
+      banzai::Machine m = prep.compiled.machine().clone();
+      const auto t0 = Clock::now();
+      for (const banzai::Packet& p : prep.inputs) sink ^= m.process(p)[0];
+      const double dt = secs_since(t0);
+      bench_util::print_row(
+          widths, {name, "fields", std::to_string(hb),
+                   bench_util::fmt(static_cast<double>(n) / dt, 0), "-", "-"});
+    }
+
+    // parse+run: ingress bytes in, field vectors out.
+    {
+      banzai::Machine m = prep.compiled.machine().clone();
+      banzai::Packet pkt(prep.rx.num_table_fields());
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = prep.rx.parse(prep.frames.data() + i * hb, hb, pkt);
+        if (!r.ok()) return 1;
+        sink ^= m.process(pkt)[0];
+      }
+      const double dt = secs_since(t0);
+      const double bps = static_cast<double>(n * hb) / dt;
+      bench_util::print_row(
+          widths, {name, "parse+run", std::to_string(hb),
+                   bench_util::fmt(static_cast<double>(n) / dt, 0),
+                   mb_per_sec(bps), "-"});
+    }
+
+    // full wire: bytes in, bytes out.
+    {
+      banzai::Machine m = prep.compiled.machine().clone();
+      banzai::Packet pkt(prep.rx.num_table_fields());
+      std::vector<std::uint8_t> out(hb);
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = prep.rx.parse(prep.frames.data() + i * hb, hb, pkt);
+        if (!r.ok()) return 1;
+        prep.tx.deparse_into(m.process(pkt), out.data());
+        sink ^= out[0];
+      }
+      const double dt = secs_since(t0);
+      const double bps = static_cast<double>(n * hb) / dt;
+      bench_util::print_row(
+          widths, {name, "full wire", std::to_string(hb),
+                   bench_util::fmt(static_cast<double>(n) / dt, 0),
+                   mb_per_sec(bps), mb_per_sec(bps)});
+    }
+    bench_util::print_rule(widths);
+    if (sink == 0x7fffffff) std::printf("(sink)\n");  // defeat dead-code elim
+  }
+  return 0;
+}

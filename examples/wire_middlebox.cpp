@@ -1,0 +1,256 @@
+// A wire-format middlebox: real packet bytes in, real packet bytes out.
+//
+// Compiles the paper's flowlet-switching transaction, binds its wire spec
+// (declared next to the Domino source in the corpus) into an rx/tx codec
+// pair, and runs the full byte path three ways:
+//
+//   1. packed-struct interop — a hand-written #pragma pack(1) header with
+//      htons/htonl (the conventional switch-datapath idiom) must produce
+//      byte-identical frames to WireCodec::deparse;
+//   2. pcap replay — a generated trace is written as a classic pcap
+//      (DLT_USER0), read back, and streamed through a FleetService via
+//      ingest_frame(); malformed records (truncated, bad magic, trailing
+//      junk) are planted in the capture and must be rejected with the right
+//      typed reason while every valid frame round-trips bit-exactly against
+//      a sequential reference;
+//   3. UDP loopback — the same frames pushed through a real socket pair and
+//      ingested from recvfrom() buffers (skipped gracefully where sockets
+//      are unavailable, e.g. a no-network sandbox).
+//
+//   $ ./build/examples/wire_middlebox
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/service.h"
+#include "core/compiler.h"
+#include "sim/partition.h"
+#include "sim/tracegen.h"
+#include "wire/pcap.h"
+
+namespace {
+
+constexpr std::size_t kSlots = 8;
+
+std::size_t slot_of(const banzai::Packet& p, banzai::FieldId sport,
+                    banzai::FieldId dport) {
+  std::uint64_t h = 0;
+  for (banzai::FieldId f : {sport, dport})
+    h = netsim::mix64(
+        h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.get(f))));
+  return static_cast<std::size_t>(h % kSlots);
+}
+
+// The conventional way to build this header in a switch datapath: a packed
+// struct plus hton — the codec's shift-assembled stores must agree with it
+// byte for byte.
+#pragma pack(push, 1)
+struct FlowletHdr {
+  std::uint16_t magic;
+  std::uint16_t sport;
+  std::uint16_t dport;
+  std::uint32_t arrival;
+  std::uint8_t next_hop;
+};
+#pragma pack(pop)
+
+}  // namespace
+
+int main() {
+  const auto& alg = algorithms::algorithm("flowlets");
+  auto target = *atoms::find_target("banzai-praw");
+  domino::CompileResult compiled = domino::compile(alg.source, target);
+  const auto& ft = compiled.machine().fields();
+  const auto f_sport = ft.id_of("sport");
+  const auto f_dport = ft.id_of("dport");
+  const auto f_arrival = ft.id_of("arrival");
+
+  const wire::WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+  auto rx = std::make_shared<const wire::WireCodec>(spec, ft);
+  auto tx = std::make_shared<const wire::WireCodec>(spec, ft,
+                                                    compiled.output_map());
+  std::printf("wire spec '%s': %zu fields, %zu-byte header\n",
+              spec.name.c_str(), spec.fields.size(), spec.header_bytes);
+
+  // ---- 1. packed-struct interop --------------------------------------------
+  static_assert(sizeof(FlowletHdr) == 11, "spec and struct must agree");
+  banzai::Packet probe(ft.size());
+  probe.set(f_sport, 1234);
+  probe.set(f_dport, 80);
+  probe.set(f_arrival, 0x01020304);
+  FlowletHdr hdr;
+  hdr.magic = htons(0xD003);
+  hdr.sport = htons(1234);
+  hdr.dport = htons(80);
+  hdr.arrival = htonl(0x01020304);
+  hdr.next_hop = 0;
+  const std::vector<std::uint8_t> emitted = rx->deparse(probe);
+  bool interop_ok = emitted.size() == sizeof hdr &&
+                    std::memcmp(emitted.data(), &hdr, sizeof hdr) == 0;
+  std::printf("packed-struct interop: %s\n",
+              interop_ok ? "byte-identical" : "MISMATCH");
+
+  // ---- 2. pcap replay through the service ----------------------------------
+  netsim::FlowTraceConfig cfg;
+  cfg.num_packets = 20000;
+  cfg.num_flows = 64;
+  cfg.zipf_skew = 1.2;
+  cfg.seed = 23;
+  wire::PcapFile capture;
+  std::vector<banzai::Packet> inputs;
+  for (const auto& tp : netsim::generate_flow_trace(cfg)) {
+    banzai::Packet p(ft.size());
+    p.set(f_sport, 1000 + tp.flow_id);
+    p.set(f_dport, 80);
+    p.set(f_arrival, static_cast<banzai::Value>(tp.arrival));
+    wire::PcapPacket rec;
+    rec.ts_sec = static_cast<std::uint32_t>(tp.arrival);
+    rec.bytes = rx->deparse(p);
+    capture.packets.push_back(std::move(rec));
+    inputs.push_back(std::move(p));
+  }
+  // Plant malformed records a real capture could contain: a runt, a frame
+  // with the wrong magic, and one with trailing junk.
+  wire::PcapPacket runt;
+  runt.bytes = {0xD0, 0x03, 0xFF};
+  capture.packets.push_back(runt);
+  wire::PcapPacket badmagic;
+  badmagic.bytes.assign(spec.header_bytes, 0);
+  badmagic.bytes[0] = 0xBE;
+  badmagic.bytes[1] = 0xEF;
+  capture.packets.push_back(badmagic);
+  wire::PcapPacket junk;
+  junk.bytes = rx->deparse(inputs[0]);
+  junk.bytes.push_back(0x55);  // one trailing byte: not exact framing
+  capture.packets.push_back(junk);
+
+  const std::string pcap_path =
+      (std::filesystem::temp_directory_path() /
+       ("wire-middlebox-" + std::to_string(static_cast<long>(::getpid())) +
+        ".pcap"))
+          .string();
+  if (!wire::write_pcap_file(pcap_path, capture)) {
+    std::printf("cannot write %s\n", pcap_path.c_str());
+    return 1;
+  }
+  wire::PcapReadResult replay = wire::read_pcap_file(pcap_path);
+  std::filesystem::remove(pcap_path);
+  if (!replay.ok()) {
+    std::printf("pcap read failed: %s\n", replay.error.c_str());
+    return 1;
+  }
+  std::printf("pcap replay: %zu records (3 malformed planted)\n",
+              replay.file.packets.size());
+
+  // Sequential reference: parse -> per-slot machine -> deparse.
+  std::vector<banzai::Machine> reference;
+  for (std::size_t v = 0; v < kSlots; ++v)
+    reference.push_back(compiled.machine().clone());
+  std::vector<std::vector<std::uint8_t>> expected_frames;
+  for (const auto& p : inputs) {
+    const std::size_t slot = slot_of(p, f_sport, f_dport);
+    expected_frames.push_back(tx->deparse(reference[slot].process(p)));
+  }
+
+  banzai::ServiceConfig svc_cfg;
+  svc_cfg.num_shards = 2;
+  svc_cfg.num_slots = kSlots;
+  svc_cfg.batch_size = 256;
+  svc_cfg.ring_capacity = 1024;
+  svc_cfg.flow_key = {f_sport, f_dport};
+  banzai::FleetService svc(compiled.machine(), svc_cfg);
+  svc.set_wire(rx, tx);
+  svc.start();
+  for (const wire::PcapPacket& rec : replay.file.packets) {
+    const auto in = svc.ingest_frame(rec.bytes.data(), rec.bytes.size());
+    if (!in.parse.ok())
+      std::printf("  rejected %zu-byte record: %s%s%.*s\n", rec.bytes.size(),
+                  wire::to_string(in.parse.status),
+                  in.parse.field.empty() ? "" : " at field ",
+                  static_cast<int>(in.parse.field.size()),
+                  in.parse.field.data());
+  }
+  svc.flush();
+  const auto frames = svc.drain_egress_frames();
+  const auto st = svc.stats();
+  svc.stop();
+
+  bool replay_ok = frames.size() == expected_frames.size();
+  for (std::size_t i = 0; replay_ok && i < frames.size(); ++i)
+    if (frames[i] != expected_frames[i]) replay_ok = false;
+  const bool accounting_ok =
+      st.wire.frames_parsed == inputs.size() &&
+      st.wire.frames_rejected == 3 && st.wire.reject_truncated == 1 &&
+      st.wire.reject_bad_value == 1 && st.wire.reject_oversized == 1;
+  std::printf(
+      "service: parsed %llu, rejected %llu (truncated %llu / oversized %llu "
+      "/ bad value %llu), %llu bytes in, %llu bytes out\n",
+      static_cast<unsigned long long>(st.wire.frames_parsed),
+      static_cast<unsigned long long>(st.wire.frames_rejected),
+      static_cast<unsigned long long>(st.wire.reject_truncated),
+      static_cast<unsigned long long>(st.wire.reject_oversized),
+      static_cast<unsigned long long>(st.wire.reject_bad_value),
+      static_cast<unsigned long long>(st.wire.bytes_in),
+      static_cast<unsigned long long>(st.wire.bytes_out));
+  std::printf("egress frames == sequential reference: %s\n",
+              replay_ok ? "yes" : "NO — DIVERGENCE");
+
+  // ---- 3. UDP loopback ingest ----------------------------------------------
+  bool udp_ok = true;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t addr_len = sizeof addr;
+  if (fd < 0 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    std::printf("udp loopback: unavailable here, skipping\n");
+    if (fd >= 0) ::close(fd);
+  } else {
+    banzai::FleetService udp_svc(compiled.machine(), svc_cfg);
+    udp_svc.set_wire(rx, tx);
+    udp_svc.start();
+    constexpr std::size_t kUdpFrames = 200;
+    std::size_t received = 0;
+    std::uint8_t buf[64];
+    for (std::size_t i = 0; i < kUdpFrames; ++i) {
+      const std::vector<std::uint8_t> frame = rx->deparse(inputs[i]);
+      if (::sendto(fd, frame.data(), frame.size(), 0,
+                   reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr) < 0) {
+        udp_ok = false;
+        break;
+      }
+      const ssize_t n = ::recvfrom(fd, buf, sizeof buf, 0, nullptr, nullptr);
+      if (n < 0 || !udp_svc.ingest_frame(buf, static_cast<std::size_t>(n))
+                        .parse.ok()) {
+        udp_ok = false;
+        break;
+      }
+      ++received;
+    }
+    udp_svc.flush();
+    const std::size_t out = udp_svc.drain_egress_frames().size();
+    udp_svc.stop();
+    ::close(fd);
+    udp_ok = udp_ok && out == received && received == kUdpFrames;
+    std::printf("udp loopback: %zu frames sent, parsed and processed: %s\n",
+                received, udp_ok ? "ok" : "FAILED");
+  }
+
+  const bool ok = interop_ok && replay_ok && accounting_ok && udp_ok;
+  std::printf("%s\n", ok ? "wire middlebox: all paths agree"
+                         : "wire middlebox: FAILURE");
+  return ok ? 0 : 1;
+}

@@ -35,6 +35,15 @@ void bloom_filter(struct Packet pkt) {
 }
 )";
 
+const char* kBloomFilterWire = R"(
+wire bloom_filter_v1 {
+  magic  : u16 be @0 = 0xD001;
+  sport  : u16 be @2;
+  dport  : u16 be @4;
+  member : u32 be @6;
+}
+)";
+
 // --------------------------------------------------------------------------
 // 2. Heavy hitters — increment a Count-Min Sketch on every packet and flag
 //    flows whose estimated count exceeds a threshold.
@@ -80,6 +89,18 @@ void heavy_hitters(struct Packet pkt) {
 }
 )";
 
+const char* kHeavyHittersWire = R"(
+wire heavy_hitters_v1 {
+  magic : u16 be @0 = 0xD002;
+  srcip : u32 be @2;
+  dstip : u32 be @6;
+  sport : u16 be @10;
+  dport : u16 be @12;
+  proto : u8  be @14;
+  heavy : u8  be @15;
+}
+)";
+
 // --------------------------------------------------------------------------
 // 3. Flowlet switching — Figure 3a, verbatim modulo whitespace.
 // --------------------------------------------------------------------------
@@ -119,6 +140,16 @@ void flowlet(struct Packet pkt) {
 }
 )";
 
+const char* kFlowletsWire = R"(
+wire flowlets_v1 {
+  magic    : u16 be @0 = 0xD003;
+  sport    : u16 be @2;
+  dport    : u16 be @4;
+  arrival  : u32 be @6;
+  next_hop : u8  be @10;
+}
+)";
+
 // --------------------------------------------------------------------------
 // 4. RCP — accumulate RTT sum if the RTT is under the maximum allowable RTT.
 // --------------------------------------------------------------------------
@@ -140,6 +171,14 @@ void rcp(struct Packet pkt) {
     sum_rtt += pkt.rtt;
     num_pkts_with_rtt += 1;
   }
+}
+)";
+
+const char* kRcpWire = R"(
+wire rcp_v1 {
+  magic      : u16 be @0 = 0xD004;
+  size_bytes : u16 be @2;
+  rtt        : u16 be @4;
 }
 )";
 
@@ -166,6 +205,15 @@ void sampled_netflow(struct Packet pkt) {
     count = count + 1;
   }
   pkt.sample = pkt.old_count == SAMPLE_THRESHOLD;
+}
+)";
+
+const char* kSampledNetflowWire = R"(
+wire sampled_netflow_v1 {
+  magic  : u16 be @0 = 0xD005;
+  srcip  : u32 be @2;
+  dstip  : u32 be @6;
+  sample : u8  be @10;
 }
 )";
 
@@ -202,6 +250,15 @@ void hull(struct Packet pkt) {
   }
   pkt.cur_q = vq;
   pkt.mark = pkt.cur_q > ECN_THRESH;
+}
+)";
+
+const char* kHullWire = R"(
+wire hull_v1 {
+  magic      : u16 be @0 = 0xD006;
+  now        : u32 be @2;
+  size_bytes : u16 be @6;
+  mark       : u8  be @8;
 }
 )";
 
@@ -249,6 +306,15 @@ void avq(struct Packet pkt) {
 }
 )";
 
+const char* kAvqWire = R"(
+wire avq_v1 {
+  magic      : u16 be @0 = 0xD007;
+  size_bytes : u16 be @2;
+  qlen       : u16 be @4;
+  mark       : u8  be @6;
+}
+)";
+
 // --------------------------------------------------------------------------
 // 8. WFQ priority computation (start-time fair queueing) — a packet's
 //    virtual start time is the max of its flow's last finish time and now.
@@ -278,6 +344,16 @@ void stfq(struct Packet pkt) {
     last_finish[pkt.idx] = pkt.now + pkt.len;
   }
   pkt.start = (pkt.last > pkt.now) ? pkt.last : pkt.now;
+}
+)";
+
+const char* kStfqWire = R"(
+wire stfq_v1 {
+  magic : u16 be @0 = 0xD008;
+  flow  : u16 be @2;
+  len   : u16 be @4;
+  now   : u32 be @6;
+  start : u32 be @10;
 }
 )";
 
@@ -312,6 +388,15 @@ void dns_ttl_tracker(struct Packet pkt) {
 }
 )";
 
+const char* kDnsTtlWire = R"(
+wire dns_ttl_v1 {
+  magic       : u16 be @0 = 0xD009;
+  domain      : u16 be @2;
+  ttl         : u32 be @4;
+  changes_now : u32 be @8;
+}
+)";
+
 // --------------------------------------------------------------------------
 // 10. CONGA — §5.3's pair-update example, verbatim structure: track the best
 //     (least utilized) path per destination.
@@ -340,6 +425,19 @@ void conga(struct Packet pkt) {
   }
   pkt.best_util_now = best_path_util[pkt.src];
   pkt.best_path_now = best_path[pkt.src];
+}
+)";
+
+// CONGA's utilization rides little-endian: the one corpus format exercising
+// the DSL's `le` byte order end to end.
+const char* kCongaWire = R"(
+wire conga_v1 {
+  magic         : u16 be @0 = 0xD00A;
+  src           : u8  be @2;
+  path_id       : u8  be @3;
+  util          : u32 le @4;
+  best_path_now : u8  be @8;
+  best_util_now : u32 le @9;
 }
 )";
 
@@ -382,6 +480,15 @@ void codel(struct Packet pkt) {
 }
 )";
 
+const char* kCodelWire = R"(
+wire codel_v1 {
+  magic  : u16 be @0 = 0xD00B;
+  now    : u32 be @2;
+  qdelay : u16 be @6;
+  mark   : u8  be @8;
+}
+)";
+
 // --------------------------------------------------------------------------
 // Workload generators (all deterministic under the caller's seed).
 // --------------------------------------------------------------------------
@@ -413,20 +520,21 @@ const std::vector<AlgorithmInfo>& corpus() {
                  "Set membership bit on every packet (3 hash functions)",
                  kBloomFilter, "Either", "Write", 4, 3, 29, 104,
                  {"sport", "dport"},
-                 flow_tuple_workload(512)});
+                 flow_tuple_workload(512), kBloomFilterWire});
 
     v.push_back({"heavy_hitters",
                  "Increment Count-Min Sketch on every packet",
                  kHeavyHitters, "Either", "RAW", 10, 9, 35, 192,
                  {"srcip", "dstip", "sport", "dport", "proto"},
-                 flow_tuple_workload(256)});
+                 flow_tuple_workload(256), kHeavyHittersWire});
 
     {
       AlgorithmInfo a{"flowlets",
                       "Update saved next hop if flowlet threshold is exceeded",
                       kFlowlets, "Ingress", "PRAW", 6, 2, 37, 107,
                       {"sport", "dport", "arrival"},
-                      {}};
+                      {},
+                      kFlowletsWire};
       a.workload = [](std::mt19937& rng, int i,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> flow(0, 19);
@@ -444,7 +552,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "Accumulate RTT sum if RTT is under maximum allowable",
                       kRcp, "Egress", "PRAW", 3, 3, 23, 75,
                       {"size_bytes", "rtt"},
-                      {}};
+                      {},
+                      kRcpWire};
       a.workload = [](std::mt19937& rng, int,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> size(64, 1500);
@@ -460,7 +569,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "Sample a packet if count reaches N; reset count at N",
                       kSampledNetflow, "Either", "IfElseRAW", 4, 2, 18, 70,
                       {"srcip", "dstip"},
-                      flow_tuple_workload(64)};
+                      flow_tuple_workload(64),
+                      kSampledNetflowWire};
       v.push_back(std::move(a));
     }
 
@@ -469,7 +579,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "Update counter for virtual queue",
                       kHull, "Egress", "Sub", 7, 1, 26, 95,
                       {"now", "size_bytes"},
-                      {}};
+                      {},
+                      kHullWire};
       a.workload = [](std::mt19937& rng, int i,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> size(64, 1500);
@@ -485,7 +596,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "Update virtual queue size and virtual capacity",
                       kAvq, "Ingress", "Nested", 7, 3, 36, 147,
                       {"size_bytes", "qlen"},
-                      {}};
+                      {},
+                      kAvqWire};
       a.workload = [](std::mt19937& rng, int,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> size(64, 1500);
@@ -502,7 +614,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "time of the last packet in its flow",
                       kStfq, "Ingress", "Nested", 4, 2, 29, 87,
                       {"flow", "len", "now"},
-                      {}};
+                      {},
+                      kStfqWire};
       a.workload = [](std::mt19937& rng, int i,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> flow(0, 31);
@@ -519,7 +632,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "Track number of changes in announced TTL per domain",
                       kDnsTtl, "Ingress", "Nested", 6, 3, 27, 119,
                       {"domain", "ttl"},
-                      {}};
+                      {},
+                      kDnsTtlWire};
       a.workload = [](std::mt19937& rng, int,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> domain(0, 99);
@@ -538,7 +652,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "path; update utilization alone if it changes",
                       kConga, "Ingress", "Pairs", 4, 2, 32, 89,
                       {"src", "util", "path_id"},
-                      {}};
+                      {},
+                      kCongaWire};
       a.workload = [](std::mt19937& rng, int,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> src(0, 15);
@@ -557,7 +672,8 @@ const std::vector<AlgorithmInfo>& corpus() {
                       "(control law needs INTERVAL/sqrt(count))",
                       kCodel, "Egress", "Doesn't map", 15, 3, 57, 271,
                       {"now", "qdelay"},
-                      {}};
+                      {},
+                      kCodelWire};
       a.workload = [](std::mt19937& rng, int i,
                       std::map<std::string, Value>& f) {
         std::uniform_int_distribution<int> delay(0, 12);

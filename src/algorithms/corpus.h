@@ -40,6 +40,12 @@ struct AlgorithmInfo {
   int paper_p4_loc;
   std::vector<std::string> input_fields;  // fields the workload populates
   WorkloadGen workload;
+  // The algorithm's wire format, declared next to the Domino program in the
+  // header-spec DSL (wire/spec.h): every input field plus the observable
+  // outputs a middlebox would put back on the wire, led by a per-algorithm
+  // magic constant so garbage frames are rejectable.  Parsed and bound by
+  // wire::WireCodec; tests/wire_test.cc round-trips every entry.
+  std::string wire_spec;
 };
 
 // All eleven algorithms, in Table 4 order.

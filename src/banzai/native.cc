@@ -6,8 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+
+#include "banzai/native_io.h"
 
 namespace banzai {
 
@@ -15,9 +15,21 @@ namespace {
 
 namespace fs = std::filesystem;
 
-std::string env_or(const char* name, const std::string& fallback) {
+std::optional<std::string> env_opt(const char* name) {
   const char* v = std::getenv(name);
-  return (v != nullptr && v[0] != '\0') ? std::string(v) : fallback;
+  if (v == nullptr || v[0] == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+// Option-over-environment merge with presence semantics: an engaged option
+// field wins even when empty; a disengaged one falls through to the
+// environment, then to `fallback`.
+std::string resolve(const std::optional<std::string>& opt,
+                    const std::optional<std::string>& env,
+                    const std::string& fallback) {
+  if (opt.has_value()) return *opt;
+  if (env.has_value()) return *env;
+  return fallback;
 }
 
 // POSIX-shell single-quoting with embedded quotes escaped ('\''), so paths
@@ -64,27 +76,14 @@ std::string content_hash(const std::string& source, const std::string& cxx,
   return buf;
 }
 
-bool write_file(const fs::path& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << contents;
-  return static_cast<bool>(out);
-}
-
-std::string read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
 }  // namespace
 
 NativeOptions NativeOptions::from_env() {
   NativeOptions o;
-  o.compiler = env_or("DOMINO_NATIVE_CXX", "");
-  o.extra_flags = env_or("DOMINO_NATIVE_CXXFLAGS", "");
-  o.cache_dir = env_or("DOMINO_NATIVE_CACHE", "/tmp/domino-native-cache");
-  o.disabled = !env_or("DOMINO_NATIVE_DISABLE", "").empty();
+  o.compiler = env_opt("DOMINO_NATIVE_CXX");
+  o.extra_flags = env_opt("DOMINO_NATIVE_CXXFLAGS");
+  o.cache_dir = env_opt("DOMINO_NATIVE_CACHE");
+  o.disabled = env_opt("DOMINO_NATIVE_DISABLE").has_value();
   return o;
 }
 
@@ -92,8 +91,9 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
                                                   const std::string& source,
                                                   const NativeOptions& opts) {
   NativeLoadResult result;
-  // Explicitly-set option fields win; anything left empty resolves through
-  // the one documented environment read.
+  // Engaged option fields win (even when empty — that is how a caller
+  // forces "no extra flags" against a set DOMINO_NATIVE_CXXFLAGS);
+  // disengaged fields resolve through the one documented environment read.
   const NativeOptions env = NativeOptions::from_env();
   if (opts.disabled || env.disabled) {
     result.error = "native engine disabled by DOMINO_NATIVE_DISABLE";
@@ -105,8 +105,9 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
   }
 
   // Resolve the host compiler: explicit option, then environment, then the
-  // first conventional name on PATH.
-  std::string cxx = opts.compiler.empty() ? env.compiler : opts.compiler;
+  // first conventional name on PATH (an engaged-but-empty option forces the
+  // PATH probe).
+  std::string cxx = resolve(opts.compiler, env.compiler, "");
   if (cxx.empty()) {
     for (const char* candidate : {"c++", "g++", "clang++"}) {
       if (on_path(candidate)) {
@@ -127,10 +128,10 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
     return result;
   }
 
-  const std::string flags =
-      opts.extra_flags.empty() ? env.extra_flags : opts.extra_flags;
-  const std::string cache =
-      opts.cache_dir.empty() ? env.cache_dir : opts.cache_dir;
+  const std::string flags = resolve(opts.extra_flags, env.extra_flags, "");
+  std::string cache =
+      resolve(opts.cache_dir, env.cache_dir, kDefaultNativeCacheDir);
+  if (cache.empty()) cache = kDefaultNativeCacheDir;
 
   std::error_code ec;
   fs::create_directories(cache, ec);
@@ -156,7 +157,7 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
     const std::string tmp_tag =
         ".tmp." + std::to_string(static_cast<long>(::getpid()));
     const fs::path tmp_src = fs::path(cache) / (hash + tmp_tag + ".cc");
-    if (!write_file(tmp_src, source)) {
+    if (!native_io::write_file(tmp_src.string(), source)) {
       result.error = "cannot write emitted source to " + tmp_src.string();
       return result;
     }
@@ -172,8 +173,9 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
                             shq(log_path.string()) + " 2>&1";
     const int status = std::system(cmd.c_str());
     if (status != 0) {
-      std::string log = read_file(log_path);
-      if (log.size() > 2000) log.resize(2000);
+      // The tail, not the head: the fatal diagnostic is at the end, and a
+      // log that cannot be read back says so instead of vanishing.
+      const std::string log = native_io::compile_log_tail(log_path.string());
       fs::remove(tmp_src, ec);
       fs::remove(tmp_so, ec);
       fs::remove(log_path, ec);

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,16 +72,25 @@ using NativeColsEntryFn = void (*)(Value* const* cols, std::uint64_t n,
                                    const NativeAbi* abi);
 inline constexpr char kNativeColsEntrySymbol[] = "domino_pipeline_run_cols";
 
+// Where compiled pipelines land when neither NativeOptions::cache_dir nor
+// DOMINO_NATIVE_CACHE says otherwise.
+inline constexpr char kDefaultNativeCacheDir[] = "/tmp/domino-native-cache";
+
 // Knobs for the out-of-process compile.  The single resolution point for the
-// DOMINO_NATIVE_* environment is from_env(); compile_and_load() treats an
-// explicitly-set field as overriding the corresponding variable:
+// DOMINO_NATIVE_* environment is from_env(); each string knob resolves
+// explicit option, then environment variable, then built-in default:
 //   compiler    DOMINO_NATIVE_CXX       first of c++ / g++ / clang++ on PATH
 //   extra_flags DOMINO_NATIVE_CXXFLAGS  (appended to -std=c++17 -O3 -fPIC
 //                                        -shared)
-//   cache_dir   DOMINO_NATIVE_CACHE     /tmp/domino-native-cache
+//   cache_dir   DOMINO_NATIVE_CACHE     kDefaultNativeCacheDir
 //   disabled    DOMINO_NATIVE_DISABLE   false (any non-empty value disables)
-// A disabled load refuses with the documented fallback reason — the switch
-// CI and tests use to exercise the no-toolchain path deterministically.
+// The string knobs are optionals with presence semantics: an engaged field
+// wins over the environment even when its value is empty, so a caller can
+// force "no extra flags" or "probe PATH for the compiler" while the
+// corresponding variable is set.  A disengaged field (the default) falls
+// through to the environment, then to the built-in default.  A disabled
+// load refuses with the documented fallback reason — the switch CI and
+// tests use to exercise the no-toolchain path deterministically.
 //
 // Tuning recipe: the default flags compile the emitted pipeline for a
 // generic host ISA.  Set DOMINO_NATIVE_CXXFLAGS="-march=native" (or
@@ -88,14 +98,15 @@ inline constexpr char kNativeColsEntrySymbol[] = "domino_pipeline_run_cols";
 // the build machine — at the cost of a .so that may not run elsewhere; the
 // content hash keys on the flags, so both variants can share one cache.
 struct NativeOptions {
-  std::string compiler;
-  std::string extra_flags;
-  std::string cache_dir;
+  std::optional<std::string> compiler;
+  std::optional<std::string> extra_flags;
+  std::optional<std::string> cache_dir;
   bool disabled = false;
   bool force_recompile = false;  // ignore a cached .so, rebuild it
 
-  // Reads the DOMINO_NATIVE_* variables (empty/unset fields keep the
-  // built-in defaults listed above).  The only place the environment is
+  // Reads the DOMINO_NATIVE_* variables.  A set, non-empty variable engages
+  // the field; unset (or empty) leaves it disengaged so the built-in
+  // default applies downstream.  The only place the environment is
   // consulted — compile_and_load() and every caller resolve through here.
   static NativeOptions from_env();
 };

@@ -1,0 +1,45 @@
+#include "banzai/native_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace banzai {
+namespace native_io {
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  out.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  // Explicit read loop rather than `os << in.rdbuf()`: reading a directory
+  // opens fine on Linux and only the read() itself fails (badbit), while a
+  // genuinely empty file must still count as success.
+  char buf[4096];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0)
+    out.append(buf, static_cast<std::size_t>(in.gcount()));
+  if (in.bad()) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+std::string compile_log_tail(const std::string& path) {
+  std::string log;
+  if (!read_file(path, log))
+    return "(compile log unreadable: " + path + ")";
+  if (log.size() > kCompileLogTailBytes)
+    log = "[...log truncated...]\n" +
+          log.substr(log.size() - kCompileLogTailBytes);
+  return log;
+}
+
+}  // namespace native_io
+}  // namespace banzai

@@ -1,0 +1,34 @@
+// File I/O helpers for the native AOT loader, split out so their failure
+// behavior is unit-testable without running a host compile.  Every function
+// reports failure explicitly — the loader turns these into
+// NativeLoadResult::error instead of silently proceeding with empty or
+// truncated data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace banzai {
+namespace native_io {
+
+// Writes `contents` to `path`, truncating.  Returns false on any stream
+// failure (unwritable directory, disk full, path is a directory, ...).
+bool write_file(const std::string& path, const std::string& contents);
+
+// Reads the whole of `path` into `out`.  Returns false — and leaves `out`
+// empty — when the file cannot be opened or the read fails; a zero-byte
+// file reads successfully as the empty string.
+bool read_file(const std::string& path, std::string& out);
+
+// How much of a failed compile's log the loader keeps in the error string.
+inline constexpr std::size_t kCompileLogTailBytes = 2000;
+
+// Returns the last kCompileLogTailBytes bytes of the compile log at `path`
+// (diagnostics end with the fatal error, so the tail is the useful part),
+// prefixed with an elision marker when truncated.  An unreadable log is a
+// diagnosis failure worth surfacing, not an empty string:
+// "(compile log unreadable: <path>)".
+std::string compile_log_tail(const std::string& path);
+
+}  // namespace native_io
+}  // namespace banzai

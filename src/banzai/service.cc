@@ -120,6 +120,60 @@ std::size_t FleetService::ingest_all(const std::vector<Packet>& pkts) {
   return accepted;
 }
 
+void FleetService::set_wire(std::shared_ptr<const wire::WireCodec> rx,
+                            std::shared_ptr<const wire::WireCodec> tx) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire))
+    throw std::logic_error(
+        "FleetService::set_wire: stop() the service before changing codecs");
+  if (rx == nullptr)
+    throw std::invalid_argument("FleetService::set_wire: rx codec is null");
+  wire_rx_ = std::move(rx);
+  wire_tx_ = tx != nullptr ? std::move(tx) : wire_rx_;
+}
+
+FleetService::FrameIngest FleetService::ingest_frame(const std::uint8_t* data,
+                                                     std::size_t len) {
+  if (wire_rx_ == nullptr)
+    throw std::logic_error(
+        "FleetService::ingest_frame: no wire codec (call set_wire first)");
+  FrameIngest out;
+  Packet pkt(wire_rx_->num_table_fields());
+  out.parse = wire_rx_->parse_exact(data, len, pkt);
+  if (!out.parse.ok()) {
+    switch (out.parse.status) {
+      case wire::ParseStatus::kTruncated:
+        reject_truncated_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case wire::ParseStatus::kOversized:
+        reject_oversized_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        reject_bad_value_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return out;
+  }
+  frames_parsed_.fetch_add(1, std::memory_order_relaxed);
+  wire_bytes_in_.fetch_add(len, std::memory_order_relaxed);
+  out.accepted = ingest(std::move(pkt));
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> FleetService::drain_egress_frames() {
+  if (wire_tx_ == nullptr)
+    throw std::logic_error(
+        "FleetService::drain_egress_frames: no wire codec (call set_wire "
+        "first)");
+  const std::vector<Packet> pkts = egress_.drain();
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(pkts.size());
+  for (const Packet& p : pkts) frames.push_back(wire_tx_->deparse(p));
+  wire_bytes_out_.fetch_add(frames.size() * wire_tx_->header_bytes(),
+                            std::memory_order_relaxed);
+  return frames;
+}
+
 void FleetService::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   const std::size_t batch = config_.batch_size ? config_.batch_size : 1;
@@ -186,6 +240,18 @@ ServiceStats FleetService::stats() const {
   st.ingested = seq_counter_.load(std::memory_order_acquire);
   st.delivered = delivered_.load(std::memory_order_acquire);
   st.dropped = dropped_.load(std::memory_order_acquire);
+  st.wire.frames_parsed = frames_parsed_.load(std::memory_order_relaxed);
+  st.wire.reject_truncated =
+      reject_truncated_.load(std::memory_order_relaxed);
+  st.wire.reject_oversized =
+      reject_oversized_.load(std::memory_order_relaxed);
+  st.wire.reject_bad_value =
+      reject_bad_value_.load(std::memory_order_relaxed);
+  st.wire.frames_rejected = st.wire.reject_truncated +
+                            st.wire.reject_oversized +
+                            st.wire.reject_bad_value;
+  st.wire.bytes_in = wire_bytes_in_.load(std::memory_order_relaxed);
+  st.wire.bytes_out = wire_bytes_out_.load(std::memory_order_relaxed);
   double up = uptime_seconds_;
   if (running_.load(std::memory_order_acquire))
     up += std::chrono::duration<double>(std::chrono::steady_clock::now() -

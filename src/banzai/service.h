@@ -41,6 +41,7 @@
 
 #include "banzai/fleet.h"
 #include "banzai/spsc_ring.h"
+#include "wire/codec.h"
 
 namespace banzai {
 
@@ -66,10 +67,25 @@ struct ServiceConfig {
   std::vector<FieldId> flow_key;
 };
 
+// Accounting for the byte-stream front end (ingest_frame / egress frames).
+// The hardening invariant the wire fuzz suite pins: every offered frame is
+// exactly one of parsed or rejected, and the per-status reject counters sum
+// to frames_rejected — no frame is silently swallowed.
+struct WireStats {
+  std::uint64_t frames_parsed = 0;    // parsed clean and offered to ingest
+  std::uint64_t frames_rejected = 0;  // sum of the three reject counters
+  std::uint64_t reject_truncated = 0;
+  std::uint64_t reject_oversized = 0;
+  std::uint64_t reject_bad_value = 0;
+  std::uint64_t bytes_in = 0;   // bytes of frames parsed clean
+  std::uint64_t bytes_out = 0;  // bytes of egress frames deparsed
+};
+
 struct ServiceStats {
   std::uint64_t ingested = 0;   // offered = delivered + dropped + in flight
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;    // DropTail sheds
+  WireStats wire;               // zero unless the byte path is in use
   double packets_per_sec = 0;   // delivered over wall-clock running time
   // Mean enqueue-to-egress latency where one tick == one subsequently
   // offered packet: a queueing-depth measure that is immune to clock jitter.
@@ -181,6 +197,34 @@ class FleetService {
   // Offers a whole trace in order; returns how many packets were accepted.
   std::size_t ingest_all(const std::vector<Packet>& pkts);
 
+  // ---- byte-stream front end (parse -> shard-hash -> pipeline -> deparse) --
+  //
+  // Attach an ingress codec (parses frames into machine packets) and an
+  // egress codec (deparses processed packets back to frames; pass the
+  // compiler's output_map() as its rename so final field values land on the
+  // wire).  tx == nullptr reuses rx for both directions.  Must be called
+  // while the service is stopped; both codecs must be bound against the
+  // prototype machine's FieldTable.
+  void set_wire(std::shared_ptr<const wire::WireCodec> rx,
+                std::shared_ptr<const wire::WireCodec> tx = nullptr);
+
+  struct FrameIngest {
+    wire::ParseResult parse;
+    bool accepted = false;  // false: rejected by parse, or shed by DropTail
+  };
+
+  // Offers one frame.  Exact framing (frames are headers: trailing payload
+  // is kOversized).  A frame is either parsed and offered to ingest() — so
+  // every ingest contract (ordering, backpressure, stats) applies — or
+  // rejected with a typed status and counted, leaving no other trace: a
+  // malformed frame can never reach a ring, a shard, or the egress window.
+  // Same threading contract as ingest(): one caller at a time.
+  FrameIngest ingest_frame(const std::uint8_t* data, std::size_t len);
+
+  // Order-settled egress deparsed back to frames (one byte vector each), in
+  // arrival order.  Requires set_wire.
+  std::vector<std::vector<std::uint8_t>> drain_egress_frames();
+
   // Order-settled egress so far, in arrival order (see OrderedEgress).
   std::vector<Packet> drain_egress() { return egress_.drain(); }
 
@@ -224,6 +268,17 @@ class FleetService {
   ShardCore core_;
   OrderedEgress egress_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Byte-stream front end.  Codecs are immutable after set_wire (which
+  // requires a stopped service); counters are atomics because deparse
+  // (drain_egress_frames) may run on a different thread than ingest_frame.
+  std::shared_ptr<const wire::WireCodec> wire_rx_, wire_tx_;
+  std::atomic<std::uint64_t> frames_parsed_{0};
+  std::atomic<std::uint64_t> reject_truncated_{0};
+  std::atomic<std::uint64_t> reject_oversized_{0};
+  std::atomic<std::uint64_t> reject_bad_value_{0};
+  std::atomic<std::uint64_t> wire_bytes_in_{0};
+  std::atomic<std::uint64_t> wire_bytes_out_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,167 @@
+#include "wire/codec.h"
+
+#include <cstring>
+
+namespace wire {
+
+namespace {
+
+using banzai::Value;
+
+// Shift-assembled byte-order conversion: defined behaviour on every host,
+// bit-identical to ntoh/hton on the widths they cover.
+std::uint32_t load_raw(const std::uint8_t* p, std::size_t width,
+                       Endian endian) {
+  std::uint32_t v = 0;
+  if (endian == Endian::kBig) {
+    for (std::size_t i = 0; i < width; ++i) v = (v << 8) | p[i];
+  } else {
+    for (std::size_t i = width; i > 0; --i) v = (v << 8) | p[i - 1];
+  }
+  return v;
+}
+
+void store_raw(std::uint8_t* p, std::size_t width, Endian endian,
+               std::uint32_t v) {
+  if (endian == Endian::kBig) {
+    for (std::size_t i = width; i > 0; --i) {
+      p[i - 1] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  } else {
+    for (std::size_t i = 0; i < width; ++i) {
+      p[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+// Raw wire bits -> 32-bit machine Value: zero-extend u-types, sign-extend
+// i-types (i32 and u32 are the same bit-identity cast).
+Value to_value(std::uint32_t raw, std::size_t width, Sign sign) {
+  if (sign == Sign::kSigned && width < 4) {
+    const std::uint32_t sign_bit = 1u << (8 * width - 1);
+    if (raw & sign_bit) raw |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<Value>(raw);
+}
+
+std::uint32_t mask_of(std::size_t width) {
+  return width >= 4 ? 0xffffffffu : ((1u << (8 * width)) - 1u);
+}
+
+}  // namespace
+
+const char* to_string(ParseStatus status) {
+  switch (status) {
+    case ParseStatus::kOk: return "ok";
+    case ParseStatus::kTruncated: return "truncated";
+    case ParseStatus::kOversized: return "oversized";
+    case ParseStatus::kBadValue: return "bad-value";
+  }
+  return "unknown";
+}
+
+WireCodec::WireCodec(WireSpec spec, const banzai::FieldTable& fields,
+                     const std::map<std::string, std::string>& rename,
+                     std::size_t max_frame_bytes)
+    : spec_(std::move(spec)),
+      max_frame_bytes_(max_frame_bytes),
+      num_table_fields_(fields.size()) {
+  if (max_frame_bytes_ < spec_.header_bytes)
+    throw WireBindError("wire codec '" + spec_.name +
+                        "': max frame smaller than the header (" +
+                        std::to_string(max_frame_bytes_) + " < " +
+                        std::to_string(spec_.header_bytes) + ")");
+  bound_.reserve(spec_.fields.size());
+  for (const WireField& f : spec_.fields) {
+    const auto it = rename.find(f.name);
+    const std::string& table_name = it != rename.end() ? it->second : f.name;
+    const auto id = fields.try_id_of(table_name);
+    if (!id.has_value()) {
+      if (!f.has_expect)
+        throw WireBindError("wire codec '" + spec_.name + "': field '" +
+                            f.name + "' (table name '" + table_name +
+                            "') is not a machine packet field and carries no "
+                            "constant to check against");
+      bound_.push_back({&f, kCheckOnly});
+    } else {
+      bound_.push_back({&f, *id});
+    }
+  }
+}
+
+void WireCodec::require_capacity(const banzai::Packet& pkt) const {
+  if (pkt.num_fields() < num_table_fields_)
+    throw std::logic_error(
+        "wire codec '" + spec_.name + "': packet has " +
+        std::to_string(pkt.num_fields()) + " fields, codec was bound against " +
+        std::to_string(num_table_fields_));
+}
+
+ParseResult WireCodec::parse(const std::uint8_t* data, std::size_t len,
+                             banzai::Packet& pkt) const {
+  require_capacity(pkt);
+  ParseResult r;
+  r.header_bytes = spec_.header_bytes;
+  if (len < spec_.header_bytes) {
+    r.status = ParseStatus::kTruncated;
+    return r;
+  }
+  if (len > max_frame_bytes_) {
+    r.status = ParseStatus::kOversized;
+    return r;
+  }
+  // All validation precedes the first packet store: a rejected frame leaves
+  // `pkt` untouched.
+  for (const Bound& b : bound_) {
+    const WireField& f = *b.field;
+    if (!f.has_expect) continue;
+    if (load_raw(data + f.offset, f.width, f.endian) != f.expect) {
+      r.status = ParseStatus::kBadValue;
+      r.field = f.name;
+      return r;
+    }
+  }
+  for (const Bound& b : bound_) {
+    if (b.id == kCheckOnly) continue;
+    const WireField& f = *b.field;
+    pkt[b.id] = to_value(load_raw(data + f.offset, f.width, f.endian),
+                         f.width, f.sign);
+  }
+  return r;
+}
+
+ParseResult WireCodec::parse_exact(const std::uint8_t* data, std::size_t len,
+                                   banzai::Packet& pkt) const {
+  if (len > spec_.header_bytes) {
+    require_capacity(pkt);
+    ParseResult r;
+    r.header_bytes = spec_.header_bytes;
+    r.status = ParseStatus::kOversized;
+    return r;
+  }
+  return parse(data, len, pkt);
+}
+
+void WireCodec::deparse_into(const banzai::Packet& pkt,
+                             std::uint8_t* out) const {
+  require_capacity(pkt);
+  std::memset(out, 0, spec_.header_bytes);
+  for (const Bound& b : bound_) {
+    const WireField& f = *b.field;
+    const std::uint32_t raw =
+        b.id == kCheckOnly
+            ? f.expect
+            : static_cast<std::uint32_t>(pkt[b.id]) & mask_of(f.width);
+    store_raw(out + f.offset, f.width, f.endian, raw);
+  }
+}
+
+std::vector<std::uint8_t> WireCodec::deparse(const banzai::Packet& pkt) const {
+  std::vector<std::uint8_t> out(spec_.header_bytes);
+  deparse_into(pkt, out.data());
+  return out;
+}
+
+}  // namespace wire

@@ -1,0 +1,119 @@
+// WireCodec: a header spec compiled against one machine's FieldTable into a
+// parser/deparser pair — the repo's parse → pipeline → deparse front end.
+//
+// Binding happens once (FieldId resolution by name, with an optional rename
+// map so an egress codec can follow the compiler's output_map to the field
+// holding each user field's final value); parse and deparse then touch no
+// strings and do no lookups.  Byte order is handled with explicit
+// shift-assembled loads/stores — the endian-independent equivalent of the
+// packed-struct + ntoh/hton edge the p4db switch.cpp exemplars use
+// (SNIPPETS.md); examples/wire_middlebox.cpp demonstrates bit-exact interop
+// with exactly such a packed struct.
+//
+// Hardening contract (the reason this layer exists as a differential axis):
+//   * parse never reads past `len` — the header-bytes bound is checked
+//     before any field load;
+//   * a rejected frame NEVER partially writes the packet: all checks
+//     (truncation, oversize, const mismatches) complete before the first
+//     field store, so `pkt` is bit-identical to its pre-call state on any
+//     non-kOk result;
+//   * every frame is either parsed or rejected with a typed ParseStatus —
+//     there is no third outcome, which is what makes exact accounting
+//     (offered == parsed + rejected) testable under fuzz.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "banzai/packet.h"
+#include "wire/spec.h"
+
+namespace wire {
+
+enum class ParseStatus : std::uint8_t {
+  kOk,         // header parsed, fields written
+  kTruncated,  // frame shorter than the spec's header
+  kOversized,  // frame longer than allowed (parse_exact: any trailing bytes)
+  kBadValue,   // a const-checked field ("magic") mismatched
+};
+
+const char* to_string(ParseStatus status);
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kOk;
+  std::size_t header_bytes = 0;  // bytes consumed on kOk (the header size)
+  // For kBadValue: the offending field's name, viewing into the codec's
+  // spec (valid for the codec's lifetime).
+  std::string_view field;
+
+  bool ok() const { return status == ParseStatus::kOk; }
+};
+
+// Raised when a spec names a machine field the FieldTable does not have.
+class WireBindError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class WireCodec {
+ public:
+  // Largest frame parse() tolerates (trailing payload beyond the header is
+  // legal up to this); parse_exact() instead demands len == header_bytes.
+  static constexpr std::size_t kDefaultMaxFrameBytes = 9216;  // jumbo MTU
+
+  // Resolves every spec field against `fields` once.  A field carrying an
+  // expected constant need not exist in the table (check-only, e.g. magic
+  // or version bytes); any other unresolvable field throws WireBindError.
+  // `rename` redirects wire names to table names — pass the compiler's
+  // output_map() to build the egress codec that deparses final values.
+  WireCodec(WireSpec spec, const banzai::FieldTable& fields,
+            const std::map<std::string, std::string>& rename = {},
+            std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  // Parses one frame into `pkt` (which must span the bound FieldTable).
+  // Trailing payload after the header is accepted up to max_frame_bytes;
+  // result.header_bytes tells the caller where it starts.
+  ParseResult parse(const std::uint8_t* data, std::size_t len,
+                    banzai::Packet& pkt) const;
+
+  // Strict framing: the frame must be exactly the header, trailing bytes are
+  // kOversized.  The FleetService byte path uses this — its egress frames
+  // are headers, so payload-bearing input would silently lose bytes.
+  ParseResult parse_exact(const std::uint8_t* data, std::size_t len,
+                          banzai::Packet& pkt) const;
+
+  // Writes the header image of `pkt` into out[0..header_bytes): bound fields
+  // from the packet (low `width` bytes, as the p4db exemplars' hton edge
+  // would), check-only fields from their constants, uncovered gaps as zero.
+  void deparse_into(const banzai::Packet& pkt, std::uint8_t* out) const;
+
+  std::vector<std::uint8_t> deparse(const banzai::Packet& pkt) const;
+
+  const WireSpec& spec() const { return spec_; }
+  std::size_t header_bytes() const { return spec_.header_bytes; }
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+  // Size of the FieldTable this codec was bound against; packets handed to
+  // parse()/deparse() must have at least this many fields.
+  std::size_t num_table_fields() const { return num_table_fields_; }
+
+ private:
+  struct Bound {
+    const WireField* field;  // into spec_.fields (stable: spec_ owned)
+    banzai::FieldId id;      // kCheckOnly when the field is const-only
+  };
+  static constexpr banzai::FieldId kCheckOnly =
+      static_cast<banzai::FieldId>(-1);
+
+  void require_capacity(const banzai::Packet& pkt) const;
+
+  WireSpec spec_;
+  std::vector<Bound> bound_;
+  std::size_t max_frame_bytes_;
+  std::size_t num_table_fields_ = 0;
+};
+
+}  // namespace wire

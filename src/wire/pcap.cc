@@ -1,0 +1,162 @@
+#include "wire/pcap.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wire {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4u;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4du;
+constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1u;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1u;
+constexpr std::size_t kGlobalHeaderBytes = 24;
+constexpr std::size_t kRecordHeaderBytes = 16;
+
+std::uint32_t bswap32(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) |
+         (v << 24);
+}
+
+std::uint32_t load_u32(const std::uint8_t* p, bool swapped) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return swapped ? bswap32(v) : v;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  std::memcpy(b, &v, 4);
+  out.insert(out.end(), b, b + 4);
+}
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  std::uint8_t b[2];
+  std::memcpy(b, &v, 2);
+  out.insert(out.end(), b, b + 2);
+}
+
+}  // namespace
+
+PcapReadResult read_pcap(const std::uint8_t* data, std::size_t len) {
+  PcapReadResult r;
+  if (len < kGlobalHeaderBytes) {
+    r.error = "truncated pcap: " + std::to_string(len) +
+              " bytes, global header needs 24";
+    return r;
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, data, 4);
+  bool swapped = false;
+  switch (magic) {
+    case kMagicUsec: break;
+    case kMagicNsec: r.file.nanosecond = true; break;
+    case kMagicUsecSwapped: swapped = true; break;
+    case kMagicNsecSwapped:
+      swapped = true;
+      r.file.nanosecond = true;
+      break;
+    default: {
+      std::ostringstream os;
+      os << "not a classic pcap: magic 0x" << std::hex << magic;
+      r.error = os.str();
+      return r;
+    }
+  }
+  r.file.linktype = load_u32(data + 20, swapped);
+  std::size_t off = kGlobalHeaderBytes;
+
+  while (off < len) {
+    if (len - off < kRecordHeaderBytes) {
+      r.error = "truncated pcap: record header at offset " +
+                std::to_string(off) + " needs 16 bytes, " +
+                std::to_string(len - off) + " remain";
+      r.bytes_consumed = off;
+      return r;
+    }
+    PcapPacket pkt;
+    pkt.ts_sec = load_u32(data + off, swapped);
+    pkt.ts_frac = load_u32(data + off + 4, swapped);
+    const std::uint32_t incl_len = load_u32(data + off + 8, swapped);
+    pkt.orig_len = load_u32(data + off + 12, swapped);
+    if (incl_len > kPcapMaxSnaplen) {
+      r.error = "corrupt pcap: record at offset " + std::to_string(off) +
+                " claims " + std::to_string(incl_len) +
+                " captured bytes (snaplen cap " +
+                std::to_string(kPcapMaxSnaplen) + ")";
+      r.bytes_consumed = off;
+      return r;
+    }
+    if (len - off - kRecordHeaderBytes < incl_len) {
+      r.error = "truncated pcap: record at offset " + std::to_string(off) +
+                " claims " + std::to_string(incl_len) + " bytes, " +
+                std::to_string(len - off - kRecordHeaderBytes) + " remain";
+      r.bytes_consumed = off;
+      return r;
+    }
+    const std::uint8_t* body = data + off + kRecordHeaderBytes;
+    pkt.bytes.assign(body, body + incl_len);
+    r.file.packets.push_back(std::move(pkt));
+    off += kRecordHeaderBytes + incl_len;
+  }
+  r.bytes_consumed = off;
+  return r;
+}
+
+PcapReadResult read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    PcapReadResult r;
+    r.error = "cannot open pcap file: " + path;
+    return r;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) {
+    PcapReadResult r;
+    r.error = "I/O error reading pcap file: " + path;
+    return r;
+  }
+  const std::string buf = os.str();
+  return read_pcap(reinterpret_cast<const std::uint8_t*>(buf.data()),
+                   buf.size());
+}
+
+std::vector<std::uint8_t> write_pcap(const PcapFile& file) {
+  std::vector<std::uint8_t> out;
+  std::size_t total = kGlobalHeaderBytes;
+  for (const PcapPacket& p : file.packets)
+    total += kRecordHeaderBytes + p.bytes.size();
+  out.reserve(total);
+
+  append_u32(out, file.nanosecond ? kMagicNsec : kMagicUsec);
+  append_u16(out, 2);  // version major
+  append_u16(out, 4);  // version minor
+  append_u32(out, 0);  // thiszone
+  append_u32(out, 0);  // sigfigs
+  append_u32(out, kPcapMaxSnaplen);
+  append_u32(out, file.linktype);
+
+  for (const PcapPacket& p : file.packets) {
+    append_u32(out, p.ts_sec);
+    append_u32(out, p.ts_frac);
+    append_u32(out, static_cast<std::uint32_t>(p.bytes.size()));
+    append_u32(out, p.orig_len ? p.orig_len
+                               : static_cast<std::uint32_t>(p.bytes.size()));
+    out.insert(out.end(), p.bytes.begin(), p.bytes.end());
+  }
+  return out;
+}
+
+bool write_pcap_file(const std::string& path, const PcapFile& file) {
+  const std::vector<std::uint8_t> buf = write_pcap(file);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace wire

@@ -1,0 +1,58 @@
+// Minimal classic-pcap (libpcap savefile) reader/writer, dependency-free.
+//
+// The replay front end: turn a capture into frames for the wire codec and
+// the FleetService byte path, and write synthetic corpus traffic back out as
+// a capture other tools can open.  Only the classic format is implemented —
+// 24-byte global header (usec magic 0xa1b2c3d4 or nsec 0xa1b23c4d, either
+// byte order) followed by 16-byte per-record headers — which is all replay
+// needs.
+//
+// Hardening: reading is fully bounds-checked and total.  A truncated global
+// header, a record header past EOF, a record body longer than the remaining
+// bytes or an absurd incl_len all stop the read with a typed error message
+// while KEEPING every record parsed before the damage, so accounting stays
+// exact (offered == parsed + the one rejected tail).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wire {
+
+struct PcapPacket {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_frac = 0;  // micro- or nanoseconds, per PcapFile::nanosecond
+  std::uint32_t orig_len = 0; // original length on the wire (>= bytes.size())
+  std::vector<std::uint8_t> bytes;
+};
+
+struct PcapFile {
+  bool nanosecond = false;
+  std::uint32_t linktype = 147;  // DLT_USER0: private frames, not Ethernet
+  std::vector<PcapPacket> packets;
+};
+
+struct PcapReadResult {
+  PcapFile file;
+  // Empty on a clean EOF.  On damage: why reading stopped; file.packets
+  // still holds everything parsed before the damaged record.
+  std::string error;
+  std::size_t bytes_consumed = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+// Largest per-record capture length accepted (libpcap's MAXIMUM_SNAPLEN is
+// 256 KiB; anything above is corruption, not a jumbo frame).
+inline constexpr std::uint32_t kPcapMaxSnaplen = 262144;
+
+PcapReadResult read_pcap(const std::uint8_t* data, std::size_t len);
+PcapReadResult read_pcap_file(const std::string& path);
+
+// Serializes in host-native byte order with the usec/nsec magic from `file`.
+std::vector<std::uint8_t> write_pcap(const PcapFile& file);
+// Returns false (and writes nothing durable) on I/O failure.
+bool write_pcap_file(const std::string& path, const PcapFile& file);
+
+}  // namespace wire

@@ -1,0 +1,213 @@
+#include "wire/spec.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wire {
+
+namespace {
+
+// One token with the line it started on, for error messages.
+struct Token {
+  std::string text;
+  int line = 1;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits the spec into identifiers, numbers and single-char punctuation,
+// dropping `#` comments.  Offsets/consts stay textual; parsing them happens
+// where the grammar expects a number, so "@" and "=" errors point at the
+// right token.
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      out.push_back({std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    out.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw WireSpecError("wire spec, line " + std::to_string(line) + ": " + what);
+}
+
+// Decimal or 0x-hex unsigned integer; rejects anything else.
+std::uint64_t parse_number(const Token& tok, const char* what) {
+  const std::string& s = tok.text;
+  std::uint64_t v = 0;
+  bool hex = s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  const std::size_t start = hex ? 2 : 0;
+  if (s.size() == start) fail(tok.line, std::string("expected ") + what);
+  for (std::size_t i = start; i < s.size(); ++i) {
+    const char c = s[i];
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (hex && c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else if (hex && c >= 'A' && c <= 'F')
+      digit = c - 'A' + 10;
+    else
+      fail(tok.line, std::string("expected ") + what + ", got '" + s + "'");
+    v = v * (hex ? 16 : 10) + static_cast<std::uint64_t>(digit);
+    if (v > 0xffffffffull)
+      fail(tok.line, std::string(what) + " '" + s + "' exceeds 32 bits");
+  }
+  return v;
+}
+
+struct TypeInfo {
+  std::size_t width;
+  Sign sign;
+};
+
+bool lookup_type(const std::string& name, TypeInfo& out) {
+  if (name == "u8") out = {1, Sign::kUnsigned};
+  else if (name == "u16") out = {2, Sign::kUnsigned};
+  else if (name == "u32") out = {4, Sign::kUnsigned};
+  else if (name == "i8") out = {1, Sign::kSigned};
+  else if (name == "i16") out = {2, Sign::kSigned};
+  else if (name == "i32") out = {4, Sign::kSigned};
+  else return false;
+  return true;
+}
+
+std::uint32_t width_mask(std::size_t width) {
+  return width >= 4 ? 0xffffffffu : ((1u << (8 * width)) - 1u);
+}
+
+}  // namespace
+
+WireSpec parse_wire_spec(std::string_view text) {
+  const std::vector<Token> toks = tokenize(text);
+  std::size_t p = 0;
+  auto peek = [&]() -> const Token& {
+    static const Token eof{"<end of spec>", 0};
+    return p < toks.size() ? toks[p] : eof;
+  };
+  auto next = [&](const char* what) -> const Token& {
+    if (p >= toks.size())
+      fail(toks.empty() ? 1 : toks.back().line,
+           std::string("unexpected end of spec, expected ") + what);
+    return toks[p++];
+  };
+  auto expect = [&](const char* text_lit) {
+    const Token& t = next(text_lit);
+    if (t.text != text_lit)
+      fail(t.line, std::string("expected '") + text_lit + "', got '" + t.text +
+                       "'");
+  };
+
+  expect("wire");
+  WireSpec spec;
+  {
+    const Token& name = next("header name");
+    if (!is_ident_char(name.text[0]) ||
+        std::isdigit(static_cast<unsigned char>(name.text[0])))
+      fail(name.line, "invalid header name '" + name.text + "'");
+    spec.name = name.text;
+  }
+  expect("{");
+
+  while (peek().text != "}") {
+    WireField f;
+    const Token& name = next("field name or '}'");
+    if (!is_ident_char(name.text[0]) ||
+        std::isdigit(static_cast<unsigned char>(name.text[0])))
+      fail(name.line, "invalid field name '" + name.text + "'");
+    f.name = name.text;
+    expect(":");
+    {
+      const Token& type = next("field type (u8/u16/u32/i8/i16/i32)");
+      TypeInfo info;
+      if (!lookup_type(type.text, info))
+        fail(type.line, "unknown field type '" + type.text +
+                            "' (expected u8/u16/u32/i8/i16/i32)");
+      f.width = info.width;
+      f.sign = info.sign;
+    }
+    if (peek().text == "be" || peek().text == "le") {
+      f.endian = next("endianness").text == "le" ? Endian::kLittle
+                                                 : Endian::kBig;
+    }
+    expect("@");
+    {
+      const Token& off = next("byte offset");
+      const std::uint64_t v = parse_number(off, "byte offset");
+      if (v + f.width > 65536)
+        fail(off.line, "field '" + f.name + "' ends beyond 64 KiB");
+      f.offset = static_cast<std::size_t>(v);
+    }
+    if (peek().text == "=") {
+      ++p;
+      const Token& cv = next("expected constant");
+      const std::uint32_t raw =
+          static_cast<std::uint32_t>(parse_number(cv, "expected constant"));
+      if ((raw & ~width_mask(f.width)) != 0)
+        fail(cv.line, "constant for '" + f.name + "' does not fit in " +
+                          std::to_string(f.width) + " byte(s)");
+      f.has_expect = true;
+      f.expect = raw;
+    }
+    {
+      const Token& semi = next("';'");
+      if (semi.text != ";")
+        fail(semi.line,
+             "expected ';' after field '" + f.name + "', got '" + semi.text +
+                 "'");
+    }
+    spec.fields.push_back(std::move(f));
+  }
+  expect("}");
+  if (p != toks.size())
+    fail(toks[p].line, "trailing tokens after '}': '" + toks[p].text + "'");
+
+  if (spec.fields.empty())
+    throw WireSpecError("wire spec '" + spec.name + "' declares no fields");
+
+  // Duplicate names and overlapping byte ranges are layout bugs, not data.
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.fields.size(); ++j) {
+      const WireField& a = spec.fields[i];
+      const WireField& b = spec.fields[j];
+      if (a.name == b.name)
+        throw WireSpecError("wire spec '" + spec.name +
+                            "': duplicate field '" + a.name + "'");
+      if (a.offset < b.offset + b.width && b.offset < a.offset + a.width)
+        throw WireSpecError("wire spec '" + spec.name + "': fields '" +
+                            a.name + "' and '" + b.name +
+                            "' overlap on the wire");
+    }
+    spec.header_bytes = std::max(spec.header_bytes,
+                                 spec.fields[i].offset + spec.fields[i].width);
+  }
+  return spec;
+}
+
+}  // namespace wire

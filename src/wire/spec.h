@@ -1,0 +1,78 @@
+// The header-spec DSL: a wire format declared next to the Domino program.
+//
+// The paper's switches process bytes on a wire, not pre-materialized field
+// vectors; P4's protocol-independent parser abstraction (PAPERS.md) models
+// the front end as a declarative header spec compiled into a parse graph.
+// This is the software reproduction of that shape at its smallest useful
+// size: one fixed-layout header per program, each field giving its machine
+// packet-field name, width, byte offset and endianness, e.g.
+//
+//   # flowlet switching, wire format v1
+//   wire flowlets_v1 {
+//     magic    : u16 be @0 = 0xD003;   # const-checked, not a machine field
+//     sport    : u16 be @2;
+//     dport    : u16 be @4;
+//     arrival  : u32 be @6;
+//     next_hop : u8  be @10;           # written back by the pipeline
+//   }
+//
+// Grammar (one header per spec; `#` starts a comment):
+//
+//   spec   := "wire" name "{" field* "}"
+//   field  := name ":" type [endian] "@" offset ["=" const] ";"
+//   type   := "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+//   endian := "be" | "le"            (default: be, network order)
+//   offset := decimal or 0x-hex byte offset from the frame start
+//   const  := decimal or 0x-hex expected value ("magic"): parse rejects
+//             frames whose bytes differ; deparse re-emits the constant.
+//
+// Validation is strict — overlapping byte ranges, duplicate names, unknown
+// types and missing offsets are WireSpecError at parse-spec time, so a
+// malformed spec can never produce a codec with undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wire {
+
+enum class Endian : std::uint8_t { kBig, kLittle };
+enum class Sign : std::uint8_t { kUnsigned, kSigned };
+
+struct WireField {
+  std::string name;
+  std::size_t offset = 0;  // byte offset from the frame start
+  std::size_t width = 4;   // bytes on the wire: 1, 2 or 4
+  Endian endian = Endian::kBig;
+  Sign sign = Sign::kUnsigned;  // i-types sign-extend into the 32-bit Value
+  bool has_expect = false;      // const-checked on parse ("magic")
+  std::uint32_t expect = 0;     // masked to `width` bytes
+};
+
+// A parsed, validated header spec.  Immutable after parse_wire_spec.
+struct WireSpec {
+  std::string name;
+  std::vector<WireField> fields;
+  std::size_t header_bytes = 0;  // max(offset + width) over all fields
+
+  const WireField* find(std::string_view field_name) const {
+    for (const WireField& f : fields)
+      if (f.name == field_name) return &f;
+    return nullptr;
+  }
+};
+
+// Raised on any grammar or validation error, with a 1-based line number.
+class WireSpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parses and validates one header spec.  Throws WireSpecError on malformed
+// input; never returns a spec a WireCodec could misbehave on.
+WireSpec parse_wire_spec(std::string_view text);
+
+}  // namespace wire

@@ -15,6 +15,7 @@
 #include "algorithms/corpus.h"
 #include "banzai/batch.h"
 #include "banzai/native.h"
+#include "banzai/native_io.h"
 #include "core/compiler.h"
 #include "core/emit.h"
 
@@ -144,10 +145,76 @@ TEST(NativeOptionsTest, FromEnvReadsTheDocumentedKnobs) {
   ::unsetenv("DOMINO_NATIVE_CACHE");
   ::unsetenv("DOMINO_NATIVE_DISABLE");
   banzai::NativeOptions d = banzai::NativeOptions::from_env();
-  EXPECT_TRUE(d.compiler.empty());
-  EXPECT_TRUE(d.extra_flags.empty());
-  EXPECT_EQ(d.cache_dir, "/tmp/domino-native-cache");
+  EXPECT_FALSE(d.compiler.has_value());
+  EXPECT_FALSE(d.extra_flags.has_value());
+  EXPECT_FALSE(d.cache_dir.has_value())
+      << "unset variables stay disengaged so the built-in default ("
+      << banzai::kDefaultNativeCacheDir << ") applies downstream";
   EXPECT_FALSE(d.disabled);
+}
+
+TEST(NativeOptionsTest, EngagedEmptyExtraFlagsOverrideTheEnvironment) {
+  // The explicit-presence regression: with DOMINO_NATIVE_CXXFLAGS set to
+  // something that breaks every compile, a caller must still be able to
+  // force "no extra flags" by engaging the field with an empty value.  The
+  // old empty-means-unset merge made that impossible.
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  auto compiled = compile_flowlets(opts);
+  const auto* kernel = compiled.machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string source = domino::emit_native_cc(*kernel);
+
+  ::setenv("DOMINO_NATIVE_CXXFLAGS", "-fdomino-no-such-flag", 1);
+  banzai::NativeOptions nopts;
+  nopts.cache_dir = fresh_cache_dir("presence");
+
+  // Disengaged extra_flags fall through to the broken environment value…
+  auto env_flags =
+      banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  EXPECT_EQ(env_flags.pipeline, nullptr);
+  EXPECT_NE(env_flags.error.find("host compile failed"), std::string::npos)
+      << env_flags.error;
+
+  // …while an engaged-but-empty field overrides it and the compile succeeds.
+  nopts.extra_flags = "";
+  auto forced =
+      banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ::unsetenv("DOMINO_NATIVE_CXXFLAGS");
+  EXPECT_NE(forced.pipeline, nullptr) << forced.error;
+
+  std::filesystem::remove_all(*nopts.cache_dir);
+}
+
+TEST(NativeOptionsTest, EngagedCacheDirWinsOverTheEnvironment) {
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions opts;
+  auto compiled = compile_flowlets(opts);
+  const auto* kernel = compiled.machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string source = domino::emit_native_cc(*kernel);
+
+  const std::string env_dir = fresh_cache_dir("cache-env");
+  const std::string opt_dir = fresh_cache_dir("cache-opt");
+  ::setenv("DOMINO_NATIVE_CACHE", env_dir.c_str(), 1);
+
+  // Disengaged cache_dir resolves through the environment…
+  banzai::NativeOptions nopts;
+  auto via_env =
+      banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ASSERT_NE(via_env.pipeline, nullptr) << via_env.error;
+  EXPECT_EQ(via_env.so_path.rfind(env_dir, 0), 0u) << via_env.so_path;
+
+  // …and an engaged option beats the set variable.
+  nopts.cache_dir = opt_dir;
+  auto via_opt =
+      banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ::unsetenv("DOMINO_NATIVE_CACHE");
+  ASSERT_NE(via_opt.pipeline, nullptr) << via_opt.error;
+  EXPECT_EQ(via_opt.so_path.rfind(opt_dir, 0), 0u) << via_opt.so_path;
+
+  std::filesystem::remove_all(env_dir);
+  std::filesystem::remove_all(opt_dir);
 }
 
 TEST(NativeLoaderTest, HostTunedFlagsViaEnvProduceADistinctAgreeingObject) {
@@ -172,7 +239,7 @@ TEST(NativeLoaderTest, HostTunedFlagsViaEnvProduceADistinctAgreeingObject) {
   auto tuned = banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
   ::unsetenv("DOMINO_NATIVE_CXXFLAGS");
   if (tuned.pipeline == nullptr) {
-    std::filesystem::remove_all(nopts.cache_dir);
+    std::filesystem::remove_all(*nopts.cache_dir);
     GTEST_SKIP() << "host compiler rejects -march=native: " << tuned.error;
   }
   EXPECT_FALSE(tuned.cache_hit) << "env flags participate in the cache key";
@@ -187,7 +254,7 @@ TEST(NativeLoaderTest, HostTunedFlagsViaEnvProduceADistinctAgreeingObject) {
   for (const Packet& p : flowlet_workload(compiled, 1000))
     ASSERT_EQ(m.process(p), ref.process(p));
   EXPECT_TRUE(m.state() == ref.state());
-  std::filesystem::remove_all(nopts.cache_dir);
+  std::filesystem::remove_all(*nopts.cache_dir);
 }
 
 TEST(NativeLoaderTest, ColumnarEntryPointIsExportedAndAgreesWithRows) {
@@ -257,7 +324,7 @@ TEST(NativeLoaderTest, SecondLoadOfTheSameProgramHitsTheSoCache) {
     ASSERT_EQ(a.process(p), b.process(p));
   EXPECT_TRUE(a.state() == b.state());
 
-  std::filesystem::remove_all(nopts.cache_dir);
+  std::filesystem::remove_all(*nopts.cache_dir);
 }
 
 TEST(NativeLoaderTest, FlagChangeMissesTheCache) {
@@ -279,7 +346,7 @@ TEST(NativeLoaderTest, FlagChangeMissesTheCache) {
   EXPECT_FALSE(flagged.cache_hit)
       << "a flag change must produce a distinct cached object";
   EXPECT_NE(plain.so_path, flagged.so_path);
-  std::filesystem::remove_all(nopts.cache_dir);
+  std::filesystem::remove_all(*nopts.cache_dir);
 }
 
 TEST(NativeLoaderTest, BrokenSourceReportsTheCompilerError) {
@@ -293,7 +360,64 @@ TEST(NativeLoaderTest, BrokenSourceReportsTheCompilerError) {
   EXPECT_EQ(result.pipeline, nullptr);
   EXPECT_NE(result.error.find("host compile failed"), std::string::npos)
       << result.error;
-  std::filesystem::remove_all(nopts.cache_dir);
+  std::filesystem::remove_all(*nopts.cache_dir);
+}
+
+TEST(NativeIoTest, ReadFileReportsFailureInsteadOfEmptySuccess) {
+  // The regression the loader hit: read_file() used to return "" for both
+  // "empty log" and "log unreadable", so compile diagnostics could silently
+  // vanish.  Failure is now an explicit false.
+  std::string out = "sentinel";
+  EXPECT_FALSE(
+      banzai::native_io::read_file("/nonexistent/dir/no-such-file", out));
+  EXPECT_TRUE(out.empty()) << "failed reads must not leave stale data";
+  // A directory is unreadable-as-file, not an empty file.
+  EXPECT_FALSE(banzai::native_io::read_file(
+      std::filesystem::temp_directory_path().string(), out));
+}
+
+TEST(NativeIoTest, WriteReadRoundTripAndWriteFailure) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("domino-native-io-" +
+                    std::to_string(static_cast<long>(::getpid())));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "blob.bin").string();
+  const std::string payload("a\0b\nbinary \xff payload", 19);
+  ASSERT_TRUE(banzai::native_io::write_file(path, payload));
+  std::string back;
+  ASSERT_TRUE(banzai::native_io::read_file(path, back));
+  EXPECT_EQ(back, payload);
+  // Writing to a path that is a directory must fail loudly, not no-op.
+  EXPECT_FALSE(banzai::native_io::write_file(dir.string(), "x"));
+  // Zero-byte file: success with an empty result, distinct from failure.
+  ASSERT_TRUE(banzai::native_io::write_file(path, ""));
+  back = "sentinel";
+  EXPECT_TRUE(banzai::native_io::read_file(path, back));
+  EXPECT_TRUE(back.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NativeIoTest, CompileLogTailKeepsTheEndAndFlagsUnreadableLogs) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("domino-native-log-" +
+                    std::to_string(static_cast<long>(::getpid())));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "compile.log").string();
+  // A log longer than the tail budget: the fatal diagnostic at the end
+  // must survive, the preamble is what gets elided.
+  std::string log(3 * banzai::native_io::kCompileLogTailBytes, '.');
+  log += "\nerror: the actual diagnostic";
+  ASSERT_TRUE(banzai::native_io::write_file(path, log));
+  const std::string tail = banzai::native_io::compile_log_tail(path);
+  EXPECT_LE(tail.size(), banzai::native_io::kCompileLogTailBytes + 64);
+  EXPECT_NE(tail.find("error: the actual diagnostic"), std::string::npos);
+  EXPECT_EQ(tail.rfind("[...log truncated...]", 0), 0u) << tail.substr(0, 80);
+  // Unreadable log: a marker naming the path, never a silent empty string.
+  const std::string missing =
+      banzai::native_io::compile_log_tail((dir / "no-such.log").string());
+  EXPECT_NE(missing.find("compile log unreadable"), std::string::npos);
+  EXPECT_NE(missing.find("no-such.log"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(NativeLoaderTest, NativeMachinesShareThePipelineAcrossClones) {

@@ -1,0 +1,291 @@
+// Malformed-input hardening sweep for the wire front end: seeded random
+// frames (garbage, truncated, oversized, mutated-valid) against the codec's
+// contract — every frame is exactly parsed or cleanly rejected, a rejected
+// frame never touches the packet, classification matches an independent
+// oracle, and the accounting is exact all the way through the FleetService
+// byte path.  The pcap reader gets the same treatment on whole-file blobs.
+// CI runs this suite under ASan/UBSan, where "never reads past len" is
+// enforced by the allocator, not just by assertions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/service.h"
+#include "core/compiler.h"
+#include "wire/codec.h"
+#include "wire/pcap.h"
+
+namespace {
+
+using banzai::Packet;
+using wire::ParseStatus;
+using wire::WireCodec;
+using wire::WireSpec;
+
+// What a correct parser must say about `frame`, derived independently of the
+// codec: length checks first, then every const-checked field, in spec order.
+ParseStatus oracle_exact(const WireSpec& spec,
+                         const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < spec.header_bytes) return ParseStatus::kTruncated;
+  if (frame.size() > spec.header_bytes) return ParseStatus::kOversized;
+  for (const wire::WireField& f : spec.fields) {
+    if (!f.has_expect) continue;
+    std::uint32_t raw = 0;
+    if (f.endian == wire::Endian::kBig) {
+      for (std::size_t i = 0; i < f.width; ++i)
+        raw = (raw << 8) | frame[f.offset + i];
+    } else {
+      for (std::size_t i = f.width; i > 0; --i)
+        raw = (raw << 8) | frame[f.offset + i - 1];
+    }
+    if (raw != f.expect) return ParseStatus::kBadValue;
+  }
+  return ParseStatus::kOk;
+}
+
+// Exercises `codec` with `iterations` random frames sized 0..max_len,
+// filling `counts` per status; asserts the contract on every frame (void
+// return: gtest fatal assertions only work in void functions).
+void sweep(const WireSpec& spec, const WireCodec& codec, std::mt19937& rng,
+           int iterations, std::size_t max_len,
+           std::map<ParseStatus, std::uint64_t>& counts) {
+  std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  Packet pristine(codec.num_table_fields());
+  for (std::size_t i = 0; i < pristine.num_fields(); ++i)
+    pristine.set(i, static_cast<banzai::Value>(0x40000000u + i));
+
+  std::vector<std::uint8_t> frame;
+  for (int it = 0; it < iterations; ++it) {
+    frame.resize(len_dist(rng));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(byte_dist(rng));
+    // Bias half the exactly-sized frames toward a valid magic so the kOk
+    // and kBadValue arms both get real coverage.
+    if (frame.size() == spec.header_bytes && (it & 1)) {
+      for (const wire::WireField& f : spec.fields) {
+        if (!f.has_expect) continue;
+        std::uint32_t v = f.expect;
+        if (f.endian == wire::Endian::kBig) {
+          for (std::size_t i = f.width; i > 0; --i) {
+            frame[f.offset + i - 1] = static_cast<std::uint8_t>(v & 0xff);
+            v >>= 8;
+          }
+        } else {
+          for (std::size_t i = 0; i < f.width; ++i) {
+            frame[f.offset + i] = static_cast<std::uint8_t>(v & 0xff);
+            v >>= 8;
+          }
+        }
+      }
+    }
+    Packet pkt = pristine;
+    const auto r = codec.parse_exact(frame.data(), frame.size(), pkt);
+    ++counts[r.status];
+    const ParseStatus want = oracle_exact(spec, frame);
+    ASSERT_EQ(r.status, want)
+        << "codec and oracle disagree on a " << frame.size() << "-byte frame";
+    if (!r.ok()) {
+      ASSERT_EQ(pkt, pristine)
+          << "rejected frame partially wrote the packet ("
+          << wire::to_string(r.status) << ")";
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomFramesAreParsedOrCleanlyRejectedEveryCorpusSpec) {
+  // Every corpus spec, 20k frames each: exact classification agreement with
+  // the oracle, untouched packets on rejection, and exact accounting
+  // (offered == sum of status counts — no third outcome).
+  constexpr int kIterations = 20000;
+  std::mt19937 rng(20260808);
+  for (const auto& alg : algorithms::corpus()) {
+    const WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+    banzai::FieldTable ft;
+    for (const wire::WireField& f : spec.fields)
+      if (!f.has_expect) ft.intern(f.name);
+    const WireCodec codec(spec, ft);
+    std::map<ParseStatus, std::uint64_t> counts;
+    sweep(spec, codec, rng, kIterations, spec.header_bytes + 4, counts);
+    if (HasFatalFailure()) return;
+    std::uint64_t total = 0;
+    for (const auto& [st, n] : counts) total += n;
+    ASSERT_EQ(total, static_cast<std::uint64_t>(kIterations)) << alg.name;
+    // The sweep's length range straddles the header, so every arm fires.
+    EXPECT_GT(counts.count(ParseStatus::kOk) ? counts.at(ParseStatus::kOk) : 0,
+              0u)
+        << alg.name;
+    EXPECT_GT(counts.count(ParseStatus::kTruncated)
+                  ? counts.at(ParseStatus::kTruncated)
+                  : 0,
+              0u)
+        << alg.name;
+    EXPECT_GT(counts.count(ParseStatus::kOversized)
+                  ? counts.at(ParseStatus::kOversized)
+                  : 0,
+              0u)
+        << alg.name;
+  }
+}
+
+TEST(WireFuzzTest, MutatedValidFramesClassifyByWhatTheMutationHit) {
+  // Start from a valid frame and flip one byte / truncate / extend at
+  // random: the verdict must track exactly whether the damage landed on a
+  // const-checked byte, shortened the frame, or lengthened it.
+  const auto& alg = algorithms::algorithm("heavy_hitters");
+  const WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+  banzai::FieldTable ft;
+  for (const wire::WireField& f : spec.fields)
+    if (!f.has_expect) ft.intern(f.name);
+  const WireCodec codec(spec, ft);
+
+  std::mt19937 rng(777);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  Packet seed_pkt(ft.size());
+  for (std::size_t i = 0; i < ft.size(); ++i)
+    seed_pkt.set(i, static_cast<banzai::Value>(i * 2654435761u));
+  const std::vector<std::uint8_t> valid = codec.deparse(seed_pkt);
+  ASSERT_EQ(oracle_exact(spec, valid), ParseStatus::kOk);
+
+  Packet pkt(ft.size());
+  for (int it = 0; it < 30000; ++it) {
+    std::vector<std::uint8_t> frame = valid;
+    switch (it % 3) {
+      case 0: {  // flip one byte
+        const std::size_t pos = static_cast<std::size_t>(
+            std::uniform_int_distribution<std::size_t>(
+                0, frame.size() - 1)(rng));
+        frame[pos] ^= static_cast<std::uint8_t>(1 + byte_dist(rng) % 255);
+        break;
+      }
+      case 1:  // truncate
+        frame.resize(std::uniform_int_distribution<std::size_t>(
+            0, frame.size() - 1)(rng));
+        break;
+      default:  // extend with junk
+        frame.push_back(static_cast<std::uint8_t>(byte_dist(rng)));
+        break;
+    }
+    const auto r = codec.parse_exact(frame.data(), frame.size(), pkt);
+    ASSERT_EQ(r.status, oracle_exact(spec, frame)) << "iteration " << it;
+    if (r.status == ParseStatus::kBadValue) {
+      ASSERT_EQ(r.field, "magic") << "only const-checked fields can be bad";
+    }
+  }
+}
+
+TEST(WireFuzzTest, ServiceByteIngestAccountsForEveryOfferedFrame) {
+  // The accounting invariant end to end: offered == parsed + rejected,
+  // delivered egress frames == parsed, per-reason counters sum exactly, and
+  // garbage never wedges or kills the workers.
+  const auto& alg = algorithms::algorithm("flowlets");
+  auto compiled =
+      domino::compile(alg.source, *atoms::find_target("banzai-praw"));
+  const auto& ft = compiled.machine().fields();
+  const WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+  auto rx = std::make_shared<const WireCodec>(spec, ft);
+  auto tx =
+      std::make_shared<const WireCodec>(spec, ft, compiled.output_map());
+
+  banzai::ServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.num_slots = 8;
+  cfg.batch_size = 64;
+  cfg.ring_capacity = 256;
+  cfg.flow_key = {ft.id_of("sport"), ft.id_of("dport")};
+  banzai::FleetService svc(compiled.machine(), cfg);
+  svc.set_wire(rx, tx);
+  svc.start();
+
+  std::mt19937 rng(31337);
+  std::uniform_int_distribution<std::size_t> len_dist(
+      0, spec.header_bytes + 3);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  constexpr std::uint64_t kOffered = 50000;
+  std::uint64_t want_parsed = 0;
+  std::vector<std::uint8_t> frame;
+  std::size_t drained = 0;
+  for (std::uint64_t i = 0; i < kOffered; ++i) {
+    frame.resize(len_dist(rng));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(byte_dist(rng));
+    if (frame.size() == spec.header_bytes && (i & 1)) {
+      frame[0] = 0xD0;  // flowlets magic 0xD003, network order
+      frame[1] = 0x03;
+    }
+    const auto in = svc.ingest_frame(frame.data(), frame.size());
+    ASSERT_EQ(in.parse.status, oracle_exact(spec, frame)) << "frame " << i;
+    if (in.parse.ok()) {
+      ++want_parsed;
+      ASSERT_TRUE(in.accepted) << "Block backpressure never drops";
+    }
+    if ((i & 0xfff) == 0) drained += svc.drain_egress_frames().size();
+  }
+  svc.flush();
+  drained += svc.drain_egress_frames().size();
+  const auto st = svc.stats();
+  svc.stop();
+
+  EXPECT_EQ(st.wire.frames_parsed, want_parsed);
+  EXPECT_EQ(st.wire.frames_parsed + st.wire.frames_rejected, kOffered);
+  EXPECT_EQ(st.wire.frames_rejected, st.wire.reject_truncated +
+                                         st.wire.reject_oversized +
+                                         st.wire.reject_bad_value);
+  EXPECT_EQ(drained, want_parsed) << "every parsed frame must egress";
+  EXPECT_EQ(st.wire.bytes_in, want_parsed * rx->header_bytes());
+  EXPECT_EQ(st.wire.bytes_out, want_parsed * tx->header_bytes());
+  EXPECT_EQ(st.ingested, want_parsed)
+      << "rejected frames must never reach the rings";
+  EXPECT_EQ(st.delivered, want_parsed);
+}
+
+TEST(WireFuzzTest, PcapReaderSurvivesArbitraryBlobs) {
+  // Random blobs and mutated/truncated real captures: read_pcap must always
+  // return (ok or typed error), never crash or over-read, and on truncation
+  // keep exactly the records that precede the damage.
+  std::mt19937 rng(4096);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<std::size_t> len_dist(0, 200);
+  for (int it = 0; it < 20000; ++it) {
+    std::vector<std::uint8_t> blob(len_dist(rng));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(byte_dist(rng));
+    const auto r = wire::read_pcap(blob.data(), blob.size());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+    }
+    EXPECT_LE(r.bytes_consumed, blob.size());
+  }
+
+  // A real three-record capture truncated at every possible length.
+  wire::PcapFile file;
+  for (int i = 0; i < 3; ++i) {
+    wire::PcapPacket p;
+    p.bytes.assign(static_cast<std::size_t>(5 + i),
+                   static_cast<std::uint8_t>(0xC0 + i));
+    file.packets.push_back(std::move(p));
+  }
+  const std::vector<std::uint8_t> whole = wire::write_pcap(file);
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    const auto r = wire::read_pcap(whole.data(), cut);
+    if (cut == whole.size()) {
+      EXPECT_TRUE(r.ok()) << r.error;
+      EXPECT_EQ(r.file.packets.size(), 3u);
+    } else if (r.ok()) {
+      // A cut that lands exactly on a record boundary parses clean with a
+      // prefix of the records.
+      EXPECT_LT(r.file.packets.size(), 3u);
+      EXPECT_EQ(r.bytes_consumed, cut);
+    } else {
+      EXPECT_FALSE(r.error.empty());
+    }
+    for (std::size_t i = 0; i < r.file.packets.size(); ++i)
+      EXPECT_EQ(r.file.packets[i].bytes, file.packets[i].bytes)
+          << "cut " << cut << " record " << i;
+  }
+}
+
+}  // namespace
