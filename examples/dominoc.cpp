@@ -47,6 +47,14 @@ std::optional<std::string> load_source(const std::string& arg,
       return a.source;
     }
   }
+  // The scheduling corpus: PIFO rank programs (token_bucket, hsched; stfq
+  // resolves above as a Table-4 row).
+  for (const auto& a : algorithms::rank_corpus()) {
+    if (a.name == arg) {
+      *alg = &a;
+      return a.source;
+    }
+  }
   std::ifstream in(arg);
   if (!in) return std::nullopt;
   std::ostringstream os;
@@ -64,6 +72,10 @@ int main(int argc, char** argv) {
     for (const auto& a : algorithms::corpus())
       std::printf("  %-18s %s (paper least atom: %s)\n", a.name.c_str(),
                   a.description.c_str(), a.paper_least_atom.c_str());
+    std::printf("\nrank programs (PIFO schedulers, docs/SCHEDULING.md):\n");
+    for (const auto& a : algorithms::rank_corpus())
+      std::printf("  %-18s %s (rank field: %s)\n", a.name.c_str(),
+                  a.description.c_str(), a.rank_field.c_str());
     std::printf("\ntargets:\n");
     for (const auto& t : atoms::paper_targets())
       std::printf("  %-18s stateful atom: %s\n", t.name.c_str(),

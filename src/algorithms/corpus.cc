@@ -361,6 +361,180 @@ wire stfq_v1 {
 // 9. DNS TTL change tracking — count, per domain, how often the announced
 //    TTL changes (EXPOSURE uses this as a malicious-domain feature).
 // --------------------------------------------------------------------------
+// --------------------------------------------------------------------------
+// Rank programs (rank_corpus): scheduling transactions whose output field a
+// PIFO queue reads as the packet's rank — the companion paper's examples.
+// `now` is the wall-clock tick; `vt` and `refund`/`trefund` are scheduler
+// feedback: the virtual time (start rank of the packet in service) and the
+// bytes of the flow/tenant the scheduler evicted since the last offer.
+// --------------------------------------------------------------------------
+
+// Start-time fair queueing as a rank program.  Unlike the Table-4 `stfq`
+// row (which approximates virtual time with the wall clock), this is the
+// companion paper's formulation plus scheduler feedback: `vt` clamps the
+// flow's clock from below so an idle flow rejoins at the current round, and
+// `refund` subtracts evicted bytes so the clock tracks served+buffered
+// bytes rather than ever-admitted bytes (without it a flow overdriving a
+// full buffer is charged for evicted packets and starves).  `len - refund`
+// and `vt + refund` are folded outside the stateful codelet so the state
+// update keeps the two-operand shape the paper's atoms provide.
+const char* kStfqRank = R"(
+#define NUM_FLOWS 1024
+
+struct Packet {
+  int flow;
+  int len;
+  int vt;
+  int refund;
+  int adj;
+  int vr;
+  int idx;
+  int last;
+  int start;
+};
+
+int last_finish[NUM_FLOWS] = {0};
+
+void stfq_rank(struct Packet pkt) {
+  pkt.adj = pkt.len - pkt.refund;
+  pkt.vr = pkt.vt + pkt.refund;
+  pkt.idx = hash2(pkt.flow, 1) % NUM_FLOWS;
+  pkt.last = last_finish[pkt.idx];
+  if (pkt.last > pkt.vr) {
+    last_finish[pkt.idx] = pkt.last + pkt.adj;
+  } else {
+    last_finish[pkt.idx] = pkt.vt + pkt.len;
+  }
+  pkt.start = (pkt.last > pkt.vr) ? (pkt.last - pkt.refund) : pkt.vt;
+}
+)";
+
+const char* kStfqRankWire = R"(
+wire stfq_rank_v1 {
+  magic  : u16 be @0 = 0xD00E;
+  flow   : u16 be @2;
+  len    : u16 be @4;
+  vt     : u32 be @6;
+  refund : u32 be @10;
+  start  : u32 be @14;
+}
+)";
+
+// Token-bucket shaping at one byte per tick: per-flow theoretical arrival
+// time (TAT) advances by the packet length; a packet may depart up to BURST
+// bytes ahead of its TAT, otherwise its rank pushes it into the future.
+const char* kTokenBucket = R"(
+#define NUM_FLOWS 512
+#define BURST 6000
+
+struct Packet {
+  int flow;
+  int len;
+  int now;
+  int idx;
+  int t;
+  int send;
+};
+
+int next_free[NUM_FLOWS] = {0};
+
+void token_bucket(struct Packet pkt) {
+  pkt.idx = hash2(pkt.flow, 2) % NUM_FLOWS;
+  pkt.t = next_free[pkt.idx];
+  if (pkt.t < pkt.now) {
+    next_free[pkt.idx] = pkt.now + pkt.len;
+  } else {
+    next_free[pkt.idx] = pkt.t + pkt.len;
+  }
+  pkt.send = ((pkt.t - BURST) > pkt.now) ? (pkt.t - BURST) : pkt.now;
+}
+)";
+
+const char* kTokenBucketWire = R"(
+wire token_bucket_v1 {
+  magic : u16 be @0 = 0xD00C;
+  flow  : u16 be @2;
+  len   : u16 be @4;
+  now   : u32 be @6;
+  send  : u32 be @10;
+}
+)";
+
+// Two-level hierarchical scheduling collapsed into one rank: tenant-level
+// STFQ virtual time majorizes, the flow-level virtual time breaks ties
+// within a BAND-tick band — an approximation of HPFQ's PIFO tree with a
+// single PIFO.  The fed-back `vt` is a combined rank, so the program first
+// projects it to tenant units (vt >> BAND_SHIFT) before clamping either
+// clock.
+const char* kHsched = R"(
+#define NUM_TENANTS 64
+#define NUM_QUEUES 1024
+#define BAND_SHIFT 6
+#define BAND_MASK 63
+
+struct Packet {
+  int tenant;
+  int flow;
+  int len;
+  int vt;
+  int refund;
+  int trefund;
+  int tvt;
+  int tadj;
+  int tvr;
+  int fadj;
+  int fvr;
+  int tidx;
+  int fidx;
+  int tlast;
+  int flast;
+  int tstart;
+  int fstart;
+  int rank;
+};
+
+int tenant_finish[NUM_TENANTS] = {0};
+int flow_finish[NUM_QUEUES] = {0};
+
+void hsched(struct Packet pkt) {
+  pkt.tvt = pkt.vt >> BAND_SHIFT;
+  pkt.tadj = pkt.len - pkt.trefund;
+  pkt.tvr = pkt.tvt + pkt.trefund;
+  pkt.fadj = pkt.len - pkt.refund;
+  pkt.fvr = pkt.tvt + pkt.refund;
+  pkt.tidx = hash2(pkt.tenant, 3) % NUM_TENANTS;
+  pkt.fidx = hash2(pkt.flow, 5) % NUM_QUEUES;
+  pkt.tlast = tenant_finish[pkt.tidx];
+  if (pkt.tlast > pkt.tvr) {
+    tenant_finish[pkt.tidx] = pkt.tlast + pkt.tadj;
+  } else {
+    tenant_finish[pkt.tidx] = pkt.tvt + pkt.len;
+  }
+  pkt.flast = flow_finish[pkt.fidx];
+  if (pkt.flast > pkt.fvr) {
+    flow_finish[pkt.fidx] = pkt.flast + pkt.fadj;
+  } else {
+    flow_finish[pkt.fidx] = pkt.tvt + pkt.len;
+  }
+  pkt.tstart = (pkt.tlast > pkt.tvr) ? (pkt.tlast - pkt.trefund) : pkt.tvt;
+  pkt.fstart = (pkt.flast > pkt.fvr) ? (pkt.flast - pkt.refund) : pkt.tvt;
+  pkt.rank = (pkt.tstart << BAND_SHIFT) + (pkt.fstart & BAND_MASK);
+}
+)";
+
+const char* kHschedWire = R"(
+wire hsched_v1 {
+  magic   : u16 be @0 = 0xD00D;
+  tenant  : u16 be @2;
+  flow    : u16 be @4;
+  len     : u16 be @6;
+  vt      : u32 be @8;
+  refund  : u32 be @12;
+  trefund : u32 be @16;
+  rank    : u32 be @20;
+}
+)";
+
 const char* kDnsTtl = R"(
 #define NUM_DOMAINS 4096
 
@@ -693,6 +867,91 @@ const AlgorithmInfo& algorithm(const std::string& name) {
   for (const auto& a : corpus())
     if (a.name == name) return a;
   throw std::out_of_range("unknown algorithm: " + name);
+}
+
+const std::vector<AlgorithmInfo>& rank_corpus() {
+  static const std::vector<AlgorithmInfo> kRankCorpus = [] {
+    std::vector<AlgorithmInfo> v;
+
+    {
+      AlgorithmInfo a{"stfq",
+                      "Start-time fair queueing rank: the flow's virtual "
+                      "start time against the scheduler's fed-back virtual "
+                      "time",
+                      kStfqRank, "Ingress", "Nested", 0, 0, 20, 0,
+                      {"flow", "len", "vt", "refund"},
+                      {},
+                      kStfqRankWire,
+                      "start"};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> flow(0, 31);
+        std::uniform_int_distribution<int> len(64, 1500);
+        std::uniform_int_distribution<int> evict(0, 9);
+        f["flow"] = flow(rng);
+        f["len"] = len(rng);
+        f["vt"] = i * 400;  // the scheduler's round advances ~a packet/step
+        f["refund"] = (evict(rng) == 0) ? 1500 : 0;  // occasional eviction
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"token_bucket",
+                      "Shape each flow to one byte per tick with a BURST-byte "
+                      "bucket; rank is the packet's earliest send time",
+                      kTokenBucket, "Ingress", "Nested", 0, 0, 19, 0,
+                      {"flow", "len", "now"},
+                      {},
+                      kTokenBucketWire,
+                      "send"};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> flow(0, 15);
+        std::uniform_int_distribution<int> len(64, 1500);
+        f["flow"] = flow(rng);
+        f["len"] = len(rng);
+        f["now"] = i * 2;  // heavily overloaded: shaping must engage
+      };
+      v.push_back(std::move(a));
+    }
+
+    {
+      AlgorithmInfo a{"hsched",
+                      "Two-level hierarchical scheduling: tenant-level STFQ "
+                      "majorizes, flow-level STFQ breaks ties in-band",
+                      kHsched, "Ingress", "Nested", 0, 0, 33, 0,
+                      {"tenant", "flow", "len", "vt", "refund", "trefund"},
+                      {},
+                      kHschedWire,
+                      "rank"};
+      a.workload = [](std::mt19937& rng, int i,
+                      std::map<std::string, Value>& f) {
+        std::uniform_int_distribution<int> tenant(0, 7);
+        std::uniform_int_distribution<int> sub(0, 3);
+        std::uniform_int_distribution<int> len(64, 1500);
+        std::uniform_int_distribution<int> evict(0, 9);
+        const int t = tenant(rng);
+        f["tenant"] = t;
+        f["flow"] = t * 4 + sub(rng);
+        f["len"] = len(rng);
+        f["vt"] = (i * 400) << 6;  // combined-rank units (see BAND_SHIFT)
+        const bool ev = evict(rng) == 0;
+        f["refund"] = ev ? 1500 : 0;
+        f["trefund"] = ev ? 1500 : 0;
+      };
+      v.push_back(std::move(a));
+    }
+
+    return v;
+  }();
+  return kRankCorpus;
+}
+
+const AlgorithmInfo& rank_algorithm(const std::string& name) {
+  for (const auto& a : rank_corpus())
+    if (a.name == name) return a;
+  throw std::out_of_range("unknown rank algorithm: " + name);
 }
 
 }  // namespace algorithms

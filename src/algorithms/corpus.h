@@ -46,6 +46,9 @@ struct AlgorithmInfo {
   // magic constant so garbage frames are rejectable.  Parsed and bound by
   // wire::WireCodec; tests/wire_test.cc round-trips every entry.
   std::string wire_spec;
+  // For rank programs (rank_corpus()): the output packet field a PIFO queue
+  // reads as the packet's rank.  Empty for the Table-4 corpus.
+  std::string rank_field = {};
 };
 
 // All eleven algorithms, in Table 4 order.
@@ -53,5 +56,17 @@ const std::vector<AlgorithmInfo>& corpus();
 
 // Lookup by name; throws std::out_of_range if unknown.
 const AlgorithmInfo& algorithm(const std::string& name);
+
+// The scheduling corpus: rank programs for PIFO queues (the companion
+// "Programmable Packet Scheduling" paper's examples).  Each entry is an
+// ordinary Domino transaction whose rank_field output orders a PifoQueue —
+// STFQ virtual start times, token-bucket shaping send times, and a
+// two-level hierarchical (tenant-major) scheme.  Kept separate from
+// corpus() so the Table-4 enumeration (tests, Table-4 benches, the paper's
+// eleven-row evaluation) stays exactly the paper's set.
+const std::vector<AlgorithmInfo>& rank_corpus();
+
+// Lookup across rank_corpus(); throws std::out_of_range if unknown.
+const AlgorithmInfo& rank_algorithm(const std::string& name);
 
 }  // namespace algorithms

@@ -440,9 +440,42 @@ void CompiledPipeline::run_batch_bound(Packet* pkts, std::size_t n,
       throw std::invalid_argument(
           "CompiledPipeline: packet narrower than the compiled program's "
           "field table");
+  run_ops_bound(0, static_cast<std::uint32_t>(ops_.size()), pkts, n, vars);
+}
 
+void CompiledPipeline::run_stage(std::size_t stage, Packet& pkt,
+                                 StateStore& state) const {
+  StateVar* inline_vars[kInlineStateVars];
+  std::vector<StateVar*> heap_vars;
+  StateVar** vars = inline_vars;
+  if (state_names_.size() > kInlineStateVars) {
+    heap_vars.resize(state_names_.size());
+    vars = heap_vars.data();
+  }
+  resolve_state(state, vars);
+  run_stage_bound(stage, pkt, vars);
+}
+
+void CompiledPipeline::run_stage_bound(std::size_t stage, Packet& pkt,
+                                       StateVar* const* vars) const {
+  if (!sealed_)
+    throw std::logic_error("CompiledPipeline: run before seal()");
+  if (stage >= stages_.size())
+    throw std::out_of_range("CompiledPipeline: stage index out of range");
+  if (pkt.num_fields() < num_fields_)
+    throw std::invalid_argument(
+        "CompiledPipeline: packet narrower than the compiled program's "
+        "field table");
+  const StageRange& r = stages_[stage];
+  run_ops_bound(r.begin, r.end, &pkt, 1, vars);
+}
+
+void CompiledPipeline::run_ops_bound(std::uint32_t first, std::uint32_t last,
+                                     Packet* pkts, std::size_t n,
+                                     StateVar* const* vars) const {
   // Op-major: one dispatch per op per batch, packets innermost.
-  for (const MicroOp& op : ops_) {
+  for (std::uint32_t oi = first; oi < last; ++oi) {
+    const MicroOp& op = ops_[oi];
     auto unary = [&](auto f) {
       for (std::size_t i = 0; i < n; ++i) {
         Packet& p = pkts[i];

@@ -246,6 +246,14 @@ class CompiledPipeline {
   // zero-lookup path behind Machine's generation-keyed binding cache.
   void run_batch_bound(Packet* pkts, std::size_t n,
                        StateVar* const* vars) const;
+  // Runs exactly one stage's ops over one packet, in place — the per-stage
+  // entry point the cycle-accurate PipelineSim uses to execute the same
+  // micro-op program the whole-pipeline paths run (there is one StageRange
+  // per Machine stage; the lowering pass emits them in lockstep).  Bound
+  // form as above.
+  void run_stage(std::size_t stage, Packet& pkt, StateStore& state) const;
+  void run_stage_bound(std::size_t stage, Packet& pkt,
+                       StateVar* const* vars) const;
   // Columnar (SoA) forms of the same op-major program: stateless ALU ops run
   // down a whole dense column at a time (plain array loops the host
   // vectorizer can handle), stateful/intrinsic ops keep a per-packet inner
@@ -305,6 +313,9 @@ class CompiledPipeline {
   void require_open_stage() const;
   void verify_in_place_safe() const;
   void compute_liveness();
+  // The op-major execution core: ops [first, last) over `n` packets.
+  void run_ops_bound(std::uint32_t first, std::uint32_t last, Packet* pkts,
+                     std::size_t n, StateVar* const* vars) const;
 
   std::vector<MicroOp> ops_;
   std::vector<StageRange> stages_;

@@ -5,6 +5,16 @@
 // packet i+1 is in stage s-1), exactly as in the hardware the paper models.
 // Differential tests compare the result of this execution against the
 // sequential one-packet-at-a-time interpreter.
+//
+// Engine dispatch: when the machine's engine toggle is off the closure rung
+// and a lowered micro-op program is attached, each stage executes its
+// StageRange of the CompiledPipeline in place (kernel.h) — the same program
+// the whole-pipeline kernel and native paths run, so cycle-accurate
+// simulation is no longer closure-only.  Per-stage in-place execution is
+// legal because seal() verifies each stage's writes are disjoint with no
+// intra-stage read-after-write.  A kNative machine also runs the micro-op
+// program here: the dlopen'd pipeline exports whole-pipeline entry points
+// only, and the engines are bit-exact, so the VM is the per-stage truth.
 #pragma once
 
 #include <cstdint>
@@ -57,16 +67,29 @@ class PipelineSim {
       in_flight_[n - 1].reset();
       ++stats_.packets_out;
     }
+    const CompiledPipeline* k = stage_kernel();
     for (std::size_t s = n - 1; s > 0; --s) {
       if (in_flight_[s - 1].has_value()) {
-        in_flight_[s] = machine_.stages()[s].execute(*in_flight_[s - 1],
-                                                     machine_.state());
+        if (k != nullptr) {
+          Packet p = std::move(*in_flight_[s - 1]);
+          k->run_stage_bound(s, p, bound_vars(*k));
+          in_flight_[s] = std::move(p);
+        } else {
+          in_flight_[s] = machine_.stages()[s].execute(*in_flight_[s - 1],
+                                                       machine_.state());
+        }
         in_flight_[s - 1].reset();
       }
     }
     if (!ingress_.empty()) {
-      in_flight_[0] =
-          machine_.stages()[0].execute(ingress_.front(), machine_.state());
+      if (k != nullptr) {
+        Packet p = std::move(ingress_.front());
+        k->run_stage_bound(0, p, bound_vars(*k));
+        in_flight_[0] = std::move(p);
+      } else {
+        in_flight_[0] =
+            machine_.stages()[0].execute(ingress_.front(), machine_.state());
+      }
       ingress_.pop_front();
     }
   }
@@ -86,11 +109,38 @@ class PipelineSim {
   const SimStats& stats() const { return stats_; }
 
  private:
+  // The micro-op program per-stage execution runs on, or nullptr for the
+  // closure reference path.  The lowering pass emits one StageRange per
+  // Machine stage, so the index spaces agree whenever a kernel is attached.
+  const CompiledPipeline* stage_kernel() const {
+    if (machine_.engine() == ExecEngine::kClosure) return nullptr;
+    const CompiledPipeline* k = machine_.kernel();
+    if (k != nullptr && k->num_stages() != machine_.num_stages())
+      return nullptr;  // hand-assembled mismatch: fall back to closures
+    return k;
+  }
+
+  // Resolved state bindings, keyed on the StateStore generation exactly like
+  // Machine's cache: restore_state()/declare() bump the generation, forcing
+  // a rebind before the next stale pointer could be dereferenced.
+  StateVar* const* bound_vars(const CompiledPipeline& k) {
+    if (bind_prog_ != &k || bind_gen_ != machine_.state().generation()) {
+      vars_.resize(k.num_state_vars());
+      k.resolve_state(machine_.state(), vars_.data());
+      bind_prog_ = &k;
+      bind_gen_ = machine_.state().generation();
+    }
+    return vars_.data();
+  }
+
   Machine& machine_;
   std::deque<Packet> ingress_;
   std::vector<std::optional<Packet>> in_flight_;  // one slot per stage
   std::vector<Packet> egress_;
   SimStats stats_;
+  const CompiledPipeline* bind_prog_ = nullptr;
+  std::uint64_t bind_gen_ = 0;
+  std::vector<StateVar*> vars_;
 };
 
 }  // namespace banzai

@@ -90,6 +90,10 @@ struct NetFabric::Flight {
   bool ecn = false;
   banzai::Value ingress_mark = 0;
   QueueSample last_hop;
+  // Arrival-side sample while the packet waits in a scheduled (PIFO) port;
+  // service_port() back-fills departure/sojourn when the packet leaves.
+  // Hops are strictly sequential, so one slot per flight suffices.
+  QueueSample pending;
   banzai::Packet ingress_view;
 };
 
@@ -106,6 +110,9 @@ enum EventKind {
   kArriveEgress,
   kDeliver,
   kFeedback,
+  // Service completion on a scheduled discipline; the event's `flight` field
+  // carries the linear port id, not a flight index.
+  kPortService,
 };
 
 struct NetFabric::EventOrder {
@@ -126,9 +133,13 @@ NetFabric::NetFabric(const NetFabricConfig& config) : config_(config) {
   ingress_.resize(leaves);
   egress_.resize(leaves);
   spines_.resize(spines);
-  uplinks_.assign(leaves * spines, ByteQueue(config_.port));
-  downlinks_.assign(spines * leaves, ByteQueue(config_.port));
-  host_ports_.assign(leaves, ByteQueue(config_.port));
+  uplinks_.resize(leaves * spines);
+  downlinks_.resize(spines * leaves);
+  host_ports_.resize(leaves);
+  for (auto& q : uplinks_) q = std::make_unique<ByteQueue>(config_.port);
+  for (auto& q : downlinks_) q = std::make_unique<ByteQueue>(config_.port);
+  for (auto& q : host_ports_) q = std::make_unique<ByteQueue>(config_.port);
+  armed_.assign(uplinks_.size() + downlinks_.size() + host_ports_.size(), -1);
   probe_rr_.assign(leaves, 0);
 }
 
@@ -163,18 +174,80 @@ void NetFabric::host_ingress_sharded(int leaf, const banzai::Machine& prototype,
       binding};
 }
 
+namespace {
+// The historical ByteQueue& accessors promise the concrete default type.
+ByteQueue& as_byte_queue(QueueDiscipline& q) {
+  auto* b = dynamic_cast<ByteQueue*>(&q);
+  if (b == nullptr)
+    throw std::logic_error(
+        "NetFabric: port runs a non-ByteQueue discipline; use the "
+        "*_discipline accessors");
+  return *b;
+}
+}  // namespace
+
+std::uint32_t NetFabric::uplink_port_id(int leaf, int spine) const {
+  return static_cast<std::uint32_t>(
+      static_cast<std::size_t>(leaf) *
+          static_cast<std::size_t>(config_.num_spines) +
+      static_cast<std::size_t>(spine));
+}
+std::uint32_t NetFabric::downlink_port_id(int spine, int leaf) const {
+  return static_cast<std::uint32_t>(
+      uplinks_.size() +
+      static_cast<std::size_t>(spine) *
+          static_cast<std::size_t>(config_.num_leaves) +
+      static_cast<std::size_t>(leaf));
+}
+std::uint32_t NetFabric::host_port_id(int leaf) const {
+  return static_cast<std::uint32_t>(uplinks_.size() + downlinks_.size() +
+                                    static_cast<std::size_t>(leaf));
+}
+QueueDiscipline& NetFabric::port(std::uint32_t port_id) {
+  std::size_t i = port_id;
+  if (i < uplinks_.size()) return *uplinks_[i];
+  i -= uplinks_.size();
+  if (i < downlinks_.size()) return *downlinks_[i];
+  i -= downlinks_.size();
+  return *host_ports_.at(i);
+}
+
+QueueDiscipline& NetFabric::uplink_discipline(int leaf, int spine) {
+  return *uplinks_.at(uplink_port_id(leaf, spine));
+}
+QueueDiscipline& NetFabric::downlink_discipline(int spine, int leaf) {
+  return *downlinks_.at(downlink_port_id(spine, leaf) - uplinks_.size());
+}
+QueueDiscipline& NetFabric::host_port_discipline(int leaf) {
+  return *host_ports_.at(static_cast<std::size_t>(leaf));
+}
+void NetFabric::set_uplink_discipline(int leaf, int spine,
+                                      std::unique_ptr<QueueDiscipline> q) {
+  const std::uint32_t pid = uplink_port_id(leaf, spine);
+  uplinks_.at(pid) = std::move(q);
+  armed_.at(pid) = -1;
+}
+void NetFabric::set_downlink_discipline(int spine, int leaf,
+                                        std::unique_ptr<QueueDiscipline> q) {
+  const std::uint32_t pid = downlink_port_id(spine, leaf);
+  downlinks_.at(pid - uplinks_.size()) = std::move(q);
+  armed_.at(pid) = -1;
+}
+void NetFabric::set_host_port_discipline(int leaf,
+                                         std::unique_ptr<QueueDiscipline> q) {
+  const std::uint32_t pid = host_port_id(leaf);
+  host_ports_.at(static_cast<std::size_t>(leaf)) = std::move(q);
+  armed_.at(pid) = -1;
+}
+
 ByteQueue& NetFabric::uplink(int leaf, int spine) {
-  return uplinks_.at(static_cast<std::size_t>(leaf) *
-                         static_cast<std::size_t>(config_.num_spines) +
-                     static_cast<std::size_t>(spine));
+  return as_byte_queue(uplink_discipline(leaf, spine));
 }
 ByteQueue& NetFabric::downlink(int spine, int leaf) {
-  return downlinks_.at(static_cast<std::size_t>(spine) *
-                           static_cast<std::size_t>(config_.num_leaves) +
-                       static_cast<std::size_t>(leaf));
+  return as_byte_queue(downlink_discipline(spine, leaf));
 }
 ByteQueue& NetFabric::host_port(int leaf) {
-  return host_ports_.at(static_cast<std::size_t>(leaf));
+  return as_byte_queue(host_port_discipline(leaf));
 }
 const ByteQueue& NetFabric::uplink(int leaf, int spine) const {
   return const_cast<NetFabric*>(this)->uplink(leaf, spine);
@@ -188,14 +261,13 @@ const ByteQueue& NetFabric::host_port(int leaf) const {
 
 std::int64_t NetFabric::max_uplink_accepted_bytes() const {
   std::int64_t best = 0;
-  for (const ByteQueue& q : uplinks_)
-    best = std::max(best, q.accepted_bytes());
+  for (const auto& q : uplinks_) best = std::max(best, q->accepted_bytes());
   return best;
 }
 
 std::int64_t NetFabric::total_uplink_accepted_bytes() const {
   std::int64_t total = 0;
-  for (const ByteQueue& q : uplinks_) total += q.accepted_bytes();
+  for (const auto& q : uplinks_) total += q->accepted_bytes();
   return total;
 }
 
@@ -256,7 +328,85 @@ void NetFabric::dispatch(const Event& ev) {
     case kFeedback:
       on_feedback(ev.flight, ev.tick);
       break;
+    case kPortService:
+      on_port_service(ev.flight, ev.tick);
+      break;
   }
+}
+
+bool NetFabric::offer_port(std::uint32_t port_id, std::uint32_t idx,
+                           std::int64_t tick, int next_kind,
+                           std::int64_t latency) {
+  Flight& f = flights_[idx];
+  QueueDiscipline& q = port(port_id);
+  QueueItem item;
+  item.size_bytes = f.pkt.size_bytes;
+  item.flow_id = f.pkt.flow_id;
+  item.tenant_id = f.pkt.dport;  // scenarios encode the tenant class in dport
+  item.cookie = idx;
+  const QueueSample s = q.offer(tick, item);
+
+  if (q.departure_known_at_offer()) {
+    if (s.dropped) {
+      ++stats_.dropped;
+      return false;
+    }
+    account_hop(f, s);
+    if (next_kind == kDeliver) f.last_hop = s;
+    schedule(s.departure + latency, next_kind, idx);
+    return true;
+  }
+
+  // Scheduled discipline: keep the arrival-side sample; the continuation
+  // fires from service_port() when the packet actually departs.  An offer
+  // can complete an earlier service at this very tick, so drain (and count
+  // evictions the admission caused) before returning.
+  const bool accepted = !s.dropped;
+  if (s.dropped)
+    ++stats_.dropped;
+  else
+    f.pending = s;
+  service_port(port_id, tick);
+  return accepted;
+}
+
+void NetFabric::service_port(std::uint32_t port_id, std::int64_t tick) {
+  QueueDiscipline& q = port(port_id);
+  const std::size_t nu = uplinks_.size();
+  const std::size_t nd = downlinks_.size();
+  while (auto d = q.pop_departed(tick)) {
+    const auto idx = static_cast<std::uint32_t>(d->item.cookie);
+    if (d->dropped) {
+      // A bounded-size eviction: the packet was accepted earlier but loses
+      // its buffer slot now.  Its flight ends here.
+      ++stats_.dropped;
+      continue;
+    }
+    Flight& f = flights_[idx];
+    QueueSample s = f.pending;
+    s.departure = d->tick;
+    s.sojourn = d->tick - s.arrival;
+    account_hop(f, s);
+    if (port_id < nu) {
+      schedule(d->tick + config_.link_latency, kArriveSpine, idx);
+    } else if (port_id < nu + nd) {
+      schedule(d->tick + config_.link_latency, kArriveEgress, idx);
+    } else {
+      f.last_hop = s;
+      schedule(d->tick, kDeliver, idx);
+    }
+  }
+  // Arm the next completion.  Service is non-preemptive, so per-port finish
+  // ticks strictly increase and one armed slot dedups exactly.
+  const auto next = q.next_departure();
+  if (next.has_value() && armed_[port_id] != *next) {
+    armed_[port_id] = *next;
+    schedule(*next, kPortService, port_id);
+  }
+}
+
+void NetFabric::on_port_service(std::uint32_t port_id, std::int64_t tick) {
+  service_port(port_id, tick);
 }
 
 // The metadata every hosted program sees regardless of role; callers layer
@@ -319,8 +469,9 @@ void NetFabric::on_inject(std::uint32_t idx, std::int64_t tick) {
       const int probe = rr;
       rr = (rr + 1) % config_.num_spines;
       p.set(*b.path_id, probe);
-      p.set(*b.util, static_cast<banzai::Value>(
-                         uplink(f.src_leaf, probe).backlog_bytes(tick)));
+      p.set(*b.util,
+            static_cast<banzai::Value>(
+                uplink_discipline(f.src_leaf, probe).backlog_bytes(tick)));
     }
     f.ingress_view = node.engine->process(std::move(p));
     if (b.mark) {
@@ -333,27 +484,13 @@ void NetFabric::on_inject(std::uint32_t idx, std::int64_t tick) {
   }
 
   if (local) {
-    const QueueSample s = host_port(f.dst_leaf).offer(tick, f.pkt.size_bytes);
-    if (s.dropped) {
-      ++stats_.dropped;
-      return;
-    }
-    account_hop(f, s);
-    f.last_hop = s;
-    schedule(s.departure, kDeliver,
-             idx);
+    offer_port(host_port_id(f.dst_leaf), idx, tick, kDeliver, /*latency=*/0);
     return;
   }
 
   f.path = route(f, view, node.binding);
-  const QueueSample s = uplink(f.src_leaf, f.path).offer(tick, f.pkt.size_bytes);
-  if (s.dropped) {
-    ++stats_.dropped;
-    return;
-  }
-  account_hop(f, s);
-  schedule(s.departure + config_.link_latency, kArriveSpine,
-           idx);
+  offer_port(uplink_port_id(f.src_leaf, f.path), idx, tick, kArriveSpine,
+             config_.link_latency);
 }
 
 void NetFabric::on_arrive_spine(std::uint32_t idx, std::int64_t tick) {
@@ -364,32 +501,18 @@ void NetFabric::on_arrive_spine(std::uint32_t idx, std::int64_t tick) {
     banzai::Packet p = make_view(node, tick, f, /*remote_leaf=*/f.src_leaf);
     if (b.path_id) p.set(*b.path_id, f.path);
     if (b.util)
-      p.set(*b.util, static_cast<banzai::Value>(
-                         downlink(f.path, f.dst_leaf).backlog_bytes(tick)));
+      p.set(*b.util,
+            static_cast<banzai::Value>(
+                downlink_discipline(f.path, f.dst_leaf).backlog_bytes(tick)));
     node.engine->process(std::move(p));
   }
-  const QueueSample s =
-      downlink(f.path, f.dst_leaf).offer(tick, f.pkt.size_bytes);
-  if (s.dropped) {
-    ++stats_.dropped;
-    return;
-  }
-  account_hop(f, s);
-  schedule(s.departure + config_.link_latency, kArriveEgress,
-           idx);
+  offer_port(downlink_port_id(f.path, f.dst_leaf), idx, tick, kArriveEgress,
+             config_.link_latency);
 }
 
 void NetFabric::on_arrive_egress(std::uint32_t idx, std::int64_t tick) {
-  Flight& f = flights_[idx];
-  const QueueSample s = host_port(f.dst_leaf).offer(tick, f.pkt.size_bytes);
-  if (s.dropped) {
-    ++stats_.dropped;
-    return;
-  }
-  account_hop(f, s);
-  f.last_hop = s;
-  schedule(s.departure, kDeliver,
-           idx);
+  const int dst_leaf = flights_[idx].dst_leaf;
+  offer_port(host_port_id(dst_leaf), idx, tick, kDeliver, /*latency=*/0);
 }
 
 void NetFabric::on_deliver(std::uint32_t idx, std::int64_t tick) {

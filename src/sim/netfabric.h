@@ -8,8 +8,11 @@
 //     ingress leaf --uplink--> spine --downlink--> egress leaf --host port-->
 //
 // where the spine index *is* the path id.  Every directed hop owns a
-// ByteQueue: a finite drop-tail buffer served at a byte rate, with an
-// optional ECN marking threshold (sim/queue.h).  Links add a fixed latency.
+// QueueDiscipline (sim/queue.h) — by default a ByteQueue, a finite drop-tail
+// buffer served at a byte rate with an optional ECN marking threshold; any
+// port can be swapped for another discipline (e.g. the machine-ranked
+// PifoQueue of sim/sched.h), whose scheduled departures the fabric drives
+// with port-service events.  Links add a fixed latency.
 // Traffic between co-located hosts (src_leaf == dst_leaf, or a fabric with
 // zero spines) goes straight to the destination leaf's host port.
 //
@@ -165,12 +168,29 @@ class NetFabric {
   const FabricStats& stats() const { return stats_; }
 
   // Port accessors (valid indices only; uplink/downlink require spines > 0).
+  // Every port starts as a ByteQueue (drop-tail + ECN threshold from
+  // config.port); these historical accessors return that concrete type and
+  // throw std::logic_error if the port has been swapped to a non-FIFO
+  // discipline — use the *_discipline accessors for those.
   ByteQueue& uplink(int leaf, int spine);
   ByteQueue& downlink(int spine, int leaf);
   ByteQueue& host_port(int leaf);
   const ByteQueue& uplink(int leaf, int spine) const;
   const ByteQueue& downlink(int spine, int leaf) const;
   const ByteQueue& host_port(int leaf) const;
+
+  // Discipline-generic port access and replacement.  Swapping a discipline
+  // resets that port's accounting (a new queue object); swap before
+  // injecting traffic.  Scheduled disciplines (PIFO) are driven by port-
+  // service events the fabric arms from next_departure().
+  QueueDiscipline& uplink_discipline(int leaf, int spine);
+  QueueDiscipline& downlink_discipline(int spine, int leaf);
+  QueueDiscipline& host_port_discipline(int leaf);
+  void set_uplink_discipline(int leaf, int spine,
+                             std::unique_ptr<QueueDiscipline> q);
+  void set_downlink_discipline(int spine, int leaf,
+                               std::unique_ptr<QueueDiscipline> q);
+  void set_host_port_discipline(int leaf, std::unique_ptr<QueueDiscipline> q);
 
   // Highest cumulative byte count accepted on any leaf->spine uplink — the
   // "max path utilization" the CONGA evaluation compares against random
@@ -201,13 +221,37 @@ class NetFabric {
   int route(const Flight& f, const banzai::Packet* processed,
             const FieldBinding& binding) const;
 
+  // Scheduled-discipline plumbing.  Ports are addressed linearly — uplinks,
+  // then downlinks, then host ports — so one event kind serves them all.
+  std::uint32_t uplink_port_id(int leaf, int spine) const;
+  std::uint32_t downlink_port_id(int spine, int leaf) const;
+  std::uint32_t host_port_id(int leaf) const;
+  QueueDiscipline& port(std::uint32_t port_id);
+  // Offers to port `port_id` on behalf of flight `idx` and, for a FIFO
+  // discipline, schedules `next_kind` at departure + `latency`; for a
+  // scheduled discipline the continuation fires from service_port() when the
+  // packet actually departs.  Returns false when the packet was dropped on
+  // arrival (the caller's flight ends).
+  bool offer_port(std::uint32_t port_id, std::uint32_t idx, std::int64_t tick,
+                  int next_kind, std::int64_t latency);
+  // Drains everything departed from a scheduled port by `tick` (served
+  // packets continue their path, evictions die as drops) and arms the next
+  // port-service event from next_departure().
+  void service_port(std::uint32_t port_id, std::int64_t tick);
+  void on_port_service(std::uint32_t port_id, std::int64_t tick);
+
   NetFabricConfig config_;
   std::vector<Hosted> ingress_;  // per leaf
   std::vector<Hosted> egress_;   // per leaf
   std::vector<Hosted> spines_;   // per spine
-  std::vector<ByteQueue> uplinks_;    // leaf * num_spines + spine
-  std::vector<ByteQueue> downlinks_;  // spine * num_leaves + leaf
-  std::vector<ByteQueue> host_ports_; // per leaf
+  // leaf * num_spines + spine / spine * num_leaves + leaf / per leaf.
+  std::vector<std::unique_ptr<QueueDiscipline>> uplinks_;
+  std::vector<std::unique_ptr<QueueDiscipline>> downlinks_;
+  std::vector<std::unique_ptr<QueueDiscipline>> host_ports_;
+  // Per linear port id: the departure tick a port-service event is armed
+  // for, or -1.  Service is non-preemptive, so completion ticks only move
+  // forward and one armed tick per port suffices.
+  std::vector<std::int64_t> armed_;
   std::vector<int> probe_rr_;         // per leaf: rotating probe path
 
   std::vector<Flight> flights_;

@@ -1,30 +1,30 @@
 #include "sim/queue.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace netsim {
 
-void ByteQueue::prune(std::int64_t now) {
+void FifoQueue::prune(std::int64_t now) {
   while (!backlog_.empty() && backlog_.front().first <= now) {
     backlog_bytes_ -= backlog_.front().second;
     backlog_.pop_front();
   }
 }
 
-std::int64_t ByteQueue::backlog_bytes(std::int64_t now) {
+std::int64_t FifoQueue::backlog_bytes(std::int64_t now) {
   prune(now);
   return backlog_bytes_;
 }
 
-std::int32_t ByteQueue::backlog_pkts(std::int64_t now) {
+std::int32_t FifoQueue::backlog_pkts(std::int64_t now) {
   prune(now);
   return static_cast<std::int32_t>(backlog_.size());
 }
 
-QueueSample ByteQueue::offer(std::int64_t now, std::int32_t size_bytes) {
+QueueSample FifoQueue::admit(std::int64_t now, const QueueItem& item) {
+  const std::int32_t size_bytes = item.size_bytes;
   prune(now);
-  ++offered_pkts_;
-  offered_bytes_ += size_bytes;
 
   QueueSample s;
   s.arrival = now;
@@ -37,16 +37,10 @@ QueueSample ByteQueue::offer(std::int64_t now, std::int32_t size_bytes) {
     s.dropped = true;
     s.departure = now;
     s.sojourn = 0;
-    ++dropped_pkts_;
-    dropped_bytes_ += size_bytes;
     return s;
   }
 
-  if (config_.ecn_threshold_bytes >= 0 &&
-      backlog_bytes_ >= config_.ecn_threshold_bytes) {
-    s.ecn_marked = true;
-    ++ecn_marked_pkts_;
-  }
+  s.ecn_marked = mark_on_admit(backlog_bytes_);
 
   const std::int64_t start = std::max<std::int64_t>(now, busy_until_);
   const std::int64_t service_ticks =
@@ -60,13 +54,37 @@ QueueSample ByteQueue::offer(std::int64_t now, std::int32_t size_bytes) {
 }
 
 std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
-                                        const QueueConfig& config) {
-  ByteQueue queue(config);
+                                        QueueDiscipline& queue) {
   std::vector<QueueSample> samples;
   samples.reserve(trace.size());
-  for (const auto& p : trace)
-    samples.push_back(queue.offer(p.arrival, p.size_bytes));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TracePacket& p = trace[i];
+    QueueItem item;
+    item.size_bytes = p.size_bytes;
+    item.flow_id = p.flow_id;
+    item.rank = 0;
+    item.cookie = i;  // sample index, for departure back-fill below
+    samples.push_back(queue.offer(p.arrival, item));
+  }
+  if (queue.departure_known_at_offer()) return samples;
+
+  // Scheduled discipline: drain everything still queued and back-fill each
+  // accepted packet's sample with its real departure.  Evicted packets turn
+  // into dropped samples at their eviction tick.
+  const std::int64_t horizon = std::numeric_limits<std::int64_t>::max();
+  while (auto d = queue.pop_departed(horizon)) {
+    QueueSample& s = samples.at(static_cast<std::size_t>(d->item.cookie));
+    s.departure = d->tick;
+    s.sojourn = d->tick - s.arrival;
+    s.dropped = d->dropped;
+  }
   return samples;
+}
+
+std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
+                                        const QueueConfig& config) {
+  ByteQueue queue(config);
+  return simulate_queue(trace, queue);
 }
 
 }  // namespace netsim

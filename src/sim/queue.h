@@ -1,17 +1,33 @@
-// A deterministic FIFO queue simulator: produces per-packet sojourn times and
-// queue lengths for the AQM algorithms (HULL, AVQ, CoDel).  Service is
-// byte-based at a fixed line rate.
+// The queue-discipline layer: deterministic single-port packet queues that
+// produce per-packet sojourn times and queue lengths.  Service is byte-based
+// at a fixed line rate.
 //
-// The core is ByteQueue, a single output port with a finite drop-tail buffer
-// and an optional ECN marking threshold; simulate_queue runs a whole trace
-// through one ByteQueue, and NetFabric instantiates one ByteQueue per fabric
-// port.  All clocks are 64-bit: an overloaded queue's departure horizon grows
+// QueueDiscipline is the abstraction every consumer runs on — NetFabric's
+// uplinks/downlinks/host ports and the standalone simulate_queue driver use
+// only this interface, so scheduling policy is data, not fabric code.  Two
+// discipline families ship here:
+//
+//   * FifoQueue — work order is arrival order, the departure tick is known
+//     the moment a packet is accepted (departure_known_at_offer() == true),
+//     and a finite buffer drops at the tail.  Pure drop-tail.
+//   * ByteQueue — FifoQueue plus an ECN marking threshold on the backlog.
+//     This is the historical name the fabric and the AQM examples use; its
+//     offer() math is unchanged from when it was the only queue.
+//
+// sim/sched.h adds PifoQueue, the push-in-first-out discipline whose work
+// order is a per-packet rank (optionally computed by a compiled Banzai
+// machine) — the first discipline whose departures are *scheduled*: accepted
+// packets surface later through next_departure()/pop_departed() rather than
+// carrying a departure tick in the offer sample.
+//
+// All clocks are 64-bit: an overloaded queue's departure horizon grows
 // without bound, so 32-bit tick arithmetic silently overflows on long traces
 // (the seed stored int64 departures into int32 fields).
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "sim/tracegen.h"
@@ -20,44 +36,112 @@ namespace netsim {
 
 struct QueueSample {
   std::int64_t arrival = 0;       // packet arrival tick
-  std::int64_t departure = 0;     // tick the packet finished service
+  std::int64_t departure = 0;     // tick the packet finished service; 0 when
+                                  // the discipline schedules departures
+                                  // (departure_known_at_offer() == false)
   std::int64_t sojourn = 0;       // departure - arrival (queueing delay)
   std::int64_t qlen_bytes = 0;    // backlog on arrival, bytes
   std::int32_t qlen_pkts = 0;     // backlog on arrival, packets
   std::int32_t size_bytes = 0;
-  bool dropped = false;           // drop-tail: buffer was full on arrival
+  bool dropped = false;           // rejected on arrival (buffer full, or the
+                                  // packet itself was the worst-ranked)
   bool ecn_marked = false;        // backlog was at or above the ECN threshold
 };
 
 struct QueueConfig {
   std::int64_t bytes_per_tick = 1000;     // service rate
-  std::int64_t capacity_bytes = -1;       // drop-tail buffer; < 0 = infinite
+  std::int64_t capacity_bytes = -1;       // buffer bound; < 0 = infinite
   std::int64_t ecn_threshold_bytes = -1;  // mark when backlog >= this; < 0 = off
 };
 
-// One output port: byte-rate service, drop-tail buffer, ECN hook.  All
-// methods are deterministic; time only moves forward through the `now`
-// arguments the caller passes.
-class ByteQueue {
+// The metadata a discipline may use to order, police or identify a packet.
+// FIFO disciplines read only size_bytes; PIFO reads flow/tenant/now to
+// compute a rank (or takes `rank` verbatim when no rank machine is bound),
+// and hands `cookie` back in the Departed record so event-driven callers can
+// find the packet again.
+struct QueueItem {
+  std::int32_t size_bytes = 0;
+  std::int32_t flow_id = 0;
+  std::int32_t tenant_id = 0;
+  std::int64_t rank = 0;      // pre-computed rank; ignored by FIFO
+  std::uint64_t cookie = 0;   // caller tag, echoed in Departed
+};
+
+// One packet leaving a scheduled discipline: served (dropped == false, tick
+// is the service-completion tick) or evicted after acceptance to make room
+// for a better-ranked arrival (dropped == true, tick is the eviction tick).
+struct Departed {
+  std::int64_t tick = 0;
+  QueueItem item;
+  bool dropped = false;
+};
+
+// One output port.  All methods are deterministic; time only moves forward
+// through the `now` arguments the caller passes, which must be nondecreasing
+// across offer() calls.
+//
+// Accounting contract: offered == accepted + dropped at every instant, in
+// packets and in bytes.  Drops counted here include both arrival rejections
+// (drop-tail, worst-ranked arrival) and post-acceptance evictions.
+class QueueDiscipline {
  public:
-  ByteQueue() = default;
-  explicit ByteQueue(const QueueConfig& config) : config_(config) {}
+  explicit QueueDiscipline(const QueueConfig& config) : config_(config) {}
+  QueueDiscipline() = default;
+  virtual ~QueueDiscipline() = default;
 
   const QueueConfig& config() const { return config_; }
 
-  // Offers one packet at tick `now` (must be >= every earlier `now`).  On
-  // accept, the sample carries the departure tick; on drop-tail it carries
-  // dropped = true with departure == arrival.  qlen_* report the backlog as
-  // the packet found it, before its own enqueue.
-  QueueSample offer(std::int64_t now, std::int32_t size_bytes);
+  // Offers one packet at tick `now`.  qlen_* report the backlog as the packet
+  // found it, before its own enqueue.  For FIFO disciplines the sample
+  // carries the departure tick on accept; for scheduled disciplines
+  // (departure_known_at_offer() == false) departure/sojourn are 0 and the
+  // real departure surfaces later through pop_departed().  On drop the
+  // sample has dropped = true with departure == arrival.
+  QueueSample offer(std::int64_t now, const QueueItem& item) {
+    ++offered_pkts_;
+    offered_bytes_ += item.size_bytes;
+    QueueSample s = admit(now, item);
+    if (s.dropped) {
+      ++dropped_pkts_;
+      dropped_bytes_ += item.size_bytes;
+    }
+    if (s.ecn_marked) ++ecn_marked_pkts_;
+    return s;
+  }
 
-  // Unserved bytes in the buffer at tick `now` (prunes departed packets).
-  std::int64_t backlog_bytes(std::int64_t now);
-  // Unserved packets in the buffer at tick `now`.
-  std::int32_t backlog_pkts(std::int64_t now);
+  // Size-only convenience, the historical ByteQueue::offer signature.
+  QueueSample offer(std::int64_t now, std::int32_t size_bytes) {
+    QueueItem item;
+    item.size_bytes = size_bytes;
+    return offer(now, item);
+  }
 
-  // Tick at which the server drains completely.
-  std::int64_t busy_until() const { return busy_until_; }
+  // True when offer() samples carry the departure tick (FIFO family).  When
+  // false the caller drives service through next_departure()/pop_departed().
+  virtual bool departure_known_at_offer() const { return true; }
+
+  // Earliest tick at which pop_departed() will have something to return, if
+  // any packet is in service.  Always > the last offer tick for scheduled
+  // disciplines (a service in progress never completes retroactively).
+  virtual std::optional<std::int64_t> next_departure() const {
+    return std::nullopt;
+  }
+
+  // Pops the next packet that has left the queue by tick `now` — served
+  // packets in completion order, evictions as of their eviction tick.
+  // std::nullopt when nothing has departed yet.
+  virtual std::optional<Departed> pop_departed(std::int64_t now) {
+    (void)now;
+    return std::nullopt;
+  }
+
+  // Unserved bytes/packets in the buffer at tick `now` (includes the packet
+  // in service until its completion tick).
+  virtual std::int64_t backlog_bytes(std::int64_t now) = 0;
+  virtual std::int32_t backlog_pkts(std::int64_t now) = 0;
+
+  // Tick at which the server drains completely, given no further arrivals.
+  virtual std::int64_t busy_until() const = 0;
 
   // Cumulative accounting since construction.
   std::int64_t offered_pkts() const { return offered_pkts_; }
@@ -68,14 +152,21 @@ class ByteQueue {
   std::int64_t dropped_bytes() const { return dropped_bytes_; }
   std::int64_t ecn_marked_pkts() const { return ecn_marked_pkts_; }
 
- private:
-  void prune(std::int64_t now);
+ protected:
+  // Policy hook: decide drop/mark and enqueue.  offer() has already counted
+  // the packet as offered; it counts the drop/mark from the returned sample.
+  virtual QueueSample admit(std::int64_t now, const QueueItem& item) = 0;
+
+  // Post-acceptance eviction: the packet was counted as accepted when
+  // offered, so the eviction only moves it to the dropped column.
+  void note_eviction(std::int32_t size_bytes) {
+    ++dropped_pkts_;
+    dropped_bytes_ += size_bytes;
+  }
 
   QueueConfig config_;
-  std::int64_t busy_until_ = 0;
-  std::int64_t backlog_bytes_ = 0;  // bytes of the packets in backlog_
-  std::deque<std::pair<std::int64_t, std::int32_t>> backlog_;  // (departs, sz)
 
+ private:
   std::int64_t offered_pkts_ = 0;
   std::int64_t dropped_pkts_ = 0;
   std::int64_t offered_bytes_ = 0;
@@ -83,9 +174,63 @@ class ByteQueue {
   std::int64_t ecn_marked_pkts_ = 0;
 };
 
+// Drop-tail FIFO served at a byte rate: work order is arrival order, the
+// departure tick is computed at accept time.  No marking — the mark_on_admit
+// hook is how ByteQueue layers the ECN threshold on top without forking the
+// drop/service math.
+class FifoQueue : public QueueDiscipline {
+ public:
+  FifoQueue() = default;
+  explicit FifoQueue(const QueueConfig& config) : QueueDiscipline(config) {}
+
+  std::int64_t backlog_bytes(std::int64_t now) override;
+  std::int32_t backlog_pkts(std::int64_t now) override;
+  std::int64_t busy_until() const override { return busy_until_; }
+
+ protected:
+  QueueSample admit(std::int64_t now, const QueueItem& item) override;
+
+  // Whether to ECN-mark an accepted packet that found `backlog` bytes queued.
+  virtual bool mark_on_admit(std::int64_t backlog) const {
+    (void)backlog;
+    return false;
+  }
+
+ private:
+  void prune(std::int64_t now);
+
+  std::int64_t busy_until_ = 0;
+  std::int64_t backlog_bytes_ = 0;  // bytes of the packets in backlog_
+  std::deque<std::pair<std::int64_t, std::int32_t>> backlog_;  // (departs, sz)
+};
+
+// The ECN-threshold discipline: drop-tail FIFO that marks accepted packets
+// when the backlog they found is at or above config().ecn_threshold_bytes.
+// This is the default port of every NetFabric instance and the queue
+// simulate_queue has always run; its behavior is bit-identical to the
+// pre-refactor monolithic ByteQueue.
+class ByteQueue final : public FifoQueue {
+ public:
+  ByteQueue() = default;
+  explicit ByteQueue(const QueueConfig& config) : FifoQueue(config) {}
+
+ protected:
+  bool mark_on_admit(std::int64_t backlog) const override {
+    return config_.ecn_threshold_bytes >= 0 &&
+           backlog >= config_.ecn_threshold_bytes;
+  }
+};
+
 // Runs the trace through one queue; one sample per packet, in arrival order.
 // Dropped packets still produce a sample (dropped = true) so callers can
-// account for every offered packet.
+// account for every offered packet.  For scheduled disciplines (PIFO) the
+// queue is drained after the last arrival and each accepted packet's sample
+// is back-filled with its real departure/sojourn — post-acceptance evictions
+// come back as dropped = true with sojourn = eviction - arrival.
+std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
+                                        QueueDiscipline& queue);
+
+// Convenience form preserving the historical signature: ECN-threshold FIFO.
 std::vector<QueueSample> simulate_queue(const std::vector<TracePacket>& trace,
                                         const QueueConfig& config);
 

@@ -1,0 +1,304 @@
+#include "sim/sched.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algorithms/corpus.h"
+#include "atoms/targets.h"
+#include "core/compiler.h"
+#include "sim/tracegen.h"
+#include "sim/zipf.h"
+
+namespace netsim {
+
+RankMachine::RankMachine(banzai::Machine machine,
+                         const std::map<std::string, std::string>& output_map,
+                         const std::string& rank_field)
+    : machine_(std::move(machine)) {
+  const banzai::FieldTable& fields = machine_.fields();
+  auto first_of = [&fields](const char* a, const char* b) {
+    auto id = fields.try_id_of(a);
+    if (!id.has_value() && b != nullptr) id = fields.try_id_of(b);
+    return id;
+  };
+  flow_ = first_of("flow", "flow_id");
+  len_ = first_of("len", "size_bytes");
+  now_ = first_of("now", "arrival");
+  vt_ = first_of("vt", nullptr);
+  refund_ = first_of("refund", nullptr);
+  trefund_ = first_of("trefund", nullptr);
+  tenant_ = first_of("tenant", nullptr);
+
+  std::string final_name = rank_field;
+  auto it = output_map.find(rank_field);
+  if (it != output_map.end()) final_name = it->second;
+  const auto rank_id = fields.try_id_of(final_name);
+  if (!rank_id.has_value())
+    throw std::invalid_argument("RankMachine: rank field '" + rank_field +
+                                "' (resolved to '" + final_name +
+                                "') is not in the program's field table");
+  rank_id_ = *rank_id;
+}
+
+banzai::Value RankMachine::rank(std::int64_t now, const RankFeedback& fb,
+                                const QueueItem& item) {
+  banzai::Packet p(machine_.fields().size());
+  if (flow_) p.set(*flow_, item.flow_id);
+  if (len_) p.set(*len_, item.size_bytes);
+  if (now_) p.set(*now_, static_cast<banzai::Value>(now));
+  if (vt_) p.set(*vt_, static_cast<banzai::Value>(fb.vt));
+  if (refund_) p.set(*refund_, static_cast<banzai::Value>(fb.refund));
+  if (trefund_) p.set(*trefund_, static_cast<banzai::Value>(fb.trefund));
+  if (tenant_) p.set(*tenant_, item.tenant_id);
+  return machine_.process(std::move(p)).get(rank_id_);
+}
+
+RankMachine compile_rank_machine(const std::string& name,
+                                 banzai::ExecEngine engine) {
+  const algorithms::AlgorithmInfo& alg = algorithms::rank_algorithm(name);
+  domino::CompileOptions options;
+  options.engine = engine;
+  for (const auto& target : atoms::paper_targets()) {
+    try {
+      auto compiled = domino::compile(alg.source, target, options);
+      return RankMachine(std::move(compiled.machine()), compiled.output_map(),
+                        alg.rank_field);
+    } catch (const domino::CompileError&) {
+    }
+  }
+  throw std::runtime_error("compile_rank_machine: '" + name +
+                           "' rejected by every paper target");
+}
+
+namespace {
+// Pays down `amount` of the ledger entry at `key`, erasing it when settled.
+void settle_refund(std::map<std::int32_t, std::int64_t>& ledger,
+                   std::int32_t key, std::int64_t amount) {
+  auto it = ledger.find(key);
+  if (it == ledger.end()) return;
+  it->second -= amount;
+  if (it->second <= 0) ledger.erase(it);
+}
+}  // namespace
+
+PifoQueue::PifoQueue(const QueueConfig& config) : QueueDiscipline(config) {}
+
+PifoQueue::PifoQueue(const QueueConfig& config, RankMachine rank)
+    : QueueDiscipline(config), rank_(std::move(rank)) {}
+
+void PifoQueue::start_service(std::int64_t at) {
+  const Entry e = *waiting_.begin();
+  waiting_.erase(waiting_.begin());
+  const std::int64_t start = std::max(at, busy_until_);
+  const std::int64_t service_ticks =
+      (e.item.size_bytes + config_.bytes_per_tick - 1) /
+      config_.bytes_per_tick;
+  const std::int64_t finish = start + std::max<std::int64_t>(1, service_ticks);
+  busy_until_ = finish;
+  // STFQ's virtual time: the start rank of the packet entering service.
+  // max() keeps it monotone when a late low-rank arrival overtakes.
+  virtual_time_ = std::max(virtual_time_, e.rank);
+  in_service_ = InService{finish, e.item};
+}
+
+void PifoQueue::credit_eviction(const QueueItem& victim) {
+  if (!rank_.has_value()) return;
+  if (rank_->uses_refund()) flow_refund_[victim.flow_id] += victim.size_bytes;
+  if (rank_->uses_tenant_refund())
+    tenant_refund_[victim.tenant_id] += victim.size_bytes;
+}
+
+void PifoQueue::advance(std::int64_t now) {
+  while (in_service_.has_value() && in_service_->finish <= now) {
+    const std::int64_t finish = in_service_->finish;
+    backlog_bytes_ -= in_service_->item.size_bytes;
+    ready_.push_back(Departed{finish, in_service_->item, false});
+    in_service_.reset();
+    // Work conserving: the next minimum-rank packet starts back-to-back.
+    // Only packets admitted before this completion are in waiting_ — the
+    // offer/pop call discipline (nondecreasing `now`) makes the eligible
+    // set exact.
+    if (!waiting_.empty()) start_service(finish);
+  }
+}
+
+QueueSample PifoQueue::admit(std::int64_t now, const QueueItem& item) {
+  advance(now);
+
+  QueueSample s;
+  s.arrival = now;
+  s.size_bytes = item.size_bytes;
+  s.qlen_bytes = backlog_bytes_;
+  s.qlen_pkts = static_cast<std::int32_t>(waiting_.size() +
+                                          (in_service_.has_value() ? 1 : 0));
+
+  // When the buffer is full the arrival may lose the eviction contest below;
+  // a dropped packet must not advance the rank program's clocks (a flow
+  // overdriving a full buffer would otherwise be charged for bytes that were
+  // never scheduled, racing its virtual start time ahead and starving it).
+  // Snapshot the machine state and roll back on an arrival drop.
+  const bool may_drop = config_.capacity_bytes >= 0 &&
+                        backlog_bytes_ + item.size_bytes >
+                            config_.capacity_bytes;
+  std::optional<banzai::StateStore> undo;
+  if (may_drop && rank_.has_value())
+    undo = rank_->machine().snapshot_state();
+
+  RankFeedback fb;
+  fb.vt = virtual_time_;
+  std::int64_t rank = item.rank;
+  if (rank_.has_value()) {
+    if (auto it = flow_refund_.find(item.flow_id); it != flow_refund_.end())
+      fb.refund = it->second;
+    if (auto it = tenant_refund_.find(item.tenant_id);
+        it != tenant_refund_.end())
+      fb.trefund = it->second;
+    rank = static_cast<std::int64_t>(rank_->rank(now, fb, item));
+  }
+
+  // Bounded size: evict worst-ranked waiting packets to make room; if the
+  // arrival is itself the worst (ties lose — a waiting packet with an equal
+  // rank has the earlier admission seq), the arrival is dropped.  The packet
+  // in service is never evicted.  An evicted packet's bytes are credited to
+  // the refund ledgers so the rank program can un-charge its clocks; a
+  // dropped arrival's machine charge is rolled back via `undo`.
+  if (config_.capacity_bytes >= 0) {
+    while (backlog_bytes_ + item.size_bytes > config_.capacity_bytes) {
+      if (waiting_.empty()) {
+        s.dropped = true;
+      } else {
+        const auto worst = std::prev(waiting_.end());
+        if (worst->rank > rank) {
+          backlog_bytes_ -= worst->item.size_bytes;
+          ready_.push_back(Departed{now, worst->item, true});
+          note_eviction(worst->item.size_bytes);
+          ++evicted_pkts_;
+          credit_eviction(worst->item);
+          waiting_.erase(worst);
+          continue;
+        }
+        s.dropped = true;
+      }
+      if (undo.has_value()) rank_->machine().restore_state(*undo);
+      s.departure = now;
+      s.sojourn = 0;
+      return s;
+    }
+  }
+
+  // The machine consumed the refunds it was offered; settle the ledgers
+  // (evictions this very call may have added new debt for the same keys).
+  if (rank_.has_value()) {
+    if (fb.refund > 0) settle_refund(flow_refund_, item.flow_id, fb.refund);
+    if (fb.trefund > 0)
+      settle_refund(tenant_refund_, item.tenant_id, fb.trefund);
+  }
+
+  // ECN threshold on the backlog the packet found (same rule as ByteQueue).
+  s.ecn_marked = config_.ecn_threshold_bytes >= 0 &&
+                 s.qlen_bytes >= config_.ecn_threshold_bytes;
+
+  Entry e;
+  e.rank = rank;
+  e.seq = next_seq_++;
+  e.item = item;
+  waiting_.insert(e);
+  backlog_bytes_ += item.size_bytes;
+  if (!in_service_.has_value()) start_service(now);
+
+  // Departure is scheduled, not known here: the sample reports arrival-side
+  // facts only (departure_known_at_offer() == false).
+  s.departure = 0;
+  s.sojourn = 0;
+  return s;
+}
+
+std::optional<std::int64_t> PifoQueue::next_departure() const {
+  if (in_service_.has_value()) return in_service_->finish;
+  return std::nullopt;
+}
+
+std::optional<Departed> PifoQueue::pop_departed(std::int64_t now) {
+  advance(now);
+  if (ready_.empty()) return std::nullopt;
+  Departed d = ready_.front();
+  ready_.pop_front();
+  return d;
+}
+
+std::int64_t PifoQueue::backlog_bytes(std::int64_t now) {
+  advance(now);
+  return backlog_bytes_;
+}
+
+std::int32_t PifoQueue::backlog_pkts(std::int64_t now) {
+  advance(now);
+  return static_cast<std::int32_t>(waiting_.size() +
+                                   (in_service_.has_value() ? 1 : 0));
+}
+
+FairnessReport run_fairness_scenario(const FairnessConfig& config) {
+  NetFabricConfig fc;
+  fc.num_leaves = config.num_leaves;
+  fc.num_spines = config.num_spines;
+  fc.seed = config.seed;
+  // Fabric ports are deliberately generous: the destination host port is the
+  // only bottleneck, so the discipline under test owns every drop.
+  fc.port.bytes_per_tick = 8 * config.bytes_per_tick;
+  fc.port.capacity_bytes = -1;
+  fc.port.ecn_threshold_bytes = -1;
+  NetFabric fabric(fc);
+
+  QueueConfig bottleneck;
+  bottleneck.bytes_per_tick = config.bytes_per_tick;
+  bottleneck.capacity_bytes = config.capacity_bytes;
+  bottleneck.ecn_threshold_bytes = -1;
+  if (config.use_pifo) {
+    fabric.set_host_port_discipline(
+        0, std::make_unique<PifoQueue>(
+               bottleneck, compile_rank_machine("stfq", config.engine)));
+  } else {
+    fabric.set_host_port_discipline(0,
+                                    std::make_unique<ByteQueue>(bottleneck));
+  }
+
+  // Zipf-skewed tenants, all incast to leaf 0.  flow_id == tenant, so the
+  // STFQ rank program's per-flow virtual clock is a per-tenant clock.
+  FairnessReport report;
+  report.delivered_bytes.assign(static_cast<std::size_t>(config.tenants), 0);
+  report.offered_bytes.assign(static_cast<std::size_t>(config.tenants), 0);
+  Zipf zipf(static_cast<std::size_t>(config.tenants), config.zipf_skew);
+  Xoshiro256 rng(config.seed);
+  const std::int32_t kPktBytes = 1000;
+  for (int i = 0; i < config.packets; ++i) {
+    const int tenant = static_cast<int>(zipf.sample(rng));
+    TracePacket p;
+    p.arrival = i / config.packets_per_tick;
+    p.flow_id = tenant;
+    p.sport = 1000 + tenant;
+    p.dport = 80;
+    p.size_bytes = kPktBytes;
+    const int src_leaf =
+        config.num_leaves > 1 ? 1 + tenant % (config.num_leaves - 1) : 0;
+    report.offered_bytes[static_cast<std::size_t>(tenant)] += p.size_bytes;
+    fabric.inject(p, src_leaf, /*dst_leaf=*/0);
+  }
+  fabric.run();
+
+  for (const DeliveredPacket& d : fabric.delivered()) {
+    const auto tenant = static_cast<std::size_t>(d.pkt.flow_id);
+    report.delivered_bytes.at(tenant) += d.pkt.size_bytes;
+    report.delivered_total += d.pkt.size_bytes;
+  }
+  std::int64_t lo = report.delivered_bytes[0], hi = report.delivered_bytes[0];
+  for (std::int64_t b : report.delivered_bytes) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  report.max_min_ratio = static_cast<double>(hi) /
+                         static_cast<double>(std::max<std::int64_t>(1, lo));
+  report.stats = fabric.stats();
+  return report;
+}
+
+}  // namespace netsim

@@ -1,0 +1,198 @@
+// Programmable packet scheduling: the PIFO queue discipline, ranked by
+// compiled Banzai machines.
+//
+// The companion paper ("Programmable Packet Scheduling at Line Rate",
+// PAPERS.md) observes that a push-in-first-out queue — insert by rank,
+// always dequeue the minimum — plus a rank computed by exactly the packet
+// transactions this repo compiles expresses a large family of schedulers:
+// start-time fair queueing, token-bucket shaping, hierarchical schemes.
+// PifoQueue is that primitive as a QueueDiscipline (sim/queue.h), so it
+// drops into every NetFabric port and into simulate_queue:
+//
+//   * rank — read from the packet field a compiled machine computes
+//     (RankMachine), or taken verbatim from QueueItem::rank when no machine
+//     is bound.  The rank programs live in algorithms::rank_corpus().
+//   * dequeue-min with deterministic FIFO tie-breaking: equal ranks leave in
+//     admission order (each entry carries a monotone admission sequence).
+//   * bounded size with lowest-priority (highest-rank) eviction: when the
+//     buffer is full, worst-ranked *waiting* packets are evicted to make
+//     room for a better-ranked arrival; an arrival that is itself worst is
+//     dropped.  The packet in service is never preempted.
+//
+// Service is non-preemptive at config().bytes_per_tick: once the minimum-
+// rank packet starts service its completion tick is fixed, which is why
+// departures are scheduled (departure_known_at_offer() == false) and
+// surface through next_departure()/pop_departed() rather than in the offer
+// sample.
+//
+// run_fairness_scenario() is the NetFabric workload this enables: Zipf-
+// skewed tenants incast into one leaf of a leaf-spine fabric, where
+// STFQ-on-PIFO bounds the max/min per-tenant throughput ratio that a FIFO
+// bottleneck lets collapse to the offered-load skew.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "banzai/kernel.h"
+#include "banzai/machine.h"
+#include "banzai/packet.h"
+#include "sim/netfabric.h"
+#include "sim/queue.h"
+
+namespace netsim {
+
+// The scheduler-side feedback a rank program may consume, filled by
+// PifoQueue on every offer.
+struct RankFeedback {
+  std::int64_t vt = 0;       // virtual time: start rank of pkt in service
+  std::int64_t refund = 0;   // flow's bytes evicted since its last offer
+  std::int64_t trefund = 0;  // tenant's bytes evicted since its last offer
+};
+
+// A compiled machine bound as a rank function.  Inputs are resolved against
+// the program's field table by convention, accepting both the rank corpus's
+// names and the fabric's: flow ("flow" | "flow_id"), len ("len" |
+// "size_bytes"), now ("now" | "arrival", the wall-clock tick), tenant
+// ("tenant"), plus the scheduler feedback fields "vt", "refund" and
+// "trefund" (see RankFeedback).  The rank output is `rank_field` translated
+// through the compiler's output map.  The machine runs on whatever engine
+// its toggle selects — the scheduler is a second consumer of all three
+// engines.
+class RankMachine {
+ public:
+  RankMachine(banzai::Machine machine,
+              const std::map<std::string, std::string>& output_map,
+              const std::string& rank_field);
+
+  // Computes the rank of `item` arriving at tick `now` with scheduler
+  // feedback `fb`, advancing the rank program's state (virtual clocks,
+  // token buckets) exactly once.
+  banzai::Value rank(std::int64_t now, const RankFeedback& fb,
+                     const QueueItem& item);
+
+  // Which feedback inputs the program declares — the scheduler only clears
+  // a refund ledger the machine actually consumed.
+  bool uses_refund() const { return refund_.has_value(); }
+  bool uses_tenant_refund() const { return trefund_.has_value(); }
+
+  banzai::Machine& machine() { return machine_; }
+  const banzai::Machine& machine() const { return machine_; }
+
+ private:
+  banzai::Machine machine_;
+  std::optional<banzai::FieldId> flow_, len_, now_, vt_, refund_, trefund_,
+      tenant_;
+  banzai::FieldId rank_id_ = 0;
+};
+
+// Compiles `rank_corpus()` entry `name` on the least expressive paper target
+// that accepts it and binds its rank field, with the machine's engine toggle
+// set to `engine`.  Throws std::out_of_range for unknown names.
+RankMachine compile_rank_machine(
+    const std::string& name,
+    banzai::ExecEngine engine = banzai::ExecEngine::kKernel);
+
+// The push-in-first-out discipline.  See the header comment for semantics.
+class PifoQueue final : public QueueDiscipline {
+ public:
+  explicit PifoQueue(const QueueConfig& config);
+  PifoQueue(const QueueConfig& config, RankMachine rank);
+
+  bool departure_known_at_offer() const override { return false; }
+  std::optional<std::int64_t> next_departure() const override;
+  std::optional<Departed> pop_departed(std::int64_t now) override;
+  std::int64_t backlog_bytes(std::int64_t now) override;
+  std::int32_t backlog_pkts(std::int64_t now) override;
+  std::int64_t busy_until() const override { return busy_until_; }
+
+  // Post-acceptance evictions, a subset of dropped_pkts().
+  std::int64_t evicted_pkts() const { return evicted_pkts_; }
+
+  // The scheduler's virtual time: the largest start rank that has entered
+  // service, fed back to the rank program as its `vt` input (so per-flow
+  // clocks that raced ahead on dropped traffic rejoin the current round).
+  std::int64_t virtual_time() const { return virtual_time_; }
+
+  // The bound rank machine, nullptr when ranks come from QueueItem::rank.
+  RankMachine* rank_machine() { return rank_ ? &*rank_ : nullptr; }
+
+ protected:
+  QueueSample admit(std::int64_t now, const QueueItem& item) override;
+
+ private:
+  struct Entry {
+    std::int64_t rank = 0;
+    std::uint64_t seq = 0;  // admission order: the FIFO tie-break
+    QueueItem item;
+    bool operator<(const Entry& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      return seq < o.seq;
+    }
+  };
+  struct InService {
+    std::int64_t finish = 0;
+    QueueItem item;
+  };
+
+  // Completes every service due by `now`, starting the next minimum-rank
+  // packet back-to-back (work conserving, non-preemptive).
+  void advance(std::int64_t now);
+  void start_service(std::int64_t at);
+  // Credits an evicted packet's bytes to the refund ledgers (only the ones
+  // the bound rank program consumes).
+  void credit_eviction(const QueueItem& victim);
+
+  std::optional<RankMachine> rank_;
+  // Eviction refund ledgers: bytes evicted per flow/tenant, owed to the
+  // rank program's clocks.  An entry is cleared when the machine consumes
+  // it (the offer's rank was kept); a rolled-back offer keeps the debt.
+  std::map<std::int32_t, std::int64_t> flow_refund_;
+  std::map<std::int32_t, std::int64_t> tenant_refund_;
+  std::set<Entry> waiting_;           // ordered by (rank, admission seq)
+  std::optional<InService> in_service_;
+  std::deque<Departed> ready_;        // completed/evicted, not yet popped
+  std::int64_t backlog_bytes_ = 0;    // waiting + in service
+  std::int64_t busy_until_ = 0;
+  std::int64_t virtual_time_ = 0;     // max start rank entered into service
+  std::uint64_t next_seq_ = 0;
+  std::int64_t evicted_pkts_ = 0;
+};
+
+// The fairness scenario: `tenants` Zipf-skewed tenants on a leaf-spine
+// fabric all sending to leaf 0, whose host port is the bottleneck — an
+// ECN-less drop-tail FIFO, or a PIFO running the STFQ rank program compiled
+// on `engine`.  Every tenant offers more than its fair share, so delivered
+// bytes measure what the discipline grants, not what the tenant asked for.
+struct FairnessConfig {
+  int num_leaves = 8;
+  int num_spines = 8;
+  int tenants = 8;
+  int packets = 6000;             // total injected
+  int packets_per_tick = 3;       // offered load (pkts are 1000 bytes)
+  double zipf_skew = 1.0;         // tenant popularity skew
+  std::uint64_t seed = 1;
+  std::int64_t bytes_per_tick = 500;     // bottleneck service rate
+  std::int64_t capacity_bytes = 20000;   // bottleneck buffer
+  bool use_pifo = false;                 // false: drop-tail FIFO bottleneck
+  banzai::ExecEngine engine = banzai::ExecEngine::kKernel;
+};
+
+struct FairnessReport {
+  std::vector<std::int64_t> delivered_bytes;  // per tenant
+  std::vector<std::int64_t> offered_bytes;    // per tenant
+  std::int64_t delivered_total = 0;
+  // max/min over per-tenant delivered bytes (min clamped to 1 so a starved
+  // tenant yields a huge, finite ratio).
+  double max_min_ratio = 0.0;
+  FabricStats stats;
+};
+
+FairnessReport run_fairness_scenario(const FairnessConfig& config);
+
+}  // namespace netsim
