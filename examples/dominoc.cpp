@@ -14,7 +14,13 @@
 //   --dot               print dependency graph + condensed DAG (graphviz)
 //   --run <n>           push n seeded workload packets through the machine
 //                       (corpus programs only) and print a state summary
+//
+// Cache maintenance (the native AOT object cache, banzai/native.h):
+//   dominoc --native-cache stats           show directory, entry count, bytes
+//   dominoc --native-cache clear           remove every cached object/source
+//   dominoc --native-cache sweep <bytes>   LRU-evict down to the byte cap
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -22,6 +28,7 @@
 #include <sstream>
 
 #include "algorithms/corpus.h"
+#include "banzai/native.h"
 #include "banzai/sim.h"
 #include "core/compiler.h"
 #include "core/emit.h"
@@ -33,9 +40,42 @@ namespace {
 int usage() {
   std::printf(
       "usage: dominoc --list\n"
+      "       dominoc --native-cache {stats|clear|sweep <bytes>}\n"
       "       dominoc <program|file.domino> [--target <name>] [--artifacts]\n"
       "               [--emit-p4] [--emit-cc] [--dot] [--run <n>]\n");
   return 2;
+}
+
+int native_cache_cmd(int argc, char** argv) {
+  // dominoc --native-cache <verb>, argv[2] onward.  The directory is the
+  // resolved default (DOMINO_NATIVE_CACHE or /tmp/domino-native-cache).
+  if (argc < 3) return usage();
+  const char* verb = argv[2];
+  if (std::strcmp(verb, "stats") == 0) {
+    const banzai::NativeCacheStats st = banzai::native_cache_stats();
+    std::printf("native cache: %s\n", st.dir.c_str());
+    std::printf("  objects: %zu\n  sources: %zu\n  bytes:   %llu\n",
+                st.objects, st.sources,
+                static_cast<unsigned long long>(st.total_bytes));
+    return 0;
+  }
+  if (std::strcmp(verb, "clear") == 0) {
+    const std::size_t removed = banzai::native_cache_clear();
+    std::printf("removed %zu cached file(s)\n", removed);
+    return 0;
+  }
+  if (std::strcmp(verb, "sweep") == 0) {
+    if (argc < 4) return usage();
+    char* end = nullptr;
+    const unsigned long long cap = std::strtoull(argv[3], &end, 10);
+    if (end == argv[3] || *end != '\0') return usage();
+    const std::size_t removed = banzai::native_cache_sweep(cap);
+    const banzai::NativeCacheStats st = banzai::native_cache_stats();
+    std::printf("evicted %zu file(s); cache now %llu byte(s)\n", removed,
+                static_cast<unsigned long long>(st.total_bytes));
+    return 0;
+  }
+  return usage();
 }
 
 std::optional<std::string> load_source(const std::string& arg,
@@ -66,6 +106,9 @@ std::optional<std::string> load_source(const std::string& arg,
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+
+  if (std::strcmp(argv[1], "--native-cache") == 0)
+    return native_cache_cmd(argc, argv);
 
   if (std::strcmp(argv[1], "--list") == 0) {
     std::printf("corpus programs:\n");

@@ -1,0 +1,240 @@
+#include "banzai/autoscale.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace banzai {
+
+std::size_t Autoscaler::observe(std::size_t current, double queue_frac,
+                                std::uint64_t p99_ticks, TimePoint now) {
+  const bool latency_on = cfg_.p99_ticks_high > 0;
+  const bool high = queue_frac >= cfg_.queue_frac_high ||
+                    (latency_on && p99_ticks >= cfg_.p99_ticks_high);
+  const bool low = queue_frac <= cfg_.queue_frac_low &&
+                   (!latency_on || p99_ticks <= cfg_.p99_ticks_low);
+
+  if (high) {
+    ++high_streak_;
+    low_streak_ = 0;
+  } else if (low) {
+    ++low_streak_;
+    high_streak_ = 0;
+  } else {
+    // Inside the hysteresis band: the service is neither hot nor idle, so
+    // any partial streak was noise.
+    high_streak_ = 0;
+    low_streak_ = 0;
+  }
+
+  const bool cooled =
+      !last_action_.has_value() || now - *last_action_ >= cfg_.cooldown;
+  if (!cooled) return current;
+
+  if (high_streak_ >= cfg_.sustain) {
+    const std::size_t target = std::min(current * 2, cfg_.max_shards);
+    if (target != current) {
+      high_streak_ = 0;
+      low_streak_ = 0;
+      last_action_ = now;
+      ++scale_ups_;
+      return target;
+    }
+    // Already at max: hold the streak so a later max_shards raise (or a
+    // config with head-room) can act, but report no action.
+    return current;
+  }
+  if (low_streak_ >= cfg_.sustain) {
+    const std::size_t target = std::max(current / 2, cfg_.min_shards);
+    if (target != current) {
+      high_streak_ = 0;
+      low_streak_ = 0;
+      last_action_ = now;
+      ++scale_downs_;
+      return target;
+    }
+    return current;
+  }
+  return current;
+}
+
+ServiceSample ServiceSampler::push(const ServiceStats& st,
+                                   std::size_t ring_capacity,
+                                   std::chrono::steady_clock::time_point now) {
+  ServiceSample s;
+  s.at = now;
+  s.stats = st;
+  for (std::size_t d : st.queue_depth)
+    s.max_queue_depth = std::max(s.max_queue_depth, d);
+  if (ring_capacity > 0)
+    s.queue_frac = static_cast<double>(s.max_queue_depth) /
+                   static_cast<double>(ring_capacity);
+  if (!window_.empty()) {
+    const ServiceSample& prev = window_.back();
+    s.dt_seconds = std::chrono::duration<double>(now - prev.at).count();
+    if (s.dt_seconds > 0) {
+      // Counters are cumulative and monotone within one service generation;
+      // a reshard resets them, so clamp the deltas at zero instead of
+      // reporting a huge negative rate for the sample that straddles it.
+      auto rate = [&](std::uint64_t cur, std::uint64_t old) {
+        return cur >= old ? static_cast<double>(cur - old) / s.dt_seconds : 0.0;
+      };
+      s.ingest_rate = rate(st.ingested, prev.stats.ingested);
+      s.delivery_rate = rate(st.delivered, prev.stats.delivered);
+      s.drop_rate = rate(st.dropped, prev.stats.dropped);
+    }
+  }
+  window_.push_back(s);
+  while (window_.size() > window_limit_) window_.pop_front();
+  return window_.back();
+}
+
+namespace {
+
+// Accumulates one retired generation's counters into `into` (the fields that
+// are meaningful as sums; rates and quantiles stay generation-local).
+void fold_stats(ServiceStats& into, const ServiceStats& gen) {
+  into.ingested += gen.ingested;
+  into.delivered += gen.delivered;
+  into.dropped += gen.dropped;
+  into.wire.frames_parsed += gen.wire.frames_parsed;
+  into.wire.frames_rejected += gen.wire.frames_rejected;
+  into.wire.reject_truncated += gen.wire.reject_truncated;
+  into.wire.reject_oversized += gen.wire.reject_oversized;
+  into.wire.reject_bad_value += gen.wire.reject_bad_value;
+  into.wire.bytes_in += gen.wire.bytes_in;
+  into.wire.bytes_out += gen.wire.bytes_out;
+  if (into.stage_counters.size() < gen.stage_counters.size())
+    into.stage_counters.resize(gen.stage_counters.size());
+  for (std::size_t i = 0; i < gen.stage_counters.size(); ++i) {
+    into.stage_counters[i].packets += gen.stage_counters[i].packets;
+    into.stage_counters[i].ops += gen.stage_counters[i].ops;
+    into.stage_counters[i].ns += gen.stage_counters[i].ns;
+  }
+}
+
+}  // namespace
+
+AutoscalingService::AutoscalingService(const Machine& prototype,
+                                       AutoscalingServiceConfig cfg)
+    : proto_(prototype.clone()),
+      cfg_(std::move(cfg)),
+      autoscaler_(cfg_.autoscaler),
+      sampler_(cfg_.sampler_window) {
+  // Every reachable shard count must fit in the slot table, or a scale-up
+  // would throw mid-stream; fail at construction instead.
+  if (cfg_.autoscaler.min_shards == 0)
+    throw std::invalid_argument("AutoscalingService: min_shards must be >= 1");
+  if (cfg_.autoscaler.max_shards < cfg_.autoscaler.min_shards)
+    throw std::invalid_argument(
+        "AutoscalingService: max_shards must be >= min_shards");
+  if (cfg_.autoscaler.max_shards > cfg_.service.num_slots)
+    throw std::invalid_argument(
+        "AutoscalingService: max_shards exceeds num_slots (slots are the "
+        "migration unit, so they bound the shard count)");
+  if (cfg_.tick_stride == 0) cfg_.tick_stride = 1;
+  cfg_.service.num_shards =
+      std::clamp(cfg_.service.num_shards, cfg_.autoscaler.min_shards,
+                 cfg_.autoscaler.max_shards);
+  svc_ = std::make_unique<FleetService>(proto_, cfg_.service);
+}
+
+void AutoscalingService::start() {
+  svc_->start();
+  last_sample_ = std::chrono::steady_clock::now();
+  sampled_once_ = false;
+}
+
+void AutoscalingService::stop() { svc_->stop(); }
+
+void AutoscalingService::flush() { svc_->flush(); }
+
+bool AutoscalingService::ingest(Packet pkt) {
+  const bool ok = svc_->ingest(std::move(pkt));
+  if (++since_tick_ >= cfg_.tick_stride) {
+    since_tick_ = 0;
+    const auto now = std::chrono::steady_clock::now();
+    if (!sampled_once_ || now - last_sample_ >= cfg_.sample_period)
+      tick(now);
+  }
+  return ok;
+}
+
+bool AutoscalingService::tick(std::chrono::steady_clock::time_point now) {
+  last_sample_ = now;
+  sampled_once_ = true;
+  const ServiceSample s =
+      sampler_.push(svc_->stats(), cfg_.service.ring_capacity, now);
+  const std::size_t current = svc_->num_shards();
+  const std::size_t target = autoscaler_.observe(
+      current, s.queue_frac, s.stats.latency_p99_ticks, now);
+  if (target == current) return false;
+  reshard_to(target);
+  return true;
+}
+
+void AutoscalingService::reshard_to(std::size_t target_shards) {
+  if (target_shards == 0 || target_shards == svc_->num_shards()) return;
+  // Retire the current generation: flush so every accepted packet reaches
+  // the egress window, stop so snapshot() is legal, and drain the settled
+  // egress into pending_ so nothing is lost when the window is discarded
+  // with the old service.
+  svc_->flush();
+  svc_->stop();
+  ServiceSnapshot snap = svc_->snapshot();
+  ServiceStats old = svc_->stats();
+  std::vector<Packet> drained = svc_->drain_egress();
+
+  ServiceConfig next_cfg = svc_->config();
+  next_cfg.num_shards = target_shards;
+  auto next = std::make_unique<FleetService>(proto_, next_cfg);
+  next->restore(snap);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.insert(pending_.end(), std::make_move_iterator(drained.begin()),
+                    std::make_move_iterator(drained.end()));
+    fold_stats(retired_, old);
+    svc_ = std::move(next);
+  }
+  svc_->start();
+  ++reshards_;
+}
+
+std::vector<Packet> AutoscalingService::drain_egress() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Packet> out = std::move(pending_);
+  pending_.clear();
+  std::vector<Packet> live = svc_->drain_egress();
+  out.insert(out.end(), std::make_move_iterator(live.begin()),
+             std::make_move_iterator(live.end()));
+  return out;
+}
+
+ServiceStats AutoscalingService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = svc_->stats();
+  fold_stats(out, retired_);
+  return out;
+}
+
+std::vector<HeavyHitter> AutoscalingService::heavy_hitters(
+    std::size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The table lives in the current generation, so it describes traffic since
+  // the last reshard — a recent window, which is what a hot-flow report
+  // should be anyway.
+  return svc_->heavy_hitters(k);
+}
+
+std::size_t AutoscalingService::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return svc_->num_shards();
+}
+
+bool AutoscalingService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return svc_->running();
+}
+
+}  // namespace banzai

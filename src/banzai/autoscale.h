@@ -1,0 +1,200 @@
+// The closed control loop over FleetService: periodic stats sampling
+// (deltas → rates), a threshold controller with hysteresis and cooldown
+// (Autoscaler), and a wrapper that drives the existing snapshot/restore
+// resharding machinery from what the samples say (AutoscalingService).
+//
+// The controller is deliberately clock-agnostic: observe() takes the sample
+// time as an argument, so unit tests drive it on a fake clock and the
+// wrapper feeds it steady_clock.  The bit-exactness story is inherited, not
+// re-proven: a reshard is flush → stop → snapshot → new FleetService with a
+// different shard count → restore → start, exactly the manual cycle
+// tests/service_test.cc already pins against sequential execution — the
+// controller only decides *when* to run it.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "banzai/service.h"
+
+namespace banzai {
+
+struct AutoscalerConfig {
+  std::size_t min_shards = 2;
+  std::size_t max_shards = 8;
+  // Pressure signal: the maximum per-shard ring occupancy fraction.  High
+  // when any shard's ring is this full; low only when every shard is this
+  // empty.  The gap between the two is the hysteresis band.
+  double queue_frac_high = 0.75;
+  double queue_frac_low = 0.10;
+  // Latency signal in ingest ticks (ServiceStats::latency_p99_ticks).
+  // p99_ticks_high == 0 disables the latency signal entirely.
+  std::uint64_t p99_ticks_high = 0;
+  std::uint64_t p99_ticks_low = 0;
+  // Consecutive samples a signal must hold before the controller acts: a
+  // single hot sample (one bursty batch) never triggers a reshard.
+  int sustain = 3;
+  // Minimum time between actions.  Streaks keep accumulating during the
+  // cooldown, but actions are clamped until it passes — so a sustained
+  // plateau walks 2→4→8 one doubling per cooldown window, while an
+  // oscillating signal (which resets streaks) never acts at all.
+  std::chrono::milliseconds cooldown{500};
+};
+
+// Threshold controller: feed it one (queue_frac, p99) observation per sample
+// period; it returns the shard count the service should run at.  Scale-up
+// when EITHER signal is high for `sustain` samples (pressure anywhere is
+// pressure); scale-down only when BOTH are low (the conservative side of the
+// hysteresis band).  Actions double or halve, clamped to [min, max]; each
+// action resets the streaks and stamps the cooldown.  Not thread-safe — one
+// control loop owns it.
+class Autoscaler {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit Autoscaler(AutoscalerConfig cfg) : cfg_(cfg) {}
+
+  // One control-loop step.  `current` is the shard count the service runs
+  // at now; the return value is the target (== current when no action).
+  std::size_t observe(std::size_t current, double queue_frac,
+                      std::uint64_t p99_ticks, TimePoint now);
+
+  const AutoscalerConfig& config() const { return cfg_; }
+  std::uint64_t scale_ups() const { return scale_ups_; }
+  std::uint64_t scale_downs() const { return scale_downs_; }
+  int high_streak() const { return high_streak_; }
+  int low_streak() const { return low_streak_; }
+
+ private:
+  AutoscalerConfig cfg_;
+  int high_streak_ = 0;
+  int low_streak_ = 0;
+  std::optional<TimePoint> last_action_;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+};
+
+// One timestamped stats sample with the deltas to its predecessor rendered
+// as rates (the p4db-style periodic counter sampling).
+struct ServiceSample {
+  std::chrono::steady_clock::time_point at{};
+  ServiceStats stats;          // cumulative, as returned by stats()
+  double dt_seconds = 0;       // vs the previous sample; 0 for the first
+  double ingest_rate = 0;      // offered pkts/sec over the delta window
+  double delivery_rate = 0;
+  double drop_rate = 0;
+  std::size_t max_queue_depth = 0;
+  double queue_frac = 0;       // max_queue_depth / ring_capacity
+};
+
+// Bounded ring of samples.  push() computes the delta rates against the
+// previous sample; window() exposes the recent history (oldest first) for
+// rendering or trend logic.  Not thread-safe — owned by the control loop.
+class ServiceSampler {
+ public:
+  explicit ServiceSampler(std::size_t window = 64)
+      : window_limit_(window == 0 ? 1 : window) {}
+
+  ServiceSample push(const ServiceStats& st, std::size_t ring_capacity,
+                     std::chrono::steady_clock::time_point now);
+
+  const std::deque<ServiceSample>& window() const { return window_; }
+  const ServiceSample* latest() const {
+    return window_.empty() ? nullptr : &window_.back();
+  }
+
+ private:
+  std::size_t window_limit_;
+  std::deque<ServiceSample> window_;
+};
+
+struct AutoscalingServiceConfig {
+  ServiceConfig service;        // num_shards here is the starting point
+  AutoscalerConfig autoscaler;
+  // How often the control loop samples when driven through ingest().
+  std::chrono::milliseconds sample_period{50};
+  // Ingest calls between clock reads: the loop piggybacks on the ingest
+  // thread, so the steady-state cost is one counter increment per packet.
+  std::size_t tick_stride = 256;
+  std::size_t sampler_window = 64;
+};
+
+// FleetService plus the closed loop: packets flow through ingest() as
+// before, and every sample_period the wrapper feeds the controller; when it
+// answers with a different shard count the wrapper reshards in place using
+// snapshot/restore, folding the retired service's egress and counters into
+// its own so external observers see one continuous service.
+//
+// Scope: the field-packet path only (ingest(Packet)); the wire front end
+// (set_wire/ingest_frame) stays on the inner FleetService and does not
+// survive a reshard — byte-path deployments pin their shard count.
+//
+// Threading contract: ingest()/tick()/reshard_to()/start()/stop()/flush()
+// from ONE thread (the control loop rides the ingest thread); stats(),
+// drain_egress() and heavy_hitters() from any thread.
+class AutoscalingService {
+ public:
+  AutoscalingService(const Machine& prototype, AutoscalingServiceConfig cfg);
+
+  void start();
+  void stop();
+  void flush();
+
+  // Offers one packet; every tick_stride calls the control loop checks the
+  // clock and may sample + reshard inline (so a caller that only ever calls
+  // ingest still gets autoscaling).  Same return contract as
+  // FleetService::ingest.
+  bool ingest(Packet pkt);
+
+  // One explicit control-loop step at `now`: sample, consult the controller,
+  // reshard if it says so.  Returns true when a reshard happened.  The
+  // clock-injection point for tests; ingest() calls this with steady_clock.
+  bool tick(std::chrono::steady_clock::time_point now);
+
+  // Forced reshard to an explicit shard count (the test hook; also what
+  // tick() calls when the controller acts).  No-op when target equals the
+  // current count.  Requires a running service.
+  void reshard_to(std::size_t target_shards);
+
+  // Order-settled egress across every reshard generation, in arrival order:
+  // a retired generation's egress is fully flushed before the next starts,
+  // so concatenation preserves the global order.
+  std::vector<Packet> drain_egress();
+
+  // Continuous-service stats: counters accumulate across reshards (the sums
+  // of every retired generation plus the live one).  Rates and latency
+  // quantiles describe the live generation only.
+  ServiceStats stats() const;
+
+  std::vector<HeavyHitter> heavy_hitters(std::size_t k) const;
+
+  std::size_t num_shards() const;
+  bool running() const;
+  std::uint64_t reshards() const { return reshards_; }
+  const Autoscaler& autoscaler() const { return autoscaler_; }
+  const ServiceSampler& sampler() const { return sampler_; }
+
+ private:
+  Machine proto_;               // replica source for every generation
+  AutoscalingServiceConfig cfg_;
+  Autoscaler autoscaler_;
+  ServiceSampler sampler_;
+  std::unique_ptr<FleetService> svc_;
+  // Guards svc_ (swapped on reshard) and pending_/retired_ against
+  // concurrent stats()/drain_egress() readers.
+  mutable std::mutex mu_;
+  std::vector<Packet> pending_;  // drained egress of retired generations
+  ServiceStats retired_;         // summed counters of retired generations
+  std::uint64_t reshards_ = 0;
+  std::size_t since_tick_ = 0;
+  std::chrono::steady_clock::time_point last_sample_{};
+  bool sampled_once_ = false;
+};
+
+}  // namespace banzai

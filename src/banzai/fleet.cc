@@ -26,6 +26,12 @@ ShardCore::ShardCore(const Machine& prototype, std::size_t num_slots,
   sims_.reserve(num_slots);
   for (std::size_t v = 0; v < num_slots; ++v) {
     slots_.push_back(prototype.clone());
+    // Size each replica's stage-counter table now, before workers may read
+    // it concurrently (it is not resize-safe against readers), and zero it —
+    // a prototype that already processed packets must not pollute this
+    // core's aggregated totals.
+    slots_.back().prepare_stage_counters();
+    slots_.back().reset_stage_counters();
     sims_.emplace_back(slots_.back(), batch_size, dispatch);
   }
   scratch_.resize(num_shards_);
@@ -73,6 +79,12 @@ void ShardCore::drain(std::size_t shard, const std::size_t* slot_ids,
     idx.clear();
   }
   sc.touched.clear();
+}
+
+std::vector<StageCounterRow> ShardCore::stage_counter_rows() const {
+  std::vector<StageCounterRow> rows;
+  for (const Machine& m : slots_) m.stage_counters().merge_into(rows);
+  return rows;
 }
 
 std::vector<StateStore> ShardCore::snapshot_state() const {

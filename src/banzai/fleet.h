@@ -76,6 +76,13 @@ class ShardCore {
   std::vector<StateStore> snapshot_state() const;
   void restore_state(const std::vector<StateStore>& snap);
 
+  // Per-stage observability totals summed over every slot replica (stats.h).
+  // Safe to call while shards drain concurrently: the constructor prepared
+  // (and reset) each replica's table, so readers only race relaxed counter
+  // loads — the result is a point-in-time snapshot that may trail in-flight
+  // batches.  All-zero rows unless built with -DDOMINO_STAGE_COUNTERS.
+  std::vector<StageCounterRow> stage_counter_rows() const;
+
  private:
   std::size_t num_shards_;
   std::vector<FieldId> flow_key_;

@@ -1,8 +1,11 @@
 #include "banzai/kernel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
+
+#include "banzai/stats.h"
 
 namespace banzai {
 
@@ -646,13 +649,20 @@ void CompiledPipeline::run_columns_bound(ColumnBatch& cb,
     throw std::invalid_argument(
         "CompiledPipeline: column batch narrower than the compiled program's "
         "field table");
+  run_col_ops_bound(0, static_cast<std::uint32_t>(ops_.size()), cb, vars);
+}
 
+void CompiledPipeline::run_col_ops_bound(std::uint32_t first,
+                                         std::uint32_t last, ColumnBatch& cb,
+                                         StateVar* const* vars) const {
+  const std::size_t n = cb.size();
   // Op-major as in run_batch_bound, but a stateless op is now one contiguous
   // column loop.  The const-ness of each operand is resolved before the loop
   // so the loop body is a branch-free array expression.  dst may alias an
   // operand column (dst == src is a same-index read-then-write, which is safe
   // elementwise); distinct columns never overlap.
-  for (const MicroOp& op : ops_) {
+  for (std::uint32_t oi = first; oi < last; ++oi) {
+    const MicroOp& op = ops_[oi];
     auto unary = [&](auto f) {
       Value* const dst = cb.col(op.dst);
       if (op.a.is_const) {
@@ -818,6 +828,54 @@ void CompiledPipeline::run_columns_bound(ColumnBatch& cb,
         break;
       }
     }
+  }
+}
+
+void CompiledPipeline::run_batch_counted(Packet* pkts, std::size_t n,
+                                         StateVar* const* vars,
+                                         StageCounters& counters) const {
+  if (n == 0) return;
+  if (!sealed_)
+    throw std::logic_error("CompiledPipeline: run before seal()");
+  for (std::size_t i = 0; i < n; ++i)
+    if (pkts[i].num_fields() < num_fields_)
+      throw std::invalid_argument(
+          "CompiledPipeline: packet narrower than the compiled program's "
+          "field table");
+  counters.prepare(stages_.size());
+  using clock = std::chrono::steady_clock;
+  for (std::size_t si = 0; si < stages_.size(); ++si) {
+    const StageRange& st = stages_[si];
+    const auto t0 = clock::now();
+    run_ops_bound(st.begin, st.end, pkts, n, vars);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+    counters.add(si, n, static_cast<std::uint64_t>(st.end - st.begin) * n, ns);
+  }
+}
+
+void CompiledPipeline::run_columns_counted(ColumnBatch& cb,
+                                           StateVar* const* vars,
+                                           StageCounters& counters) const {
+  const std::size_t n = cb.size();
+  if (n == 0) return;
+  if (!sealed_)
+    throw std::logic_error("CompiledPipeline: run before seal()");
+  if (cb.num_fields() < num_fields_)
+    throw std::invalid_argument(
+        "CompiledPipeline: column batch narrower than the compiled program's "
+        "field table");
+  counters.prepare(stages_.size());
+  using clock = std::chrono::steady_clock;
+  for (std::size_t si = 0; si < stages_.size(); ++si) {
+    const StageRange& st = stages_[si];
+    const auto t0 = clock::now();
+    run_col_ops_bound(st.begin, st.end, cb, vars);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+    counters.add(si, n, static_cast<std::uint64_t>(st.end - st.begin) * n, ns);
   }
 }
 

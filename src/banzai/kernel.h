@@ -55,6 +55,8 @@
 
 namespace banzai {
 
+class StageCounters;  // banzai/stats.h — per-stage observability accumulators
+
 // Which execution path a Machine uses for process()/BatchSim and everything
 // layered on them (ShardCore, Fleet, FleetService, NetFabric nodes).
 //   kClosure — walk the per-atom std::function closures: the reference
@@ -262,6 +264,17 @@ class CompiledPipeline {
   // entry point.  `cb` must carry at least num_fields() columns.
   void run_columns(ColumnBatch& cb, StateStore& state) const;
   void run_columns_bound(ColumnBatch& cb, StateVar* const* vars) const;
+  // Counted forms of the bound batch entries: identical execution split at
+  // stage boundaries (legal for the same reason op-major batching is — state
+  // is local to one atom, so any stage-boundary fissioning preserves the
+  // per-atom packet order), with per-stage packets/ops/wall-ns recorded into
+  // `counters` (prepared for num_stages() by the caller; see stats.h for the
+  // concurrency contract).  Machine routes through these only when built
+  // with -DDOMINO_STAGE_COUNTERS — the default hot path never pays for them.
+  void run_batch_counted(Packet* pkts, std::size_t n, StateVar* const* vars,
+                         StageCounters& counters) const;
+  void run_columns_counted(ColumnBatch& cb, StateVar* const* vars,
+                           StageCounters& counters) const;
   // Resolves this program's state table against `state`, in slot order.
   // `vars` must have room for num_state_vars() pointers.
   void resolve_state(StateStore& state, StateVar** vars) const {
@@ -316,6 +329,9 @@ class CompiledPipeline {
   // The op-major execution core: ops [first, last) over `n` packets.
   void run_ops_bound(std::uint32_t first, std::uint32_t last, Packet* pkts,
                      std::size_t n, StateVar* const* vars) const;
+  // Columnar twin of run_ops_bound: ops [first, last) down the whole batch.
+  void run_col_ops_bound(std::uint32_t first, std::uint32_t last,
+                         ColumnBatch& cb, StateVar* const* vars) const;
 
   std::vector<MicroOp> ops_;
   std::vector<StageRange> stages_;

@@ -13,6 +13,7 @@
 #include "banzai/native.h"
 #include "banzai/packet.h"
 #include "banzai/state.h"
+#include "banzai/stats.h"
 
 namespace banzai {
 
@@ -215,6 +216,28 @@ class Machine {
   StateStore snapshot_state() const { return state_.snapshot(); }
   void restore_state(const StateStore& snap) { state_.restore(snap); }
 
+  // --- Per-stage observability (banzai/stats.h) ---------------------------
+  // Every machine carries a StageCounters table; whether the execution
+  // engines *increment* it is a build-time decision (-DDOMINO_STAGE_COUNTERS)
+  // so the default hot path pays nothing — stage_counters_enabled() reports
+  // which build this is.  The counters are per-replica (cloning copies, then
+  // ShardCore resets each slot's copy), so hot-path increments never share a
+  // cache line across workers; aggregation sums rows() at stats() time.
+  static constexpr bool stage_counters_enabled() {
+#if defined(DOMINO_STAGE_COUNTERS)
+    return true;
+#else
+    return false;
+#endif
+  }
+  StageCounters& stage_counters() { return stage_counters_; }
+  const StageCounters& stage_counters() const { return stage_counters_; }
+  // Pre-sizes the table to this machine's stage count.  Must be called (once,
+  // single-threaded) before concurrent readers may touch the counters — the
+  // table is not resize-safe against them.  Idempotent.
+  void prepare_stage_counters() { stage_counters_.prepare(num_stages()); }
+  void reset_stage_counters() { stage_counters_.reset(); }
+
   // An independent replica of this machine: same pipeline configuration, its
   // own StateStore snapshot.  Atom closures capture their configuration by
   // value and reach state only through the StateStore& they are handed at
@@ -279,6 +302,10 @@ class Machine {
   BindingCache bind_;
   std::vector<Packet> cur_, next_;  // closure ping-pong stage buffers
   std::vector<Packet> col_rows_;    // closure row scratch for columnar views
+  StageCounters stage_counters_;    // per-stage packets/ops/ns (stats.h)
+  // Scratch rows the native ABI fills per batch before folding into
+  // stage_counters_ (the .so writes plain uint64s, not atomics).
+  std::vector<NativeStageCounterRow> native_ctr_;
 };
 
 }  // namespace banzai

@@ -1,0 +1,101 @@
+// Prometheus text rendering (exposition format 0.0.4) for everything the
+// repo can count — service counters, per-stage observability rows, the wire
+// front end, heavy hitters, the native object cache, and queue disciplines —
+// plus MetricsEndpoint, a minimal blocking HTTP listener that serves the
+// rendered page so `curl localhost:PORT/metrics` works against any running
+// example or service.
+//
+// The render functions are free functions over plain structs: they take the
+// snapshot, not the live object, so callers decide the locking (e.g. take
+// FleetService::stats() once and render it).  All metric names carry the
+// `domino_` prefix; counters end in `_total` per Prometheus convention.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "banzai/native.h"
+#include "banzai/service.h"
+
+namespace netsim {
+class QueueDiscipline;
+}
+
+namespace banzai {
+
+// Service counters, rates, latency quantiles, per-shard queue depth and the
+// per-stage counter rows (domino_service_*, domino_stage_*, domino_wire_*).
+// Wire metrics are emitted only when the byte path saw traffic; stage rows
+// only when non-empty (they are all-zero unless -DDOMINO_STAGE_COUNTERS).
+void render_service_metrics(std::ostream& os, const ServiceStats& st);
+
+// Top-k flows as domino_heavy_hitter_count{flow="<hex hash>"} with the
+// matching overestimate bound domino_heavy_hitter_error.
+void render_heavy_hitters(std::ostream& os,
+                          const std::vector<HeavyHitter>& hitters);
+
+// Native AOT cache occupancy (domino_native_cache_*).
+void render_native_cache_metrics(std::ostream& os,
+                                 const NativeCacheStats& stats);
+
+// Cumulative accounting of one queue discipline (domino_queue_*), labelled
+// queue="<name>" so several ports can share a page.
+void render_queue_metrics(std::ostream& os, const netsim::QueueDiscipline& q,
+                          const std::string& name);
+
+// A blocking TCP listener serving the concatenation of its sources as
+// `text/plain; version=0.0.4` on every request (the path is ignored, so both
+// `/` and `/metrics` work).  One accept-loop thread, one request at a time —
+// scrape-rate traffic, not a web server.  Sources run on the accept thread;
+// they must do their own locking (FleetService::stats() and friends already
+// do).  add_source() before start(); stop() is idempotent and joins.
+class MetricsEndpoint {
+ public:
+  struct Options {
+    // Port to bind on 127.0.0.1; 0 picks an ephemeral port, readable from
+    // port() after start().
+    std::uint16_t port = 0;
+  };
+
+  MetricsEndpoint() = default;
+  explicit MetricsEndpoint(Options opts) : opts_(opts) {}
+  ~MetricsEndpoint() { stop(); }
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  // Registers one page fragment; fragments render in registration order.
+  void add_source(std::function<void(std::ostream&)> source);
+
+  // Renders the full page without touching the network (the unit-testable
+  // core; the listener serves exactly this string).
+  std::string render() const;
+
+  // Binds, listens and spawns the accept loop.  Throws std::runtime_error on
+  // socket errors (e.g. the port is taken).
+  void start();
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolves ephemeral binds); 0 before start().
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  Options opts_;
+  mutable std::mutex mu_;  // guards sources_
+  std::vector<std::function<void(std::ostream&)>> sources_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread server_;
+};
+
+}  // namespace banzai

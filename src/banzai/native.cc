@@ -1,11 +1,17 @@
 #include "banzai/native.h"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <utility>
 
 #include "banzai/native_io.h"
 
@@ -76,6 +82,46 @@ std::string content_hash(const std::string& source, const std::string& cxx,
   return buf;
 }
 
+// The 16-hex-digit content-hash stem of a cache file, or "" when the name
+// does not look like a cache entry (sweep treats those — temporaries from
+// crashed compiles — as single-file entries under their full name).
+std::string entry_stem(const std::string& filename) {
+  if (filename.size() < 16) return "";
+  const std::string stem = filename.substr(0, 16);
+  for (char c : stem)
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return "";
+  return stem;
+}
+
+// Last-use time of a file for LRU ordering: atime, which the loader
+// refreshes on every cache hit (see touch_atime), falling back to 0 when the
+// file vanished mid-scan.
+std::int64_t last_use_ns(const fs::path& p) {
+  struct stat st{};
+  if (::stat(p.c_str(), &st) != 0) return 0;
+  return static_cast<std::int64_t>(st.st_atim.tv_sec) * 1000000000 +
+         st.st_atim.tv_nsec;
+}
+
+// Refreshes only the access time (mtime untouched, so content-based tooling
+// still sees a stable artifact).  Best-effort: a read-only cache is fine.
+void touch_atime(const fs::path& p) {
+  struct timespec ts[2];
+  ts[0].tv_sec = 0;
+  ts[0].tv_nsec = UTIME_NOW;   // atime := now
+  ts[1].tv_sec = 0;
+  ts[1].tv_nsec = UTIME_OMIT;  // mtime untouched
+  ::utimensat(AT_FDCWD, p.c_str(), ts, 0);
+}
+
+std::string resolved_cache_dir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  const NativeOptions env = NativeOptions::from_env();
+  std::string cache = env.cache_dir.value_or(kDefaultNativeCacheDir);
+  if (cache.empty()) cache = kDefaultNativeCacheDir;
+  return cache;
+}
+
 }  // namespace
 
 NativeOptions NativeOptions::from_env() {
@@ -84,7 +130,88 @@ NativeOptions NativeOptions::from_env() {
   o.extra_flags = env_opt("DOMINO_NATIVE_CXXFLAGS");
   o.cache_dir = env_opt("DOMINO_NATIVE_CACHE");
   o.disabled = env_opt("DOMINO_NATIVE_DISABLE").has_value();
+  if (const auto cap = env_opt("DOMINO_NATIVE_CACHE_MAX_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cap->c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') o.cache_max_bytes = v;
+  }
   return o;
+}
+
+NativeCacheStats native_cache_stats(const std::string& dir) {
+  NativeCacheStats out;
+  out.dir = resolved_cache_dir(dir);
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(out.dir, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    const std::string name = e.path().filename().string();
+    const auto sz = e.file_size(ec);
+    if (!ec) out.total_bytes += sz;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".so") == 0)
+      ++out.objects;
+    else if (name.size() > 3 && name.compare(name.size() - 3, 3, ".cc") == 0)
+      ++out.sources;
+  }
+  return out;
+}
+
+std::size_t native_cache_clear(const std::string& dir) {
+  const std::string cache = resolved_cache_dir(dir);
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(cache, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    if (fs::remove(e.path(), ec)) ++removed;
+  }
+  return removed;
+}
+
+std::size_t native_cache_sweep(std::uint64_t max_bytes, const std::string& dir,
+                               const std::string& keep_hash) {
+  const std::string cache = resolved_cache_dir(dir);
+  struct Entry {
+    std::int64_t last_use = 0;  // newest file of the entry
+    std::uint64_t bytes = 0;
+    std::vector<fs::path> files;
+  };
+  std::map<std::string, Entry> entries;  // stem (or full name) → files
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(cache, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    const std::string name = e.path().filename().string();
+    std::string stem = entry_stem(name);
+    if (stem.empty()) stem = name;
+    Entry& ent = entries[stem];
+    ent.files.push_back(e.path());
+    const auto sz = e.file_size(ec);
+    if (!ec) {
+      ent.bytes += sz;
+      total += sz;
+    }
+    ent.last_use = std::max(ent.last_use, last_use_ns(e.path()));
+  }
+  if (total <= max_bytes) return 0;
+
+  std::vector<std::pair<std::string, const Entry*>> order;
+  order.reserve(entries.size());
+  for (const auto& [stem, ent] : entries)
+    if (stem != keep_hash) order.emplace_back(stem, &ent);
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second->last_use != b.second->last_use)
+      return a.second->last_use < b.second->last_use;  // oldest use first
+    return a.first < b.first;                          // deterministic ties
+  });
+
+  std::size_t removed = 0;
+  for (const auto& [stem, ent] : order) {
+    if (total <= max_bytes) break;
+    (void)stem;
+    for (const fs::path& p : ent->files)
+      if (fs::remove(p, ec)) ++removed;
+    total -= std::min(total, static_cast<std::uint64_t>(ent->bytes));
+  }
+  return removed;
 }
 
 NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
@@ -195,7 +322,17 @@ NativeLoadResult NativePipeline::compile_and_load(const CompiledPipeline& prog,
     }
   } else {
     result.cache_hit = true;
+    // Record the reuse so an LRU sweep sees this entry as recently used even
+    // on mounts where reads alone do not update atime (relatime, noatime).
+    touch_atime(so_path);
+    touch_atime(src_path);
   }
+
+  // Enforce the size cap, never evicting the entry being loaded.
+  const std::optional<std::uint64_t> cap =
+      opts.cache_max_bytes.has_value() ? opts.cache_max_bytes
+                                       : env.cache_max_bytes;
+  if (cap.has_value()) native_cache_sweep(*cap, cache, hash);
 
   void* handle = ::dlopen(so_path.string().c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {

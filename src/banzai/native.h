@@ -45,14 +45,29 @@ struct NativeStateView {
   std::uint64_t size = 0;
 };
 
+// Per-stage counters as the generated code fills them: plain uint64 rows
+// (no atomics in the .so — the host folds them into the shared-readable
+// StageCounters accumulators after the batch; machine.cc).  Layout must
+// match the POD printed by the counters prelude (core/emit.cc).
+struct NativeStageCounterRow {
+  std::uint64_t packets = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t ns = 0;
+};
+
 // The fixed ABI struct passed to every generated entry point.  `states` is
 // indexed by the program's dense state-slot ids, `intrinsics` by position in
 // the CompiledPipeline intrinsic pool, `luts` by position in the stateful
 // pool.  Layout must match the emitter's POD (core/emit.cc, kAbiPrelude).
+// `stage_counters` (one row per stage, or null) is only read by objects
+// emitted with counter support (NativeEmitOptions::stage_counters); the
+// default prelude's POD is a strict layout prefix of this struct, so old
+// objects and counterless builds are mutually compatible in both directions.
 struct NativeAbi {
   const NativeStateView* states = nullptr;
   const IntrinsicFn* intrinsics = nullptr;
   const LutFn* luts = nullptr;
+  NativeStageCounterRow* stage_counters = nullptr;
 };
 
 // Every generated pipeline exports this row-major entry point: process `n`
@@ -103,6 +118,11 @@ struct NativeOptions {
   std::optional<std::string> cache_dir;
   bool disabled = false;
   bool force_recompile = false;  // ignore a cached .so, rebuild it
+  // Size cap for the cache directory: after a successful compile the loader
+  // LRU-sweeps (native_cache_sweep below) everything but the entry it just
+  // produced until the cache fits.  Disengaged (the default) means no cap.
+  // Environment form: DOMINO_NATIVE_CACHE_MAX_BYTES.
+  std::optional<std::uint64_t> cache_max_bytes;
 
   // Reads the DOMINO_NATIVE_* variables.  A set, non-empty variable engages
   // the field; unset (or empty) leaves it disengaged so the built-in
@@ -110,6 +130,32 @@ struct NativeOptions {
   // consulted — compile_and_load() and every caller resolve through here.
   static NativeOptions from_env();
 };
+
+// --- Cache hygiene (dominoc --native-cache {stats,clear,sweep}) ------------
+// Long-lived deployments accumulate one .cc/.so pair per (program, compiler,
+// flags) triple; these operate on the resolved cache directory (`dir`, or
+// the NativeOptions::from_env() resolution when empty).  An "entry" is the
+// 16-hex-digit content-hash stem; stray temporaries from crashed compiles
+// count as entries too so a sweep can reclaim them.
+struct NativeCacheStats {
+  std::string dir;
+  std::size_t objects = 0;       // .so files
+  std::size_t sources = 0;       // .cc files
+  std::uint64_t total_bytes = 0; // everything under the directory
+};
+
+NativeCacheStats native_cache_stats(const std::string& dir = "");
+// Removes every cache file.  Returns the number of files removed.
+std::size_t native_cache_clear(const std::string& dir = "");
+// LRU sweep: evicts whole entries (.so + .cc + logs sharing a stem), oldest
+// last-use first (atime; the loader touches a .so's atime on every cache
+// hit, so the order is meaningful on relatime/noatime mounts too), until the
+// directory's total size is <= max_bytes.  `keep_hash` (when non-empty) is
+// never evicted — compile_and_load passes the entry it just loaded.  Returns
+// the number of files removed.
+std::size_t native_cache_sweep(std::uint64_t max_bytes,
+                               const std::string& dir = "",
+                               const std::string& keep_hash = "");
 
 class NativePipeline;
 
@@ -142,12 +188,15 @@ class NativePipeline {
   // Runs `n` packets (raw field arrays, one per packet) through the whole
   // pipeline in place.  `views[k]` must be the bound view of
   // state_names()[k] — callers hold them in Machine's binding cache.
-  void run(Value* const* pkts, std::uint64_t n,
-           const NativeStateView* views) const {
+  // `counters`, when non-null, must point at one row per stage; only objects
+  // emitted with counter support write it (others leave the rows untouched).
+  void run(Value* const* pkts, std::uint64_t n, const NativeStateView* views,
+           NativeStageCounterRow* counters = nullptr) const {
     NativeAbi abi;
     abi.states = views;
     abi.intrinsics = intrinsics_.data();
     abi.luts = luts_.data();
+    abi.stage_counters = counters;
     fn_(pkts, n, &abi);
   }
 
@@ -156,11 +205,13 @@ class NativePipeline {
   // Runs the batch columnar: `cols[f]` is field f's dense column.  Only
   // callable when has_columnar().
   void run_columns(Value* const* cols, std::uint64_t n,
-                   const NativeStateView* views) const {
+                   const NativeStateView* views,
+                   NativeStageCounterRow* counters = nullptr) const {
     NativeAbi abi;
     abi.states = views;
     abi.intrinsics = intrinsics_.data();
     abi.luts = luts_.data();
+    abi.stage_counters = counters;
     cols_fn_(cols, n, &abi);
   }
 

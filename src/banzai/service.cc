@@ -22,6 +22,8 @@ FleetService::FleetService(const Machine& prototype, ServiceConfig config)
   for (std::size_t s = 0; s < core_.num_shards(); ++s)
     shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
   config_.ring_capacity = shards_[0]->ring.capacity();
+  if (config_.heavy_hitter_capacity > 0)
+    hh_ = std::make_unique<SpaceSaving>(config_.heavy_hitter_capacity);
 }
 
 FleetService::~FleetService() { stop(); }
@@ -88,6 +90,13 @@ bool FleetService::ingest(Packet pkt) {
   } guard{ingest_inflight_};
   if (!running_.load() || stopping_.load())
     throw std::logic_error("FleetService::ingest: service is not started");
+  // Offered load feeds the heavy-hitter table (before any backpressure
+  // verdict: the detector explains pressure, shed packets included).  The
+  // ingest thread is the only writer; readers serialize on hh_mu_.
+  if (hh_ != nullptr) {
+    std::lock_guard<std::mutex> hh_lock(hh_mu_);
+    hh_->offer(core_.flow_hash(pkt));
+  }
   const std::size_t slot = core_.slot_of(pkt);
   Shard& shard = *shards_[slot % core_.num_shards()];
   const std::uint64_t seq =
@@ -209,6 +218,13 @@ void FleetService::worker_loop(std::size_t shard_index) {
       std::uint64_t lat = 0;
       for (std::size_t i = 0; i < n; ++i) lat += now_tick - seqs[i];
       latency_ticks_sum_.fetch_add(lat, std::memory_order_relaxed);
+      {
+        // Quantile samples, batched under the shard-local lock (contended
+        // only by a concurrent stats() merge, never by other workers).
+        std::lock_guard<std::mutex> lat_lock(shard.lat_mu);
+        for (std::size_t i = 0; i < n; ++i)
+          shard.lat_hist.record(now_tick - seqs[i]);
+      }
       delivered_.fetch_add(n, std::memory_order_acq_rel);
       continue;
     }
@@ -266,7 +282,26 @@ ServiceStats FleetService::stats() const {
           : 0;
   st.queue_depth.reserve(shards_.size());
   for (const auto& shard : shards_) st.queue_depth.push_back(shard->ring.size());
+  // Latency quantiles: merge the per-shard histograms, then read the bucket
+  // edges.  Cheap (kBuckets integers per shard) and off the worker hot path.
+  {
+    std::uint64_t counts[LatencyHistogram::kBuckets] = {};
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lat_lock(shard->lat_mu);
+      shard->lat_hist.merge_into(counts, total);
+    }
+    st.latency_p50_ticks = histogram_quantile(counts, total, 0.50);
+    st.latency_p99_ticks = histogram_quantile(counts, total, 0.99);
+  }
+  st.stage_counters = core_.stage_counter_rows();
   return st;
+}
+
+std::vector<HeavyHitter> FleetService::heavy_hitters(std::size_t k) const {
+  std::lock_guard<std::mutex> hh_lock(hh_mu_);
+  if (hh_ == nullptr) return {};
+  return hh_->top(k);
 }
 
 ServiceSnapshot FleetService::snapshot() const {

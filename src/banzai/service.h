@@ -41,6 +41,7 @@
 
 #include "banzai/fleet.h"
 #include "banzai/spsc_ring.h"
+#include "banzai/stats.h"
 #include "wire/codec.h"
 
 namespace banzai {
@@ -65,6 +66,10 @@ struct ServiceConfig {
   // Packet fields hashed together to pick a slot (and thus a shard).  Must be
   // non-empty unless num_slots == 1.
   std::vector<FieldId> flow_key;
+  // Entries in the ingest-path heavy-hitter table (stats.h SpaceSaving,
+  // keyed by flow_hash).  0 (the default) disables the detector entirely —
+  // the ingest path then never touches it.
+  std::size_t heavy_hitter_capacity = 0;
 };
 
 // Accounting for the byte-stream front end (ingest_frame / egress frames).
@@ -90,7 +95,16 @@ struct ServiceStats {
   // Mean enqueue-to-egress latency where one tick == one subsequently
   // offered packet: a queueing-depth measure that is immune to clock jitter.
   double avg_latency_ticks = 0;
+  // Latency quantiles in the same tick unit, from per-shard log2 histograms
+  // merged at stats() time (stats.h): the reported value is the containing
+  // bucket's upper edge, a conservative estimate within 2x.
+  std::uint64_t latency_p50_ticks = 0;
+  std::uint64_t latency_p99_ticks = 0;
   std::vector<std::size_t> queue_depth;  // current per-shard ring occupancy
+  // Per-stage packets/ops/ns summed over every slot replica.  Exact (not
+  // sampled) in -DDOMINO_STAGE_COUNTERS builds — tests/metrics_test.cc pins
+  // the totals to a sequential reference per stage; all-zero otherwise.
+  std::vector<StageCounterRow> stage_counters;
 };
 
 // Per-slot state checkpoint; the unit FleetService migrates on reshard.
@@ -230,6 +244,13 @@ class FleetService {
 
   ServiceStats stats() const;
 
+  // The top-k flows by offered-packet count, keyed by flow_hash, from the
+  // ingest-path space-saving table (see stats.h for the estimate/error
+  // guarantees).  Empty unless ServiceConfig::heavy_hitter_capacity > 0.
+  // Counts offered load, so DropTail sheds are included — the detector's job
+  // is to explain pressure, not delivery.  Any thread.
+  std::vector<HeavyHitter> heavy_hitters(std::size_t k) const;
+
   // Checkpoint / elastic-resharding cycle.  Both require a stopped service;
   // restore additionally requires a matching slot count (resharding changes
   // num_shards, never num_slots).
@@ -259,6 +280,12 @@ class FleetService {
     std::condition_variable cv;        // worker idle-sleep / wake-up
     std::atomic<bool> sleeping{false};
     std::thread worker;
+    // Per-shard latency histogram: the worker records one sample per
+    // delivered packet (batched, under lat_mu — uncontended except when
+    // stats() merges).  Per-worker accumulation keeps the hot path free of
+    // cross-shard sharing; stats() merges across shards.
+    std::mutex lat_mu;
+    LatencyHistogram lat_hist;
   };
 
   void worker_loop(std::size_t shard_index);
@@ -292,6 +319,12 @@ class FleetService {
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> latency_ticks_sum_{0};
+
+  // Heavy-hitter table, fed by the (single) ingest thread and read by
+  // heavy_hitters()/metrics threads; null when disabled.  The mutex is off
+  // the worker hot path entirely — only ingest and readers touch it.
+  std::unique_ptr<SpaceSaving> hh_;
+  mutable std::mutex hh_mu_;
 
   mutable std::mutex lifecycle_mu_;  // start/stop/snapshot/restore/uptime
   std::chrono::steady_clock::time_point started_at_{};

@@ -1,0 +1,59 @@
+#include "banzai/stats.h"
+
+#include <algorithm>
+
+namespace banzai {
+
+std::uint64_t histogram_quantile(
+    const std::uint64_t (&counts)[LatencyHistogram::kBuckets],
+    std::uint64_t total, double q) {
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based: ceil(q * total), at least 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return LatencyHistogram::bucket_edge(i);
+  }
+  return LatencyHistogram::bucket_edge(LatencyHistogram::kBuckets - 1);
+}
+
+void SpaceSaving::offer(std::uint64_t key) {
+  ++offered_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++entries_[it->second].count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_.emplace(key, entries_.size());
+    entries_.push_back({key, 1, 0});
+    return;
+  }
+  // Replace the minimum-count entry; its count becomes the new entry's error
+  // bound (the new flow may have occurred up to `min` times already).
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].count < entries_[victim].count) victim = i;
+  index_.erase(entries_[victim].key);
+  const std::uint64_t min = entries_[victim].count;
+  entries_[victim] = {key, min + 1, min};
+  index_.emplace(key, victim);
+}
+
+std::vector<HeavyHitter> SpaceSaving::top(std::size_t k) const {
+  std::vector<HeavyHitter> out = entries_;
+  std::sort(out.begin(), out.end(), [](const HeavyHitter& a,
+                                       const HeavyHitter& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace banzai

@@ -38,8 +38,14 @@ CompileResult compile(std::string_view source,
       m.set_native_fallback(
           "no lowered micro-op program to emit (machine is closure-only)");
     } else {
+      // Counters builds emit counter-aware objects; the changed text gets
+      // its own content hash, so both build flavors share one cache.
+      NativeEmitOptions eopts;
+#if defined(DOMINO_STAGE_COUNTERS)
+      eopts.stage_counters = true;
+#endif
       banzai::NativeLoadResult load = banzai::NativePipeline::compile_and_load(
-          *m.kernel(), emit_native_cc(*m.kernel()), options.native);
+          *m.kernel(), emit_native_cc(*m.kernel(), eopts), options.native);
       if (load.pipeline != nullptr)
         m.set_native(std::move(load.pipeline));
       else

@@ -90,6 +90,87 @@ struct DominoNativeAbi {
 };
 )";
 
+// The counters twin of kPrelude (NativeEmitOptions::stage_counters): same
+// arithmetic helpers plus a monotonic-nanosecond read, and the ABI POD grown
+// by the stage-counters pointer — layout-identical to the 4-member NativeAbi
+// of banzai/native.h, of which the default POD above is a strict prefix.
+// Kept as a verbatim second constant rather than assembled from fragments:
+// the default prelude's bytes must never change (content-hash cache), and a
+// reviewer diffing the two raw strings sees exactly the counted additions.
+// Keep the shared middle in sync with kPrelude.
+constexpr const char* kPreludeCounters = R"(#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace {
+
+using Value = std::int32_t;
+
+inline Value wrap_add(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) +
+                            static_cast<std::uint32_t>(b));
+}
+inline Value wrap_sub(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) -
+                            static_cast<std::uint32_t>(b));
+}
+inline Value wrap_mul(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a) *
+                            static_cast<std::uint32_t>(b));
+}
+inline Value total_div(Value a, Value b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return INT32_MIN;
+  return a / b;
+}
+inline Value total_mod(Value a, Value b) {
+  if (b == 0) return 0;
+  if (a == INT32_MIN && b == -1) return 0;
+  return a % b;
+}
+inline Value shift_left(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint32_t>(a)
+                            << (static_cast<std::uint32_t>(b) & 31u));
+}
+inline Value shift_right(Value a, Value b) {
+  return a >> (static_cast<std::uint32_t>(b) & 31u);
+}
+inline std::uint32_t hash_mix(std::uint32_t h, std::uint32_t v) {
+  h ^= v + 0x9e3779b9u + (h << 6) + (h >> 2);
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  return h;
+}
+inline std::uint64_t domino_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+extern "C" {
+
+struct DominoNativeStateView {
+  Value* cells;
+  std::uint64_t size;
+};
+
+struct DominoStageCounterRow {
+  std::uint64_t packets;
+  std::uint64_t ops;
+  std::uint64_t ns;
+};
+
+struct DominoNativeAbi {
+  const DominoNativeStateView* states;
+  Value (*const* intrinsics)(const Value*, std::size_t);
+  Value (*const* luts)(Value);
+  DominoStageCounterRow* stage_counters;
+};
+)";
+
 // The two bodies one translation unit carries:
 //   kRows — the per-packet body: one outer packet loop, ops read/write
 //           `f[N]` of the current packet's field array.
@@ -379,9 +460,13 @@ void emit_stateful_rows(std::ostringstream& os, const CompiledPipeline& prog,
 // CompiledPipeline::compute_liveness (all predicates, all arms): any column
 // preloaded here that is not written earlier in the program is then in
 // live_in_fields(), so BatchSim's liveness-guided gather populated it.
-void emit_cols_body(std::ostringstream& os, const CompiledPipeline& prog) {
-  const std::uint32_t begin = 0;
-  const std::uint32_t end = static_cast<std::uint32_t>(prog.num_ops());
+// `begin`/`end` bound the emitted op range: the whole program in the default
+// emission, one StageRange per call in the counted emission (stage fission
+// is legal by the same §2.3 state-locality argument as stage-major batching;
+// a field written by stage s and read by stage s+1 simply round-trips
+// through its column between the two loops).
+void emit_cols_body(std::ostringstream& os, const CompiledPipeline& prog,
+                    std::uint32_t begin, std::uint32_t end) {
   enum : std::uint8_t { kUntouched, kLoad, kDefined };
   std::vector<std::uint8_t> cls(prog.num_fields(), kUntouched);
   std::vector<bool> written(prog.num_fields(), false);
@@ -480,32 +565,84 @@ void emit_cols_body(std::ostringstream& os, const CompiledPipeline& prog) {
   os << "    }\n";
 }
 
+void emit_rows_ops(std::ostringstream& os, const CompiledPipeline& prog,
+                   std::uint32_t begin, std::uint32_t end) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const MicroOp& op = prog.ops()[i];
+    switch (op.code) {
+      case KOp::kIntrinsic:
+        emit_intrinsic(os, EmitMode::kRows, op, prog.intrinsic_pool()[op.aux],
+                       "    ");
+        break;
+      case KOp::kStateful:
+        emit_stateful_rows(os, prog, op);
+        break;
+      default:
+        os << "    f[" << op.dst << "] = " << alu_expr(EmitMode::kRows, op)
+           << ";\n";
+        break;
+    }
+  }
+}
+
 void emit_rows_body(std::ostringstream& os, const CompiledPipeline& prog) {
   const auto& stages = prog.stage_ranges();
   for (std::size_t si = 0; si < stages.size(); ++si) {
     os << "    // ---- stage " << si << " ----\n";
-    for (std::uint32_t i = stages[si].begin; i < stages[si].end; ++i) {
-      const MicroOp& op = prog.ops()[i];
-      switch (op.code) {
-        case KOp::kIntrinsic:
-          emit_intrinsic(os, EmitMode::kRows, op, prog.intrinsic_pool()[op.aux],
-                         "    ");
-          break;
-        case KOp::kStateful:
-          emit_stateful_rows(os, prog, op);
-          break;
-        default:
-          os << "    f[" << op.dst << "] = " << alu_expr(EmitMode::kRows, op)
-             << ";\n";
-          break;
-      }
-    }
+    emit_rows_ops(os, prog, stages[si].begin, stages[si].end);
+  }
+}
+
+// The counted increment for stage si: packets, micro-ops retired, wall ns —
+// identical accounting to CompiledPipeline::run_batch_counted so kernel and
+// native totals are comparable op for op.
+void emit_counter_update(std::ostringstream& os, std::size_t si,
+                         std::uint32_t num_ops) {
+  os << "    if (ctr) {\n"
+     << "      ctr[" << si << "].packets += n;\n"
+     << "      ctr[" << si << "].ops += " << num_ops << "ull * n;\n"
+     << "      ctr[" << si << "].ns += domino_now_ns() - t0;\n"
+     << "    }\n";
+}
+
+// Counted row body: stage-major (all packets through stage s, then s+1 — the
+// BatchSim order, legal by §2.3 state locality) so one clock read brackets
+// the whole batch per stage instead of every packet paying two.
+void emit_rows_body_counted(std::ostringstream& os,
+                            const CompiledPipeline& prog) {
+  const auto& stages = prog.stage_ranges();
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    os << "  {  // ---- stage " << si << " ----\n"
+       << "    const std::uint64_t t0 = ctr ? domino_now_ns() : 0;\n"
+       << "    for (std::uint64_t pi = 0; pi < n; ++pi) {\n"
+       << "    Value* const f = pkts[pi];\n";
+    emit_rows_ops(os, prog, stages[si].begin, stages[si].end);
+    os << "    }\n";
+    emit_counter_update(os, si, stages[si].end - stages[si].begin);
+    os << "  }\n";
+  }
+}
+
+// Counted columnar body: the fused loop fissions at stage boundaries, each
+// fragment wrapped in one timing bracket.  Cross-stage values round-trip
+// through their columns — the price of attribution; the uncounted emission
+// keeps the single fully-fused loop.
+void emit_cols_body_counted(std::ostringstream& os,
+                            const CompiledPipeline& prog) {
+  const auto& stages = prog.stage_ranges();
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    os << "  {  // ---- stage " << si << " ----\n"
+       << "    const std::uint64_t t0 = ctr ? domino_now_ns() : 0;\n";
+    emit_cols_body(os, prog, stages[si].begin, stages[si].end);
+    emit_counter_update(os, si, stages[si].end - stages[si].begin);
+    os << "  }\n";
   }
 }
 
 }  // namespace
 
-std::string emit_native_cc(const CompiledPipeline& prog) {
+std::string emit_native_cc(const CompiledPipeline& prog,
+                           const NativeEmitOptions& opts) {
   if (!prog.sealed())
     throw std::logic_error("emit_native_cc: program is not sealed");
   std::ostringstream os;
@@ -515,28 +652,40 @@ std::string emit_native_cc(const CompiledPipeline& prog) {
      << " packet fields, " << prog.num_state_vars() << " state vars.\n"
      << "// Two entry points over the same program: the per-packet row body\n"
      << "// and the batch-major columnar body (one fused column loop).\n";
+  if (opts.stage_counters)
+    os << "// Emitted with per-stage counters (DOMINO_STAGE_COUNTERS): both\n"
+       << "// bodies run stage-major, bracketing each stage's batch loop\n"
+       << "// with monotonic-clock reads against abi->stage_counters.\n";
   if (prog.num_state_vars() > 0) {
     os << "// State table:\n";
     for (std::size_t k = 0; k < prog.state_names().size(); ++k)
       os << "//   states[" << k << "] = " << prog.state_names()[k] << "\n";
   }
-  os << kPrelude;
+  os << (opts.stage_counters ? kPreludeCounters : kPrelude);
 
-  // Row-major entry: one outer packet loop, ops addressing f[N].
+  // Row-major entry: one outer packet loop, ops addressing f[N].  The
+  // counted form inverts the nesting (stage-major) so each stage's wall time
+  // covers the whole batch with two clock reads.
   os << "\nvoid " << banzai::kNativeEntrySymbol
      << "(Value* const* pkts, std::uint64_t n,\n"
-     << "     const DominoNativeAbi* abi) {\n"
-     << "  for (std::uint64_t pi = 0; pi < n; ++pi) {\n"
-     << "    Value* const f = pkts[pi];\n";
-  emit_rows_body(os, prog);
-  os << "  }\n"
-     << "}\n";
+     << "     const DominoNativeAbi* abi) {\n";
+  if (opts.stage_counters) {
+    os << "  DominoStageCounterRow* const ctr = abi->stage_counters;\n";
+    emit_rows_body_counted(os, prog);
+  } else {
+    os << "  for (std::uint64_t pi = 0; pi < n; ++pi) {\n"
+       << "    Value* const f = pkts[pi];\n";
+    emit_rows_body(os, prog);
+    os << "  }\n";
+  }
+  os << "}\n";
 
   // Columnar entry: `cols[f]` is the dense column of field f (ColumnBatch's
   // col_ptrs()).  Distinct columns never overlap — ColumnBatch carves them
   // from disjoint slices of one allocation — so every pointer is __restrict__
   // and the width is burned in at emit time; the whole op stream runs as one
-  // fused register-resident column loop (emit_cols_body above).
+  // fused register-resident column loop (emit_cols_body above), fissioned at
+  // stage boundaries in the counted emission.
   os << "\nvoid " << banzai::kNativeColsEntrySymbol
      << "(Value* const* cols, std::uint64_t n,\n"
      << "     const DominoNativeAbi* abi) {\n";
@@ -544,7 +693,12 @@ std::string emit_native_cc(const CompiledPipeline& prog) {
     os << "  Value* __restrict__ const c" << f << " = cols[" << f << "];\n";
   for (std::size_t f = 0; f < prog.num_fields(); ++f)
     os << "  (void)c" << f << ";\n";
-  emit_cols_body(os, prog);
+  if (opts.stage_counters) {
+    os << "  DominoStageCounterRow* const ctr = abi->stage_counters;\n";
+    emit_cols_body_counted(os, prog);
+  } else {
+    emit_cols_body(os, prog, 0, static_cast<std::uint32_t>(prog.num_ops()));
+  }
   os << "}\n"
      << "\n}  // extern \"C\"\n";
   return os.str();

@@ -23,9 +23,24 @@
 
 namespace domino {
 
+// Emission knobs.  The default-constructed value reproduces the historical
+// emission byte-for-byte — the loader's content-hash cache (and the docs'
+// "flag-off build is untouched" contract) depend on that.
+struct NativeEmitOptions {
+  // Emit per-stage packets/ops/ns increments against the ABI's
+  // stage_counters rows (banzai::NativeStageCounterRow): both entry points
+  // restructure into stage-major loops wrapped in steady_clock reads, each
+  // guarded by `if (ctr)` so a null pointer costs one branch per stage per
+  // batch.  Set by the compiler driver only in -DDOMINO_STAGE_COUNTERS
+  // builds; the changed text gives counter-aware objects their own content
+  // hash, so counted and uncounted .so's share one cache without collision.
+  bool stage_counters = false;
+};
+
 // Renders `prog` as compilable C++ exporting banzai::kNativeEntrySymbol
 // (row-major) and banzai::kNativeColsEntrySymbol (columnar).
 // Throws std::logic_error if the program is not sealed.
-std::string emit_native_cc(const banzai::CompiledPipeline& prog);
+std::string emit_native_cc(const banzai::CompiledPipeline& prog,
+                           const NativeEmitOptions& opts = {});
 
 }  // namespace domino

@@ -1,0 +1,428 @@
+// The control loop: Autoscaler threshold/hysteresis/cooldown semantics on a
+// fake clock, ServiceSampler delta math, heavy-hitter recall on Zipf traffic
+// at the documented table size, and the AutoscalingService reshard cycle —
+// forced 2→4→8→2 and controller-driven — pinned bit-exact against a
+// sequential per-slot reference.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "banzai/autoscale.h"
+#include "sim/partition.h"
+#include "sim/zipf.h"
+#include "test_util.h"
+
+namespace {
+
+using banzai::Autoscaler;
+using banzai::AutoscalerConfig;
+using banzai::AutoscalingService;
+using banzai::AutoscalingServiceConfig;
+using banzai::Backpressure;
+using banzai::FieldId;
+using banzai::Machine;
+using banzai::Packet;
+using banzai::ServiceSample;
+using banzai::ServiceSampler;
+using banzai::ServiceStats;
+using banzai::SpaceSaving;
+using std::chrono::milliseconds;
+
+using TimePoint = Autoscaler::TimePoint;
+
+TimePoint t0() { return TimePoint{}; }
+
+AutoscalerConfig controller_config() {
+  AutoscalerConfig cfg;
+  cfg.min_shards = 2;
+  cfg.max_shards = 8;
+  cfg.queue_frac_high = 0.75;
+  cfg.queue_frac_low = 0.10;
+  cfg.sustain = 3;
+  cfg.cooldown = milliseconds(500);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler on a fake clock.
+// ---------------------------------------------------------------------------
+
+TEST(AutoscalerTest, ExactlyOneActionPerSustainedCrossing) {
+  Autoscaler ctl(controller_config());
+  TimePoint now = t0();
+  // Two hot samples: below sustain, no action.
+  EXPECT_EQ(ctl.observe(2, 0.9, 0, now += milliseconds(50)), 2u);
+  EXPECT_EQ(ctl.observe(2, 0.9, 0, now += milliseconds(50)), 2u);
+  // Third consecutive hot sample: the one doubling for this crossing.
+  EXPECT_EQ(ctl.observe(2, 0.9, 0, now += milliseconds(50)), 4u);
+  EXPECT_EQ(ctl.scale_ups(), 1u);
+  // Still hot, but inside the cooldown: streaks accumulate, no action.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(ctl.observe(4, 0.9, 0, now += milliseconds(50)), 4u);
+  EXPECT_EQ(ctl.scale_ups(), 1u);
+  // Cooldown passed and the pressure is sustained: the next doubling.
+  EXPECT_EQ(ctl.observe(4, 0.9, 0, now += milliseconds(500)), 8u);
+  EXPECT_EQ(ctl.scale_ups(), 2u);
+  // At max_shards further pressure holds, never overshoots.
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(ctl.observe(8, 0.95, 0, now += milliseconds(500)), 8u);
+  EXPECT_EQ(ctl.scale_ups(), 2u);
+}
+
+TEST(AutoscalerTest, HysteresisBandPreventsFlapping) {
+  Autoscaler ctl(controller_config());
+  TimePoint now = t0();
+  // Samples inside the band (neither >= 0.75 nor <= 0.10) never act, and
+  // they reset any partial streak.
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(ctl.observe(4, 0.4, 0, now += milliseconds(50)), 4u);
+  // Oscillating hot/band/hot/band: the streak can never reach sustain.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ctl.observe(4, 0.9, 0, now += milliseconds(50)), 4u);
+    EXPECT_EQ(ctl.observe(4, 0.9, 0, now += milliseconds(50)), 4u);
+    EXPECT_EQ(ctl.observe(4, 0.4, 0, now += milliseconds(50)), 4u);
+  }
+  // Hot-then-idle alternation crosses the whole band and still never acts.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ctl.observe(4, 0.9, 0, now += milliseconds(50)), 4u);
+    EXPECT_EQ(ctl.observe(4, 0.0, 0, now += milliseconds(50)), 4u);
+  }
+  EXPECT_EQ(ctl.scale_ups(), 0u);
+  EXPECT_EQ(ctl.scale_downs(), 0u);
+}
+
+TEST(AutoscalerTest, CooldownClampsBackToBackActions) {
+  Autoscaler ctl(controller_config());
+  TimePoint now = t0();
+  for (int i = 0; i < 2; ++i) ctl.observe(2, 1.0, 0, now += milliseconds(10));
+  ASSERT_EQ(ctl.observe(2, 1.0, 0, now += milliseconds(10)), 4u);
+  // 499ms of sustained pressure after the action: still clamped.
+  for (int i = 0; i < 499 / 10; ++i)
+    EXPECT_EQ(ctl.observe(4, 1.0, 0, now += milliseconds(10)), 4u);
+  // One more step crosses the 500ms cooldown.
+  EXPECT_EQ(ctl.observe(4, 1.0, 0, now += milliseconds(20)), 8u);
+}
+
+TEST(AutoscalerTest, ScaleDownNeedsBothSignalsLowAndClampsAtMin) {
+  AutoscalerConfig cfg = controller_config();
+  cfg.p99_ticks_high = 1000;  // enable the latency signal
+  cfg.p99_ticks_low = 50;
+  Autoscaler ctl(cfg);
+  TimePoint now = t0();
+  // Queue idle but latency still above the low mark: not "low", no action.
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(ctl.observe(8, 0.0, 500, now += milliseconds(600)), 8u);
+  EXPECT_EQ(ctl.scale_downs(), 0u);
+  // Both signals low for sustain samples: halve.
+  ctl.observe(8, 0.0, 10, now += milliseconds(600));
+  ctl.observe(8, 0.0, 10, now += milliseconds(600));
+  EXPECT_EQ(ctl.observe(8, 0.0, 10, now += milliseconds(600)), 4u);
+  // Walk down to min_shards and clamp there.
+  for (int i = 0; i < 3; ++i) ctl.observe(4, 0.0, 10, now += milliseconds(600));
+  for (int i = 0; i < 20; ++i)
+    EXPECT_LE(ctl.observe(2, 0.0, 10, now += milliseconds(600)), 2u);
+  EXPECT_GE(ctl.scale_downs(), 2u);
+}
+
+TEST(AutoscalerTest, LatencySignalAloneTriggersScaleUp) {
+  AutoscalerConfig cfg = controller_config();
+  cfg.p99_ticks_high = 1000;
+  Autoscaler ctl(cfg);
+  TimePoint now = t0();
+  ctl.observe(2, 0.0, 5000, now += milliseconds(50));
+  ctl.observe(2, 0.0, 5000, now += milliseconds(50));
+  EXPECT_EQ(ctl.observe(2, 0.0, 5000, now += milliseconds(50)), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceSampler delta math.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceSamplerTest, RatesComeFromDeltasAndWindowIsBounded) {
+  ServiceSampler sampler(4);
+  ServiceStats st;
+  st.ingested = 1000;
+  st.delivered = 900;
+  st.queue_depth = {10, 30};
+  TimePoint now = t0() + milliseconds(1000);
+  ServiceSample first = sampler.push(st, /*ring_capacity=*/128, now);
+  EXPECT_EQ(first.dt_seconds, 0.0);
+  EXPECT_EQ(first.ingest_rate, 0.0);
+  EXPECT_EQ(first.max_queue_depth, 30u);
+  EXPECT_NEAR(first.queue_frac, 30.0 / 128.0, 1e-9);
+
+  st.ingested = 3000;
+  st.delivered = 2400;
+  st.dropped = 100;
+  ServiceSample second = sampler.push(st, 128, now + milliseconds(500));
+  EXPECT_NEAR(second.dt_seconds, 0.5, 1e-9);
+  EXPECT_NEAR(second.ingest_rate, 2000 / 0.5, 1e-6);
+  EXPECT_NEAR(second.delivery_rate, 1500 / 0.5, 1e-6);
+  EXPECT_NEAR(second.drop_rate, 100 / 0.5, 1e-6);
+
+  // A counter that goes backwards (service generation swap) clamps to 0
+  // instead of producing a negative rate.
+  st.ingested = 50;
+  ServiceSample third = sampler.push(st, 128, now + milliseconds(1000));
+  EXPECT_EQ(third.ingest_rate, 0.0);
+
+  for (int i = 0; i < 10; ++i)
+    sampler.push(st, 128, now + milliseconds(2000 + i));
+  EXPECT_EQ(sampler.window().size(), 4u);
+  EXPECT_EQ(sampler.latest()->at, now + milliseconds(2009));
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-hitter recall on Zipf traffic at the documented table size.
+// ---------------------------------------------------------------------------
+
+// docs/OBSERVABILITY.md documents the sizing rule: a flow is guaranteed a
+// table entry once its true count exceeds N/capacity, so report top-k
+// reliably by sizing capacity > N / count(rank k) — about 12x k on Zipf(1.2)
+// traffic.  Pin exactly that setting: k = 10, capacity = 128, 200k samples
+// over 10k distinct flows (rank-10 count ≈ 2.3k > 200k/128 ≈ 1.6k).
+TEST(HeavyHitterRecallTest, TopTenRecallAtLeastPointNineOnZipf) {
+  constexpr std::size_t kFlows = 10000;
+  constexpr std::size_t kK = 10;
+  constexpr std::size_t kCapacity = 128;
+  constexpr int kSamples = 200000;
+
+  netsim::Zipf zipf(kFlows, 1.2);
+  netsim::Xoshiro256 rng(42);
+  SpaceSaving ss(kCapacity);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t key = static_cast<std::uint64_t>(zipf.sample(rng));
+    ++truth[key];
+    ss.offer(key);
+  }
+
+  // True top-k by count (ties by key, matching SpaceSaving::top order).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked(truth.begin(),
+                                                              truth.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::set<std::uint64_t> true_top;
+  for (std::size_t i = 0; i < kK && i < ranked.size(); ++i)
+    true_top.insert(ranked[i].first);
+
+  std::size_t hits = 0;
+  for (const auto& h : ss.top(kK))
+    if (true_top.count(h.key)) ++hits;
+  EXPECT_GE(hits, (kK * 9) / 10)
+      << "top-" << kK << " recall " << hits << "/" << kK << " at capacity "
+      << kCapacity;
+
+  // And the error bound holds for every reported entry.
+  for (const auto& h : ss.top(kCapacity)) {
+    const std::uint64_t real = truth.count(h.key) ? truth.at(h.key) : 0;
+    EXPECT_LE(real, h.count);
+    EXPECT_GE(real + h.error, h.count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AutoscalingService: reshard cycles, bit-exact.
+// ---------------------------------------------------------------------------
+
+struct ServiceFixture {
+  domino::CompileResult compiled;
+  FieldId flow_field;
+  std::vector<Packet> trace;
+
+  explicit ServiceFixture(int packets)
+      : compiled(domino::compile(
+            algorithms::algorithm("flowlets").source,
+            *test_util::least_target(algorithms::algorithm("flowlets").source))),
+        flow_field(compiled.machine().fields().id_of("sport")) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& m = compiled.machine();
+    std::mt19937 rng(5);
+    std::uniform_int_distribution<int> flow(0, 31);
+    for (int i = 0; i < packets; ++i) {
+      std::map<std::string, banzai::Value> f;
+      alg.workload(rng, i, f);
+      Packet p(m.fields().size());
+      for (const auto& [k, v] : f)
+        if (m.fields().try_id_of(k).has_value())
+          p.set(m.fields().id_of(k), v);
+      p.set(flow_field, 1000 + flow(rng));
+      trace.push_back(std::move(p));
+    }
+  }
+
+  AutoscalingServiceConfig config() const {
+    AutoscalingServiceConfig cfg;
+    cfg.service.num_shards = 2;
+    cfg.service.num_slots = 16;
+    cfg.service.batch_size = 32;
+    cfg.service.ring_capacity = 256;
+    cfg.service.backpressure = Backpressure::kBlock;
+    cfg.service.flow_key = {flow_field};
+    cfg.autoscaler.min_shards = 1;
+    cfg.autoscaler.max_shards = 8;
+    // Tests drive the loop explicitly (tick() or reshard_to()); keep
+    // ingest() from also sampling on the real clock underneath them.
+    cfg.tick_stride = std::size_t{1} << 60;
+    return cfg;
+  }
+
+  // Sequential reference over the same slot mapping (16 slots).
+  std::vector<Packet> reference_egress() const {
+    std::vector<Machine> slots;
+    for (std::size_t v = 0; v < 16; ++v)
+      slots.push_back(compiled.machine().clone());
+    std::vector<Packet> out;
+    out.reserve(trace.size());
+    for (const Packet& p : trace) {
+      const std::uint64_t h = netsim::mix64(static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(p.get(flow_field))));
+      out.push_back(slots[h % 16].process(p));
+    }
+    return out;
+  }
+};
+
+TEST(AutoscalingServiceTest, ForcedReshardCycleIsBitExact) {
+  ServiceFixture fx(4000);
+  AutoscalingService svc(fx.compiled.machine(), fx.config());
+  const auto expected = fx.reference_egress();
+
+  svc.start();
+  std::vector<Packet> egress;
+  const std::size_t quarter = fx.trace.size() / 4;
+  const std::size_t targets[3] = {4, 8, 2};  // forced 2→4→8→2
+  for (std::size_t seg = 0; seg < 4; ++seg) {
+    const std::size_t begin = seg * quarter;
+    const std::size_t end = seg == 3 ? fx.trace.size() : begin + quarter;
+    for (std::size_t i = begin; i < end; ++i) svc.ingest(fx.trace[i]);
+    if (seg < 3) {
+      svc.reshard_to(targets[seg]);
+      EXPECT_EQ(svc.num_shards(), targets[seg]);
+      EXPECT_TRUE(svc.running());
+    }
+    for (auto& p : svc.drain_egress()) egress.push_back(std::move(p));
+  }
+  svc.flush();
+  svc.stop();
+  for (auto& p : svc.drain_egress()) egress.push_back(std::move(p));
+
+  EXPECT_EQ(svc.reshards(), 3u);
+  ASSERT_EQ(egress.size(), expected.size());
+  for (std::size_t i = 0; i < egress.size(); ++i)
+    ASSERT_EQ(egress[i], expected[i]) << "packet " << i;
+
+  // Counters survived the generation swaps: the continuous-service view
+  // accounts for every packet.
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.ingested, fx.trace.size());
+  EXPECT_EQ(st.delivered, fx.trace.size());
+  EXPECT_EQ(st.dropped, 0u);
+  if (Machine::stage_counters_enabled()) {
+    ASSERT_FALSE(st.stage_counters.empty());
+    for (std::size_t s = 0; s < st.stage_counters.size(); ++s)
+      EXPECT_EQ(st.stage_counters[s].packets, fx.trace.size())
+          << "stage " << s;
+  }
+}
+
+// Drive the closed loop deterministically through tick(): with the high
+// threshold at 0 every sample reads "hot", so the controller must walk
+// 2→4→8 exactly as fast as sustain + cooldown allow — and with the
+// thresholds flipped to always-low it walks back down.  Egress stays
+// bit-exact throughout, proving controller-initiated reshards preserve the
+// contract without any manual snapshot/restore call.
+TEST(AutoscalingServiceTest, ControllerDrivenReshardsStayBitExact) {
+  ServiceFixture fx(6000);
+  AutoscalingServiceConfig cfg = fx.config();
+  cfg.autoscaler.min_shards = 2;
+  cfg.autoscaler.queue_frac_high = 0.0;  // every sample is a crossing
+  cfg.autoscaler.queue_frac_low = -1.0;  // never "low"
+  cfg.autoscaler.sustain = 2;
+  cfg.autoscaler.cooldown = milliseconds(100);
+  // Keep ingest() from sampling on the real clock: this test owns the loop
+  // through explicit tick() calls on synthetic time points.
+  cfg.tick_stride = std::size_t{1} << 60;
+
+  AutoscalingService svc(fx.compiled.machine(), cfg);
+  const auto expected = fx.reference_egress();
+  svc.start();
+
+  std::vector<Packet> egress;
+  TimePoint now = t0() + milliseconds(10000);
+  const std::size_t chunk = 500;
+  for (std::size_t off = 0; off < fx.trace.size(); off += chunk) {
+    const std::size_t end = std::min(off + chunk, fx.trace.size());
+    for (std::size_t i = off; i < end; ++i) svc.ingest(fx.trace[i]);
+    svc.tick(now += milliseconds(120));  // past cooldown every sample
+    for (auto& p : svc.drain_egress()) egress.push_back(std::move(p));
+  }
+  svc.flush();
+  svc.stop();
+  for (auto& p : svc.drain_egress()) egress.push_back(std::move(p));
+
+  // sustain=2 with every sample hot: first action on the 2nd tick, then one
+  // per 2 ticks (streak rebuild) — plenty of ticks, so we reach max.
+  EXPECT_EQ(svc.num_shards(), 8u);
+  EXPECT_GE(svc.autoscaler().scale_ups(), 2u);
+  EXPECT_EQ(svc.autoscaler().scale_downs(), 0u);
+
+  ASSERT_EQ(egress.size(), expected.size());
+  for (std::size_t i = 0; i < egress.size(); ++i)
+    ASSERT_EQ(egress[i], expected[i]) << "packet " << i;
+
+  // Flip the thresholds: every sample is now "low"; the controller walks
+  // back down to min_shards, still bit-exact (state keeps evolving).
+  AutoscalingServiceConfig down = cfg;
+  down.autoscaler.queue_frac_high = 2.0;  // never high
+  down.autoscaler.queue_frac_low = 2.0;   // always low
+  down.service.num_shards = 8;
+  ServiceFixture fx2(3000);
+  AutoscalingService shrink(fx2.compiled.machine(), down);
+  const auto expected2 = fx2.reference_egress();
+  shrink.start();
+  std::vector<Packet> egress2;
+  for (std::size_t off = 0; off < fx2.trace.size(); off += chunk) {
+    const std::size_t end = std::min(off + chunk, fx2.trace.size());
+    for (std::size_t i = off; i < end; ++i) shrink.ingest(fx2.trace[i]);
+    shrink.tick(now += milliseconds(120));
+    for (auto& p : shrink.drain_egress()) egress2.push_back(std::move(p));
+  }
+  shrink.flush();
+  shrink.stop();
+  for (auto& p : shrink.drain_egress()) egress2.push_back(std::move(p));
+
+  EXPECT_EQ(shrink.num_shards(), 2u);
+  EXPECT_GE(shrink.autoscaler().scale_downs(), 2u);
+  ASSERT_EQ(egress2.size(), expected2.size());
+  for (std::size_t i = 0; i < egress2.size(); ++i)
+    ASSERT_EQ(egress2[i], expected2[i]) << "packet " << i;
+}
+
+TEST(AutoscalingServiceTest, ConfigValidation) {
+  ServiceFixture fx(1);
+  AutoscalingServiceConfig cfg = fx.config();
+  cfg.autoscaler.max_shards = 64;  // > num_slots (16)
+  EXPECT_THROW(AutoscalingService(fx.compiled.machine(), cfg),
+               std::invalid_argument);
+  cfg = fx.config();
+  cfg.autoscaler.min_shards = 4;
+  cfg.autoscaler.max_shards = 2;
+  EXPECT_THROW(AutoscalingService(fx.compiled.machine(), cfg),
+               std::invalid_argument);
+  // num_shards outside [min, max] is clamped, not an error.
+  cfg = fx.config();
+  cfg.autoscaler.min_shards = 4;
+  cfg.autoscaler.max_shards = 8;
+  cfg.service.num_shards = 1;
+  AutoscalingService svc(fx.compiled.machine(), cfg);
+  EXPECT_EQ(svc.num_shards(), 4u);
+}
+
+}  // namespace

@@ -3,11 +3,14 @@
 // deterministic emission, and the Machine-level degradation ladder
 // native > kernel > closure.  The engine differential itself lives in
 // tests/kernel_test.cc.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <random>
 #include <string>
@@ -418,6 +421,136 @@ TEST(NativeIoTest, CompileLogTailKeepsTheEndAndFlagsUnreadableLogs) {
   EXPECT_NE(missing.find("compile log unreadable"), std::string::npos);
   EXPECT_NE(missing.find("no-such.log"), std::string::npos);
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Cache hygiene: stats / clear / LRU sweep (banzai/native.h).
+// ---------------------------------------------------------------------------
+
+// Fabricates one cache entry (<hash>.so + <hash>.cc) with a controlled
+// last-use time, so the sweep's atime-keyed LRU order is deterministic.
+void make_cache_entry(const std::string& dir, const std::string& hash,
+                      std::size_t so_bytes, std::size_t cc_bytes,
+                      std::time_t used_at) {
+  std::filesystem::create_directories(dir);
+  for (const auto& [ext, bytes] :
+       {std::pair<const char*, std::size_t>{".so", so_bytes},
+        std::pair<const char*, std::size_t>{".cc", cc_bytes}}) {
+    const std::string path = dir + "/" + hash + ext;
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    const std::string fill(bytes, 'x');
+    std::fwrite(fill.data(), 1, fill.size(), f);
+    std::fclose(f);
+    timespec times[2];
+    times[0].tv_sec = used_at;  // atime: what the sweep keys on
+    times[0].tv_nsec = 0;
+    times[1].tv_sec = used_at;  // mtime kept equal for tidiness
+    times[1].tv_nsec = 0;
+    ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0) << path;
+  }
+}
+
+TEST(NativeCacheHygieneTest, StatsCountObjectsSourcesAndBytes) {
+  const std::string dir = fresh_cache_dir("hygiene-stats");
+  make_cache_entry(dir, "00000000000000aa", 1000, 200, 1000000);
+  make_cache_entry(dir, "00000000000000bb", 1000, 200, 1000001);
+  const banzai::NativeCacheStats st = banzai::native_cache_stats(dir);
+  EXPECT_EQ(st.dir, dir);
+  EXPECT_EQ(st.objects, 2u);
+  EXPECT_EQ(st.sources, 2u);
+  EXPECT_EQ(st.total_bytes, 2u * (1000 + 200));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NativeCacheHygieneTest, SweepEvictsOldestUseFirstAndEnforcesTheCap) {
+  const std::string dir = fresh_cache_dir("hygiene-sweep");
+  // Three entries of 1200 bytes each with strictly ordered last-use times:
+  // aa (oldest) < bb < cc (newest).
+  make_cache_entry(dir, "00000000000000aa", 1000, 200, 1000000);
+  make_cache_entry(dir, "00000000000000bb", 1000, 200, 2000000);
+  make_cache_entry(dir, "00000000000000cc", 1000, 200, 3000000);
+
+  // Cap above the total: nothing to do.
+  EXPECT_EQ(banzai::native_cache_sweep(10000, dir), 0u);
+  EXPECT_EQ(banzai::native_cache_stats(dir).objects, 3u);
+
+  // Cap that two entries fit under: the oldest-used entry goes, .so and .cc
+  // together (entries are whole-unit evictions keyed by the hash stem).
+  EXPECT_EQ(banzai::native_cache_sweep(2500, dir), 2u);
+  banzai::NativeCacheStats st = banzai::native_cache_stats(dir);
+  EXPECT_EQ(st.objects, 2u);
+  EXPECT_EQ(st.total_bytes, 2u * 1200);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/00000000000000aa.so"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/00000000000000bb.so"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/00000000000000cc.so"));
+
+  // Tighten below one entry: everything evictable goes.
+  EXPECT_EQ(banzai::native_cache_sweep(100, dir), 4u);
+  EXPECT_EQ(banzai::native_cache_stats(dir).total_bytes, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NativeCacheHygieneTest, SweepSparesTheKeepHashEvenWhenOldest) {
+  const std::string dir = fresh_cache_dir("hygiene-keep");
+  make_cache_entry(dir, "00000000000000aa", 1000, 200, 1000000);  // oldest
+  make_cache_entry(dir, "00000000000000bb", 1000, 200, 2000000);
+  // keep_hash protects the just-loaded entry no matter its age: the sweep
+  // must evict bb (newer) because aa is pinned.
+  EXPECT_EQ(banzai::native_cache_sweep(1500, dir, "00000000000000aa"), 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/00000000000000aa.so"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/00000000000000bb.so"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NativeCacheHygieneTest, ClearRemovesEverything) {
+  const std::string dir = fresh_cache_dir("hygiene-clear");
+  make_cache_entry(dir, "00000000000000aa", 100, 50, 1000000);
+  make_cache_entry(dir, "00000000000000bb", 100, 50, 1000001);
+  EXPECT_EQ(banzai::native_cache_clear(dir), 4u);
+  const banzai::NativeCacheStats st = banzai::native_cache_stats(dir);
+  EXPECT_EQ(st.objects, 0u);
+  EXPECT_EQ(st.sources, 0u);
+  EXPECT_EQ(st.total_bytes, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NativeCacheHygieneTest, MaxBytesKnobReadsFromTheEnvironment) {
+  ::setenv("DOMINO_NATIVE_CACHE_MAX_BYTES", "123456", 1);
+  banzai::NativeOptions o = banzai::NativeOptions::from_env();
+  ASSERT_TRUE(o.cache_max_bytes.has_value());
+  EXPECT_EQ(*o.cache_max_bytes, 123456u);
+  // Garbage stays disengaged rather than engaging a bogus cap.
+  ::setenv("DOMINO_NATIVE_CACHE_MAX_BYTES", "12x", 1);
+  EXPECT_FALSE(banzai::NativeOptions::from_env().cache_max_bytes.has_value());
+  ::unsetenv("DOMINO_NATIVE_CACHE_MAX_BYTES");
+  EXPECT_FALSE(banzai::NativeOptions::from_env().cache_max_bytes.has_value());
+}
+
+TEST(NativeCacheHygieneTest, LoadWithCapSweepsButSparesTheLoadedEntry) {
+  if (!toolchain_available()) GTEST_SKIP() << "no host C++ compiler";
+  domino::CompileOptions copts;
+  auto compiled = compile_flowlets(copts);
+  const auto* kernel = compiled.machine().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const std::string source = domino::emit_native_cc(*kernel);
+
+  banzai::NativeOptions nopts;
+  nopts.cache_dir = fresh_cache_dir("hygiene-load");
+  // Seed a stale decoy entry, then load with a cap far below the combined
+  // size: the decoy must be evicted, the entry just compiled must survive
+  // (keep_hash pins it even though the sweep runs at load time).
+  make_cache_entry(*nopts.cache_dir, "00000000000000dd", 4096, 512, 1000000);
+  nopts.cache_max_bytes = 1;
+  auto load = banzai::NativePipeline::compile_and_load(*kernel, source, nopts);
+  ASSERT_NE(load.pipeline, nullptr) << load.error;
+  EXPECT_FALSE(
+      std::filesystem::exists(*nopts.cache_dir + "/00000000000000dd.so"));
+  const banzai::NativeCacheStats st =
+      banzai::native_cache_stats(*nopts.cache_dir);
+  EXPECT_EQ(st.objects, 1u) << "the freshly loaded .so must survive its own "
+                               "sweep";
+  std::filesystem::remove_all(*nopts.cache_dir);
 }
 
 TEST(NativeLoaderTest, NativeMachinesShareThePipelineAcrossClones) {
