@@ -1,0 +1,240 @@
+// The distributed fleet end to end, with REAL processes and a REAL kill:
+// forks four worker processes (each its own address space running a
+// WorkerServer), hashes a flowlet workload across them from a front tier,
+// checkpoints under load, SIGKILLs one worker mid-burst, and proves the
+// cluster's egress is still byte-identical to ONE sequential per-slot
+// reference machine — the killed worker's slots restored onto survivors
+// from the last checkpoint and replayed from the resend buffer.
+//
+//   $ ./build/examples/dist_cluster
+//   $ ./build/examples/dist_cluster --require-recovery   # CI: also fail if
+//       the kill never forced a migration (the chaos path must have fired)
+//
+// The workers are forked before any thread exists in this process, then the
+// parent builds the (threadless, caller-driven) front tier — so the fork is
+// safe, and SIGKILL tests true process death: no destructors, no flush, all
+// state gone.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/machine.h"
+#include "core/compiler.h"
+#include "dist/front.h"
+#include "dist/worker.h"
+#include "sim/partition.h"
+#include "wire/codec.h"
+
+namespace {
+
+constexpr std::size_t kSlots = 16;
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kFrames = 6000;
+
+struct WorkerProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+// Forks a child that runs a WorkerServer until killed; the child reports its
+// (ephemeral) port back through a pipe.
+WorkerProc spawn_worker(const banzai::Machine& machine,
+                        const std::shared_ptr<const wire::WireCodec>& rx,
+                        const std::shared_ptr<const wire::WireCodec>& tx) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    dist::WorkerConfig cfg;
+    cfg.algorithm = "flowlets";
+    cfg.num_slots = kSlots;
+    cfg.num_shards = 2;
+    cfg.flow_key = {"sport", "dport"};
+    dist::WorkerServer worker(machine, rx, tx, cfg);
+    worker.start();
+    const std::uint16_t port = worker.port();
+    if (::write(fds[1], &port, sizeof(port)) != sizeof(port)) std::_Exit(1);
+    ::close(fds[1]);
+    // Serve until the parent kills us.  The serve thread does the work; this
+    // thread just sleeps — pause() returns only on a (fatal) signal.
+    for (;;) ::pause();
+  }
+  ::close(fds[1]);
+  WorkerProc wp;
+  wp.pid = pid;
+  if (::read(fds[0], &wp.port, sizeof(wp.port)) != sizeof(wp.port)) {
+    std::fprintf(stderr, "worker %d never reported a port\n", pid);
+    std::exit(1);
+  }
+  ::close(fds[0]);
+  return wp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool require_recovery = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-recovery") == 0) {
+      require_recovery = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--require-recovery]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto& alg = algorithms::algorithm("flowlets");
+  const auto compiled =
+      domino::compile(alg.source, *atoms::find_target("banzai-praw"));
+  const auto& ft = compiled.machine().fields();
+  const wire::WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+  auto rx = std::make_shared<const wire::WireCodec>(spec, ft);
+  auto tx = std::make_shared<const wire::WireCodec>(spec, ft,
+                                                    compiled.output_map());
+  const std::vector<banzai::FieldId> flow_key = {ft.id_of("sport"),
+                                                 ft.id_of("dport")};
+
+  // Fork all workers BEFORE any thread exists in this process.
+  std::vector<WorkerProc> procs;
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    procs.push_back(spawn_worker(compiled.machine(), rx, tx));
+  std::printf("forked %zu workers:", procs.size());
+  for (const auto& p : procs) std::printf(" pid=%d port=%u", p.pid, p.port);
+  std::printf("\n");
+
+  // Workload + the sequential reference.
+  std::mt19937 rng(4242);
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    std::map<std::string, banzai::Value> f;
+    alg.workload(rng, static_cast<int>(i), f);
+    banzai::Packet p(ft.size());
+    for (const auto& [k, v] : f)
+      if (ft.try_id_of(k).has_value()) p.set(ft.id_of(k), v);
+    frames.push_back(rx->deparse(p));
+  }
+  std::vector<banzai::Machine> reference;
+  for (std::size_t v = 0; v < kSlots; ++v)
+    reference.push_back(compiled.machine().clone());
+  banzai::Packet scratch(ft.size());
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const auto& f : frames) {
+    if (!rx->parse_exact(f.data(), f.size(), scratch).ok()) continue;
+    std::uint64_t h = 0;
+    for (banzai::FieldId fk : flow_key)
+      h = netsim::mix64(h ^ static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(scratch.get(fk))));
+    expected.push_back(tx->deparse(reference[h % kSlots].process(scratch)));
+  }
+
+  dist::FrontConfig fc;
+  fc.algorithm = "flowlets";
+  fc.num_slots = kSlots;
+  fc.flow_key = flow_key;
+  fc.rpc_timeout = dist::Millis(300);
+  fc.dead_after = 2;
+  fc.max_batch = 32;
+  dist::FrontTier front(rx, fc);
+  for (const auto& p : procs) front.add_worker(p.port);
+  front.connect();
+
+  const std::size_t kill_at = kFrames / 2;
+  const std::size_t victim = 2;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == kFrames / 4) front.checkpoint();
+    if (i == kill_at) {
+      std::printf("SIGKILL worker %zu (pid %d) at frame %zu\n", victim,
+                  procs[victim].pid, i);
+      ::kill(procs[victim].pid, SIGKILL);
+      int status = 0;
+      ::waitpid(procs[victim].pid, &status, 0);
+    }
+    front.offer(frames[i]);
+  }
+  front.flush();
+  const auto egress = front.drain_egress();
+
+  int rc = 0;
+  if (egress.size() != expected.size()) {
+    std::fprintf(stderr, "FAIL: egress count %zu != expected %zu\n",
+                 egress.size(), expected.size());
+    rc = 1;
+  } else {
+    for (std::size_t i = 0; i < egress.size(); ++i) {
+      if (egress[i] != expected[i]) {
+        std::fprintf(stderr, "FAIL: egress frame %zu differs\n", i);
+        rc = 1;
+        break;
+      }
+    }
+  }
+
+  const dist::FrontStats st = front.stats();
+  std::printf(
+      "offered=%llu egress=%llu retries=%llu migrations=%llu slot_moves=%llu "
+      "replays=%llu checkpoints=%llu dup_acks=%llu egress_dups=%llu\n",
+      static_cast<unsigned long long>(st.frames_offered),
+      static_cast<unsigned long long>(st.egress_frames),
+      static_cast<unsigned long long>(st.retries),
+      static_cast<unsigned long long>(st.migrations),
+      static_cast<unsigned long long>(st.slot_moves),
+      static_cast<unsigned long long>(st.replays),
+      static_cast<unsigned long long>(st.checkpoints),
+      static_cast<unsigned long long>(st.dup_acks),
+      static_cast<unsigned long long>(st.egress_duplicates));
+  for (std::size_t w = 0; w < front.num_workers(); ++w) {
+    const dist::WorkerView v = front.worker_view(w);
+    std::printf("worker %zu: health=%s slots=%zu timeouts=%llu errors=%llu "
+                "deaths=%llu\n",
+                w, dist::to_string(v.health), v.slots_owned,
+                static_cast<unsigned long long>(v.timeouts),
+                static_cast<unsigned long long>(v.errors),
+                static_cast<unsigned long long>(v.deaths));
+  }
+
+  if (require_recovery) {
+    if (st.migrations == 0 || st.replays == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --require-recovery but the kill forced no "
+                   "migration/replay (migrations=%llu replays=%llu)\n",
+                   static_cast<unsigned long long>(st.migrations),
+                   static_cast<unsigned long long>(st.replays));
+      rc = 1;
+    }
+    if (front.worker_view(victim).deaths == 0) {
+      std::fprintf(stderr, "FAIL: victim was never declared dead\n");
+      rc = 1;
+    }
+  }
+
+  // Tear down the survivors.
+  for (std::size_t w = 0; w < procs.size(); ++w) {
+    if (w == victim) continue;
+    ::kill(procs[w].pid, SIGKILL);
+    int status = 0;
+    ::waitpid(procs[w].pid, &status, 0);
+  }
+
+  std::printf(rc == 0 ? "cluster egress bit-exact vs sequential reference "
+                        "across a worker SIGKILL\n"
+                      : "cluster FAILED\n");
+  return rc;
+}

@@ -183,22 +183,65 @@ void AutoscalingService::reshard_to(std::size_t target_shards) {
   svc_->stop();
   ServiceSnapshot snap = svc_->snapshot();
   ServiceStats old = svc_->stats();
-  std::vector<Packet> drained = svc_->drain_egress();
+  // When the byte path is attached, settled egress must leave the retiring
+  // generation as frames — draining packets here would strand them un-deparsed
+  // when the window goes away with the old service.
+  std::vector<std::vector<std::uint8_t>> drained_frames;
+  std::vector<Packet> drained;
+  if (wire_rx_ != nullptr)
+    drained_frames = svc_->drain_egress_frames();
+  else
+    drained = svc_->drain_egress();
 
   ServiceConfig next_cfg = svc_->config();
   next_cfg.num_shards = target_shards;
   auto next = std::make_unique<FleetService>(proto_, next_cfg);
+  if (wire_rx_ != nullptr) next->set_wire(wire_rx_, wire_tx_);
   next->restore(snap);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.insert(pending_.end(), std::make_move_iterator(drained.begin()),
                     std::make_move_iterator(drained.end()));
+    pending_frames_.insert(pending_frames_.end(),
+                           std::make_move_iterator(drained_frames.begin()),
+                           std::make_move_iterator(drained_frames.end()));
     fold_stats(retired_, old);
     svc_ = std::move(next);
   }
   svc_->start();
   ++reshards_;
+}
+
+void AutoscalingService::set_wire(std::shared_ptr<const wire::WireCodec> rx,
+                                  std::shared_ptr<const wire::WireCodec> tx) {
+  svc_->set_wire(rx, tx);  // throws on a running service / bad binding first
+  std::lock_guard<std::mutex> lock(mu_);
+  wire_rx_ = std::move(rx);
+  wire_tx_ = std::move(tx);
+}
+
+FleetService::FrameIngest AutoscalingService::ingest_frame(
+    const std::uint8_t* data, std::size_t len) {
+  const FleetService::FrameIngest res = svc_->ingest_frame(data, len);
+  if (++since_tick_ >= cfg_.tick_stride) {
+    since_tick_ = 0;
+    const auto now = std::chrono::steady_clock::now();
+    if (!sampled_once_ || now - last_sample_ >= cfg_.sample_period)
+      tick(now);
+  }
+  return res;
+}
+
+std::vector<std::vector<std::uint8_t>>
+AutoscalingService::drain_egress_frames() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<std::uint8_t>> out = std::move(pending_frames_);
+  pending_frames_.clear();
+  std::vector<std::vector<std::uint8_t>> live = svc_->drain_egress_frames();
+  out.insert(out.end(), std::make_move_iterator(live.begin()),
+             std::make_move_iterator(live.end()));
+  return out;
 }
 
 std::vector<Packet> AutoscalingService::drain_egress() {

@@ -131,13 +131,17 @@ struct AutoscalingServiceConfig {
 // snapshot/restore, folding the retired service's egress and counters into
 // its own so external observers see one continuous service.
 //
-// Scope: the field-packet path only (ingest(Packet)); the wire front end
-// (set_wire/ingest_frame) stays on the inner FleetService and does not
-// survive a reshard — byte-path deployments pin their shard count.
+// The wire front end scales too: set_wire() is recorded here and re-applied
+// to every reshard generation before restore, so a byte-path deployment
+// (ingest_frame / drain_egress_frames) rides through shard-count changes the
+// same way the field-packet path does — egress frames settled by the retired
+// generation are drained into the continuity buffer at the swap point, so
+// the byte stream observes one continuous, ordered service.
 //
-// Threading contract: ingest()/tick()/reshard_to()/start()/stop()/flush()
-// from ONE thread (the control loop rides the ingest thread); stats(),
-// drain_egress() and heavy_hitters() from any thread.
+// Threading contract: ingest()/ingest_frame()/tick()/reshard_to()/start()/
+// stop()/flush() from ONE thread (the control loop rides the ingest thread);
+// stats(), drain_egress(), drain_egress_frames() and heavy_hitters() from
+// any thread.
 class AutoscalingService {
  public:
   AutoscalingService(const Machine& prototype, AutoscalingServiceConfig cfg);
@@ -161,6 +165,21 @@ class AutoscalingService {
   // tick() calls when the controller acts).  No-op when target equals the
   // current count.  Requires a running service.
   void reshard_to(std::size_t target_shards);
+
+  // Attaches wire codecs (FleetService::set_wire contract: stopped service,
+  // codecs bound to the prototype's FieldTable).  The codecs persist across
+  // reshards: every new generation gets them re-applied before restore.
+  void set_wire(std::shared_ptr<const wire::WireCodec> rx,
+                std::shared_ptr<const wire::WireCodec> tx = nullptr);
+
+  // Byte-path ingest with the same inline control-loop piggyback as
+  // ingest(): a frame-only caller still gets autoscaling.
+  FleetService::FrameIngest ingest_frame(const std::uint8_t* data,
+                                         std::size_t len);
+
+  // Settled egress frames across every reshard generation, in arrival
+  // order (the byte-path analogue of drain_egress()).
+  std::vector<std::vector<std::uint8_t>> drain_egress_frames();
 
   // Order-settled egress across every reshard generation, in arrival order:
   // a retired generation's egress is fully flushed before the next starts,
@@ -190,6 +209,10 @@ class AutoscalingService {
   // concurrent stats()/drain_egress() readers.
   mutable std::mutex mu_;
   std::vector<Packet> pending_;  // drained egress of retired generations
+  // Byte-path continuity across reshards: codecs to re-apply to each new
+  // generation, and retired generations' settled egress frames.
+  std::shared_ptr<const wire::WireCodec> wire_rx_, wire_tx_;
+  std::vector<std::vector<std::uint8_t>> pending_frames_;
   ServiceStats retired_;         // summed counters of retired generations
   std::uint64_t reshards_ = 0;
   std::size_t since_tick_ = 0;

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iomanip>
 #include <sstream>
@@ -210,12 +211,19 @@ void MetricsEndpoint::stop() {
 }
 
 void MetricsEndpoint::serve_loop() {
+  int accept_errors = 0;
   while (running_.load(std::memory_order_acquire)) {
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener shut down
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Transient failures (EMFILE under fd pressure, ENOMEM) must not kill
+      // the endpoint: back off briefly and try again.  Only a persistent
+      // error spin — the listener really is gone — exits the loop.
+      if (++accept_errors > 64) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
+    accept_errors = 0;
     // Read whatever request line arrived (best effort; the page is the same
     // for every path) so the peer does not see a reset before the response.
     char buf[1024];
@@ -237,8 +245,15 @@ void MetricsEndpoint::serve_loop() {
                                0
 #endif
       );
-      if (n <= 0) break;
-      off += static_cast<std::size_t>(n);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      // A signal mid-write is not a failed scrape: retry.  Anything else
+      // (reset, full buffer on a blocking socket gone bad) abandons this
+      // client only — the serve loop itself survives abrupt peers.
+      if (n < 0 && errno == EINTR) continue;
+      break;
     }
     ::close(conn);
   }

@@ -1,0 +1,602 @@
+#include "dist/front.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "sim/partition.h"
+
+namespace dist {
+
+// ---- EgressWindow ----------------------------------------------------------
+
+bool EgressWindow::put(std::uint64_t seq, Cell::State state,
+                       std::vector<std::uint8_t>&& bytes) {
+  if (seq < next_) {
+    ++duplicates_;
+    return false;
+  }
+  const std::size_t idx = static_cast<std::size_t>(seq - next_);
+  if (idx >= window_.size()) window_.resize(idx + 1);
+  if (window_[idx].state != Cell::kPending) {
+    ++duplicates_;
+    return false;
+  }
+  window_[idx].state = state;
+  window_[idx].bytes = std::move(bytes);
+  advance();
+  return true;
+}
+
+void EgressWindow::advance() {
+  while (!window_.empty() && window_.front().state != Cell::kPending) {
+    if (window_.front().state == Cell::kFilled)
+      ready_.push_back(std::move(window_.front().bytes));
+    window_.pop_front();
+    ++next_;
+  }
+}
+
+bool EgressWindow::deliver(std::uint64_t seq, std::vector<std::uint8_t> bytes) {
+  return put(seq, Cell::kFilled, std::move(bytes));
+}
+
+bool EgressWindow::tombstone(std::uint64_t seq) {
+  std::vector<std::uint8_t> none;
+  return put(seq, Cell::kTombstone, std::move(none));
+}
+
+std::vector<std::vector<std::uint8_t>> EgressWindow::drain() {
+  std::vector<std::vector<std::uint8_t>> out = std::move(ready_);
+  ready_.clear();
+  return out;
+}
+
+// ---- FrontTier -------------------------------------------------------------
+
+FrontTier::FrontTier(std::shared_ptr<const wire::WireCodec> rx,
+                     FrontConfig cfg)
+    : rx_(std::move(rx)),
+      cfg_(std::move(cfg)),
+      backoff_(cfg_.backoff_base, cfg_.backoff_max, cfg_.seed),
+      scratch_(rx_->num_table_fields()) {
+  if (cfg_.num_slots == 0) cfg_.num_slots = 1;
+  resend_.resize(cfg_.num_slots);
+}
+
+std::size_t FrontTier::add_worker(std::uint16_t port) {
+  WorkerLink w;
+  w.port = port;
+  w.detector = FailureDetector(HealthConfig{cfg_.dead_after});
+  workers_.push_back(std::move(w));
+  return workers_.size() - 1;
+}
+
+void FrontTier::connect() {
+  if (workers_.empty()) throw RpcError("connect: no workers registered");
+  owner_.resize(cfg_.num_slots);
+  for (std::size_t s = 0; s < cfg_.num_slots; ++s)
+    owner_[s] = s % workers_.size();
+  for (auto& w : workers_) {
+    if (!ensure_connected(w))
+      throw RpcError("connect: worker on port " + std::to_string(w.port) +
+                     " unreachable");
+  }
+}
+
+std::size_t FrontTier::slot_of_frame(const std::uint8_t* data,
+                                     std::size_t len) {
+  // Malformed frames hash to slot 0: any worker will reject them with a
+  // typed status, which tombstones their seq — they just need *a* route.
+  const wire::ParseResult res = rx_->parse_exact(data, len, scratch_);
+  if (!res.ok() || cfg_.num_slots <= 1) return 0;
+  std::uint64_t h = 0;
+  for (banzai::FieldId f : cfg_.flow_key)
+    h = netsim::mix64(h ^ static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(scratch_.get(f))));
+  return static_cast<std::size_t>(h % cfg_.num_slots);
+}
+
+void FrontTier::route(FrameRecord rec) {
+  workers_[owner_[rec.slot]].outbox.push_back(std::move(rec));
+}
+
+void FrontTier::offer(const std::uint8_t* data, std::size_t len) {
+  FrameRecord rec;
+  rec.seq = next_seq_++;
+  rec.slot = static_cast<std::uint32_t>(slot_of_frame(data, len));
+  rec.bytes.assign(data, data + len);
+  ++stats_.frames_offered;
+  resend_[rec.slot].push_back(rec);
+  ++resend_total_;
+  const std::size_t wi = owner_[rec.slot];
+  route(std::move(rec));
+  if (resend_total_ >= cfg_.resend_limit) checkpoint();
+  if (workers_[wi].outbox.size() >= cfg_.max_batch) flush_worker(wi);
+}
+
+bool FrontTier::ensure_connected(WorkerLink& w) {
+  if (w.conn.valid()) return true;
+  if (w.attempt > 0)
+    std::this_thread::sleep_for(backoff_.delay(w.attempt - 1));
+  try {
+    w.conn = connect_local(w.port, cfg_.connect_timeout);
+    hello(w);
+  } catch (const RpcTimeout&) {
+    w.conn.close();
+    ++w.attempt;
+    w.detector.on_timeout(Clock::now());
+    return false;
+  } catch (const RpcError&) {
+    w.conn.close();
+    ++w.attempt;
+    w.detector.on_error(Clock::now());
+    return false;
+  }
+  w.attempt = 0;
+  // A dead worker only re-enters the fleet through this handshake: the
+  // detector moves to recovering, and the first successful RPC completes the
+  // arc to healthy.
+  if (w.detector.state() == HealthState::kDead)
+    w.detector.on_reconnect(Clock::now());
+  ++stats_.reconnects;
+  return true;
+}
+
+void FrontTier::hello(WorkerLink& w) {
+  Hello h;
+  h.version = kProtocolVersion;
+  h.algorithm = cfg_.algorithm;
+  h.num_slots = static_cast<std::uint32_t>(cfg_.num_slots);
+  h.header_bytes = static_cast<std::uint32_t>(rx_->header_bytes());
+  const Message resp = call(w, MsgType::kHello, encode_hello(h));
+  if (resp.type != MsgType::kHelloAck)
+    throw RpcError("hello: worker refused the handshake");
+  const HelloAck ack =
+      decode_hello_ack(resp.payload.data(), resp.payload.size());
+  if (ack.num_slots != cfg_.num_slots)
+    throw RpcError("hello: slot count mismatch");
+}
+
+Message FrontTier::call(WorkerLink& w, MsgType type,
+                        const std::vector<std::uint8_t>& payload) {
+  const TimePoint deadline = Clock::now() + cfg_.rpc_timeout;
+  w.conn.send_msg(type, payload, deadline);
+  return w.conn.recv_msg(deadline);
+}
+
+void FrontTier::on_rpc_failure(WorkerLink& w, bool timeout) {
+  // The stream may be mid-message: only a fresh connection is safe.
+  w.conn.close();
+  if (timeout)
+    w.detector.on_timeout(Clock::now());
+  else
+    w.detector.on_error(Clock::now());
+}
+
+void FrontTier::deliver_tombstone(std::uint64_t seq) {
+  if (window_.tombstone(seq)) ++stats_.rejects;
+}
+
+void FrontTier::process_ack_frames(const std::vector<std::uint64_t>& seqs,
+                                   const std::vector<FrameStatus>& statuses) {
+  const std::size_t n = std::min(seqs.size(), statuses.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (statuses[i]) {
+      case FrameStatus::kAccepted:
+        ++stats_.frames_acked;
+        break;
+      case FrameStatus::kDuplicate:
+        ++stats_.dup_acks;
+        break;
+      default:
+        // A typed parse reject: the frame produced no output and never
+        // will, so its seq becomes a tombstone and the window moves on.
+        deliver_tombstone(seqs[i]);
+        break;
+    }
+  }
+}
+
+void FrontTier::process_egress(const std::vector<EgressRecord>& egress) {
+  for (const EgressRecord& rec : egress) window_.deliver(rec.seq, rec.bytes);
+}
+
+bool FrontTier::flush_worker(std::size_t wi) {
+  WorkerLink& w = workers_[wi];
+  std::uint32_t attempts = 0;
+  while (!w.outbox.empty()) {
+    if (!w.detector.alive()) {
+      migrate(wi);
+      return false;
+    }
+    if (attempts++ >= cfg_.max_attempts) {
+      w.detector.mark_dead(Clock::now());
+      migrate(wi);
+      return false;
+    }
+    if (!ensure_connected(w)) continue;
+    IngestBatch batch;
+    const std::size_t n = std::min(cfg_.max_batch, w.outbox.size());
+    for (std::size_t i = 0; i < n; ++i) batch.frames.push_back(w.outbox[i]);
+    const std::vector<std::uint8_t> wire_batch = encode_ingest_batch(batch);
+    Message resp;
+    try {
+      resp = call(w, MsgType::kIngestBatch, wire_batch);
+    } catch (const RpcTimeout&) {
+      ++stats_.retries;
+      on_rpc_failure(w, true);
+      continue;
+    } catch (const RpcError&) {
+      ++stats_.retries;
+      on_rpc_failure(w, false);
+      continue;
+    }
+    IngestAck ack;
+    try {
+      if (resp.type != MsgType::kIngestAck)
+        throw FramingError("unexpected reply to ingest");
+      ack = decode_ingest_ack(resp.payload.data(), resp.payload.size());
+    } catch (const FramingError&) {
+      ++stats_.retries;
+      on_rpc_failure(w, false);
+      continue;
+    }
+    w.detector.on_success(Clock::now());
+    stats_.frames_sent += n;
+    process_ack_frames(ack.seqs, ack.statuses);
+    process_egress(ack.egress);
+    for (std::size_t i = 0; i < n; ++i) w.outbox.pop_front();
+    attempts = 0;
+    ++batches_sent_;
+    if (cfg_.dup_every != 0 && batches_sent_ % cfg_.dup_every == 0) {
+      // Chaos knob: replay the batch we just had acknowledged.  The worker's
+      // seq dedup must answer kDuplicate for every frame, and the egress
+      // window must not emit anything twice.
+      try {
+        const Message r2 = call(w, MsgType::kIngestBatch, wire_batch);
+        if (r2.type == MsgType::kIngestAck) {
+          const IngestAck a2 =
+              decode_ingest_ack(r2.payload.data(), r2.payload.size());
+          stats_.frames_sent += n;
+          process_ack_frames(a2.seqs, a2.statuses);
+          process_egress(a2.egress);
+          w.detector.on_success(Clock::now());
+        }
+      } catch (const RpcTimeout&) {
+        on_rpc_failure(w, true);
+      } catch (const RpcError&) {
+        on_rpc_failure(w, false);
+      }
+    }
+  }
+  return true;
+}
+
+void FrontTier::flush_all_outboxes() {
+  for (std::uint32_t guard = 0;; ++guard) {
+    if (guard > 10000)
+      throw RpcError("flush: outboxes did not converge");
+    bool any = false;
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      if (workers_[wi].outbox.empty()) continue;
+      any = true;
+      flush_worker(wi);  // false = migrated; frames moved to other outboxes
+    }
+    if (!any) return;
+  }
+}
+
+void FrontTier::flush() {
+  flush_all_outboxes();
+  for (std::uint32_t rounds = 0; !settled(); ++rounds) {
+    if (rounds > 1000) throw RpcError("flush: egress did not settle");
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      WorkerLink& w = workers_[wi];
+      if (!w.detector.alive()) continue;
+      if (!owned_slots(wi).empty() || w.conn.valid()) {
+        if (!ensure_connected(w)) continue;
+        try {
+          const Message resp = call(w, MsgType::kFlushReq, {});
+          if (resp.type != MsgType::kFlushAck)
+            throw FramingError("unexpected reply to flush");
+          const FlushAck ack =
+              decode_flush_ack(resp.payload.data(), resp.payload.size());
+          w.detector.on_success(Clock::now());
+          process_egress(ack.egress);
+        } catch (const RpcTimeout&) {
+          on_rpc_failure(w, true);
+        } catch (const RpcError&) {
+          on_rpc_failure(w, false);
+        } catch (const FramingError&) {
+          on_rpc_failure(w, false);
+        }
+      }
+    }
+    // A worker that ran out of failure budget during the flush round gets
+    // its slots migrated here; the replayed frames then drain below.
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi)
+      if (!workers_[wi].detector.alive() && !owned_slots(wi).empty())
+        migrate(wi);
+    flush_all_outboxes();
+  }
+}
+
+void FrontTier::checkpoint() {
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    WorkerLink& w = workers_[wi];
+    if (!w.detector.alive()) continue;
+    const std::vector<std::size_t> slots = owned_slots(wi);
+    if (slots.empty()) continue;
+    SnapshotReq sreq;
+    for (std::size_t s : slots)
+      sreq.slots.push_back(static_cast<std::uint32_t>(s));
+    if (!ensure_connected(w)) continue;
+    try {
+      const Message resp =
+          call(w, MsgType::kSnapshotReq, encode_snapshot_req(sreq));
+      if (resp.type != MsgType::kSnapshotResp)
+        throw FramingError("unexpected reply to snapshot");
+      SnapshotResp sr =
+          decode_snapshot_resp(resp.payload.data(), resp.payload.size());
+      w.detector.on_success(Clock::now());
+      process_egress(sr.egress);
+      for (SlotState& ss : sr.slots) {
+        if (ss.slot >= resend_.size()) continue;
+        // Everything up to applied_seq is baked into the blob: the resend
+        // buffer only needs the unapplied tail from here on.
+        auto& buf = resend_[ss.slot];
+        while (!buf.empty() && buf.front().seq <= ss.applied_seq) {
+          buf.pop_front();
+          --resend_total_;
+        }
+        checkpoint_[ss.slot] = std::move(ss);
+      }
+    } catch (const RpcTimeout&) {
+      on_rpc_failure(w, true);
+    } catch (const RpcError&) {
+      on_rpc_failure(w, false);
+    } catch (const FramingError&) {
+      on_rpc_failure(w, false);
+    }
+  }
+  ++stats_.checkpoints;
+}
+
+void FrontTier::heartbeat() {
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    WorkerLink& w = workers_[wi];
+    if (!w.detector.alive()) continue;
+    if (!ensure_connected(w)) continue;
+    Heartbeat hb;
+    hb.nonce = ++w.hb_nonce;
+    try {
+      const Message resp =
+          call(w, MsgType::kHeartbeat, encode_heartbeat(hb));
+      if (resp.type != MsgType::kHeartbeatAck)
+        throw FramingError("unexpected reply to heartbeat");
+      const HeartbeatAck ack =
+          decode_heartbeat_ack(resp.payload.data(), resp.payload.size());
+      if (ack.nonce != hb.nonce) throw FramingError("heartbeat nonce mismatch");
+      w.detector.on_success(Clock::now());
+      process_egress(ack.egress);
+      ++stats_.heartbeats;
+    } catch (const RpcTimeout&) {
+      on_rpc_failure(w, true);
+    } catch (const RpcError&) {
+      on_rpc_failure(w, false);
+    } catch (const FramingError&) {
+      on_rpc_failure(w, false);
+    }
+  }
+}
+
+std::vector<std::size_t> FrontTier::owned_slots(std::size_t wi) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < owner_.size(); ++s)
+    if (owner_[s] == wi) out.push_back(s);
+  return out;
+}
+
+std::size_t FrontTier::pick_survivor(std::size_t excluding,
+                                     std::size_t salt) const {
+  std::vector<std::size_t> alive;
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi)
+    if (wi != excluding && workers_[wi].detector.alive()) alive.push_back(wi);
+  if (alive.empty()) throw RpcError("migration: no surviving workers");
+  return alive[salt % alive.size()];
+}
+
+void FrontTier::replay_slot(std::size_t slot) {
+  for (const FrameRecord& rec : resend_[slot]) {
+    route(rec);
+    ++stats_.replays;
+  }
+}
+
+void FrontTier::migrate(std::size_t dead) {
+  WorkerLink& w = workers_[dead];
+  w.conn.close();
+  if (w.detector.alive()) w.detector.mark_dead(Clock::now());
+  std::deque<std::size_t> pending;
+  for (std::size_t s : owned_slots(dead)) pending.push_back(s);
+  // Unsent frames in the dead worker's outbox are all in the resend buffers
+  // (offer() stores before routing), so the replay below re-creates them.
+  w.outbox.clear();
+  if (pending.empty()) return;
+  ++stats_.migrations;
+  std::size_t salt = 0;
+  std::uint32_t guard = 0;
+  while (!pending.empty()) {
+    if (++guard > 10000) throw RpcError("migration did not converge");
+    const std::size_t slot = pending.front();
+    pending.pop_front();
+    const std::size_t target = pick_survivor(dead, salt++);
+    RestoreReq req;
+    const auto it = checkpoint_.find(slot);
+    // No checkpoint means nothing was ever applied durably: the survivor's
+    // copy of the slot is pristine initial state, which is exactly the
+    // correct restore point — replay rebuilds everything from seq 1.
+    if (it != checkpoint_.end()) req.slots.push_back(it->second);
+    if (!req.slots.empty() && !restore_to(target, req)) {
+      pending.push_back(slot);  // target just died; pick another survivor
+      continue;
+    }
+    owner_[slot] = target;
+    ++stats_.slot_moves;
+    replay_slot(slot);
+  }
+}
+
+bool FrontTier::restore_to(std::size_t target, const RestoreReq& req) {
+  WorkerLink& w = workers_[target];
+  for (std::uint32_t attempts = 0; attempts < cfg_.max_attempts; ++attempts) {
+    if (!w.detector.alive()) return false;
+    if (!ensure_connected(w)) continue;
+    try {
+      const Message resp =
+          call(w, MsgType::kRestoreReq, encode_restore_req(req));
+      if (resp.type == MsgType::kError) {
+        // A protocol-level refusal (corrupt blob, shape mismatch) is not a
+        // connection problem and will not improve with retries.
+        const ErrorMsg err =
+            decode_error(resp.payload.data(), resp.payload.size());
+        throw RpcError("restore rejected: " + err.message);
+      }
+      if (resp.type != MsgType::kRestoreAck)
+        throw FramingError("unexpected reply to restore");
+      w.detector.on_success(Clock::now());
+      return true;
+    } catch (const RpcTimeout&) {
+      on_rpc_failure(w, true);
+    } catch (const FramingError&) {
+      on_rpc_failure(w, false);
+    }
+  }
+  w.detector.mark_dead(Clock::now());
+  return false;
+}
+
+void FrontTier::move_slot(std::size_t slot, std::size_t to_worker) {
+  if (slot >= owner_.size() || to_worker >= workers_.size())
+    throw RpcError("move_slot: index out of range");
+  std::size_t from = owner_[slot];
+  if (from == to_worker) return;
+  // Drain in-flight frames for the slot first; this may itself migrate the
+  // owner if it turns out to be dead.
+  flush_worker(from);
+  from = owner_[slot];
+  if (from == to_worker) return;
+  WorkerLink& src = workers_[from];
+  if (src.detector.alive() && ensure_connected(src)) {
+    // Live rebalance: barrier-snapshot just this slot so the restore point
+    // is current and the replay tail is empty (or nearly so).
+    SnapshotReq sreq;
+    sreq.slots.push_back(static_cast<std::uint32_t>(slot));
+    try {
+      const Message resp =
+          call(src, MsgType::kSnapshotReq, encode_snapshot_req(sreq));
+      if (resp.type != MsgType::kSnapshotResp)
+        throw FramingError("unexpected reply to snapshot");
+      SnapshotResp sr =
+          decode_snapshot_resp(resp.payload.data(), resp.payload.size());
+      src.detector.on_success(Clock::now());
+      process_egress(sr.egress);
+      for (SlotState& ss : sr.slots) {
+        if (ss.slot != slot) continue;
+        auto& buf = resend_[slot];
+        while (!buf.empty() && buf.front().seq <= ss.applied_seq) {
+          buf.pop_front();
+          --resend_total_;
+        }
+        checkpoint_[slot] = std::move(ss);
+      }
+    } catch (const RpcTimeout&) {
+      on_rpc_failure(src, true);
+    } catch (const RpcError&) {
+      on_rpc_failure(src, false);
+    } catch (const FramingError&) {
+      on_rpc_failure(src, false);
+    }
+  }
+  RestoreReq req;
+  const auto it = checkpoint_.find(slot);
+  if (it != checkpoint_.end()) req.slots.push_back(it->second);
+  if (!req.slots.empty() && !restore_to(to_worker, req))
+    throw RpcError("move_slot: target would not accept the slot");
+  owner_[slot] = to_worker;
+  ++stats_.slot_moves;
+  replay_slot(slot);
+  flush_worker(to_worker);
+}
+
+void FrontTier::swap_engine(std::uint8_t engine) {
+  flush_all_outboxes();
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    WorkerLink& w = workers_[wi];
+    if (!w.detector.alive()) continue;
+    SwapEngine msg;
+    msg.engine = engine;
+    for (std::uint32_t attempts = 0; attempts < cfg_.max_attempts;
+         ++attempts) {
+      if (!ensure_connected(w)) continue;
+      try {
+        const Message resp =
+            call(w, MsgType::kSwapEngine, encode_swap_engine(msg));
+        if (resp.type != MsgType::kSwapAck)
+          throw FramingError("unexpected reply to engine swap");
+        w.detector.on_success(Clock::now());
+        break;
+      } catch (const RpcTimeout&) {
+        on_rpc_failure(w, true);
+      } catch (const RpcError&) {
+        on_rpc_failure(w, false);
+      } catch (const FramingError&) {
+        on_rpc_failure(w, false);
+      }
+    }
+  }
+}
+
+void FrontTier::evict(std::size_t worker) {
+  if (worker >= workers_.size()) return;
+  workers_[worker].detector.mark_dead(Clock::now());
+  migrate(worker);
+  flush_all_outboxes();
+}
+
+bool FrontTier::readmit(std::size_t worker) {
+  if (worker >= workers_.size()) return false;
+  WorkerLink& w = workers_[worker];
+  w.attempt = 0;
+  return ensure_connected(w);
+}
+
+std::vector<std::vector<std::uint8_t>> FrontTier::drain_egress() {
+  auto out = window_.drain();
+  stats_.egress_frames += out.size();
+  return out;
+}
+
+FrontStats FrontTier::stats() const {
+  FrontStats s = stats_;
+  s.egress_duplicates = window_.duplicates();
+  return s;
+}
+
+WorkerView FrontTier::worker_view(std::size_t w) const {
+  WorkerView v;
+  if (w >= workers_.size()) return v;
+  const WorkerLink& link = workers_[w];
+  v.port = link.port;
+  v.health = link.detector.state();
+  v.timeouts = link.detector.timeouts();
+  v.errors = link.detector.errors();
+  v.deaths = link.detector.deaths();
+  v.recoveries = link.detector.recoveries();
+  v.slots_owned = owned_slots(w).size();
+  v.connected = link.conn.valid();
+  return v;
+}
+
+}  // namespace dist

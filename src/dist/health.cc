@@ -1,0 +1,63 @@
+#include "dist/health.h"
+
+namespace dist {
+
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kDead: return "dead";
+    case HealthState::kRecovering: return "recovering";
+  }
+  return "unknown";
+}
+
+void FailureDetector::transition(HealthState next, TimePoint now) {
+  if (state_ == next) return;
+  // A recovery is specifically the full death -> reconnect -> caught-up arc,
+  // not a suspect worker answering again.
+  if (state_ == HealthState::kRecovering && next == HealthState::kHealthy)
+    ++recoveries_;
+  state_ = next;
+  last_change_ = now;
+  if (next == HealthState::kDead) ++deaths_;
+}
+
+void FailureDetector::on_success(TimePoint now) {
+  consecutive_failures_ = 0;
+  // Dead workers do not come back via a lucky response — only an explicit
+  // reconnect handshake re-admits them, so a late in-flight reply from a
+  // worker already replaced cannot flap the state.
+  if (state_ == HealthState::kSuspect || state_ == HealthState::kRecovering)
+    transition(HealthState::kHealthy, now);
+}
+
+void FailureDetector::fail(TimePoint now) {
+  if (state_ == HealthState::kDead) return;
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= cfg_.dead_after)
+    transition(HealthState::kDead, now);
+  else
+    transition(HealthState::kSuspect, now);
+}
+
+void FailureDetector::on_timeout(TimePoint now) {
+  ++timeouts_;
+  fail(now);
+}
+
+void FailureDetector::on_error(TimePoint now) {
+  ++errors_;
+  fail(now);
+}
+
+void FailureDetector::on_reconnect(TimePoint now) {
+  consecutive_failures_ = 0;
+  transition(HealthState::kRecovering, now);
+}
+
+void FailureDetector::mark_dead(TimePoint now) {
+  transition(HealthState::kDead, now);
+}
+
+}  // namespace dist

@@ -1,0 +1,85 @@
+// Per-worker health state machine for the distributed fleet front tier.
+//
+//   healthy ──failure──► suspect ──(dead_after consecutive failures)──► dead
+//      ▲                    │ success                                    │
+//      └────────────────────┘                              reconnect ok  ▼
+//      ▲                                                            recovering
+//      └──────────────────────── success ────────────────────────────────┘
+//
+// The detector is count-driven (consecutive RPC failures — timeouts and hard
+// errors both count) rather than wall-clock-driven, so chaos tests replay
+// deterministically; the timestamps are carried along for observability
+// only.  Transitions are recorded in counters that feed the /metrics page:
+// timeouts, errors, times each state was entered.
+//
+// The caller's contract:
+//   * on_success(now)  — a request completed (any RPC, including heartbeats)
+//   * on_timeout(now)  — a request ran past its deadline
+//   * on_error(now)    — the connection broke (reset, EOF, refused)
+//   * on_reconnect(now)— a fresh connection + HELLO handshake succeeded
+//                        after the worker was dead (state -> recovering;
+//                        the next on_success completes recovery -> healthy)
+//   * mark_dead(now)   — force the dead state (e.g. the front tier decided
+//                        to migrate without waiting out the failure budget)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dist {
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kRecovering = 3,
+};
+
+const char* to_string(HealthState s);
+
+struct HealthConfig {
+  // Consecutive failed RPCs (timeout or error) before a worker is declared
+  // dead and its slots migrate.  The first failure already makes it suspect.
+  std::uint32_t dead_after = 3;
+};
+
+class FailureDetector {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit FailureDetector(HealthConfig cfg = {}) : cfg_(cfg) {
+    if (cfg_.dead_after == 0) cfg_.dead_after = 1;
+  }
+
+  void on_success(TimePoint now);
+  void on_timeout(TimePoint now);
+  void on_error(TimePoint now);
+  void on_reconnect(TimePoint now);
+  void mark_dead(TimePoint now);
+
+  HealthState state() const { return state_; }
+  bool alive() const { return state_ != HealthState::kDead; }
+  std::uint32_t consecutive_failures() const { return consecutive_failures_; }
+
+  // Observability counters (cumulative).
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t deaths() const { return deaths_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  TimePoint last_change() const { return last_change_; }
+
+ private:
+  void fail(TimePoint now);
+  void transition(HealthState next, TimePoint now);
+
+  HealthConfig cfg_;
+  HealthState state_ = HealthState::kHealthy;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t recoveries_ = 0;
+  TimePoint last_change_{};
+};
+
+}  // namespace dist

@@ -1,0 +1,451 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace dist {
+
+namespace {
+
+FrameStatus reject_status(wire::ParseStatus s) {
+  switch (s) {
+    case wire::ParseStatus::kTruncated: return FrameStatus::kRejectTruncated;
+    case wire::ParseStatus::kOversized: return FrameStatus::kRejectOversized;
+    default: return FrameStatus::kRejectBadValue;
+  }
+}
+
+}  // namespace
+
+WorkerServer::WorkerServer(const banzai::Machine& prototype,
+                           std::shared_ptr<const wire::WireCodec> rx,
+                           std::shared_ptr<const wire::WireCodec> tx,
+                           WorkerConfig cfg)
+    : proto_(prototype.clone()),
+      rx_(std::move(rx)),
+      tx_(std::move(tx)),
+      cfg_(std::move(cfg)) {
+  svc_cfg_.num_shards = cfg_.num_shards;
+  svc_cfg_.num_slots = cfg_.num_slots;
+  svc_cfg_.batch_size = cfg_.batch_size;
+  svc_cfg_.ring_capacity = cfg_.ring_capacity;
+  // Lossless ingest: the replay protocol relies on "accepted implies
+  // applied", so the worker never sheds — backpressure propagates to the
+  // front tier through RPC latency instead.
+  svc_cfg_.backpressure = banzai::Backpressure::kBlock;
+  for (const auto& name : cfg_.flow_key)
+    svc_cfg_.flow_key.push_back(proto_.fields().id_of(name));
+  rebuild_service();
+}
+
+WorkerServer::~WorkerServer() { stop(); }
+
+void WorkerServer::rebuild_service() {
+  svc_ = std::make_unique<banzai::FleetService>(proto_, svc_cfg_);
+  svc_->set_wire(rx_, tx_);
+  applied_seq_.assign(svc_cfg_.num_slots, 0);
+  pending_seq_.clear();
+  out_egress_.clear();
+  unconfirmed_.clear();
+}
+
+void WorkerServer::start() {
+  if (running()) return;
+  listener_.listen(port_ != 0 ? port_ : cfg_.port);
+  port_ = listener_.port();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    svc_->start();
+  }
+  stopping_.store(false, std::memory_order_release);
+  killed_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+void WorkerServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  listener_.shutdown();
+  if (server_.joinable()) server_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (svc_) svc_->stop();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void WorkerServer::kill() {
+  stopping_.store(true, std::memory_order_release);
+  listener_.shutdown();
+  if (server_.joinable()) server_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    svc_->stop();
+    // A killed process loses its memory: fresh slots, zeroed dedup table,
+    // no buffered egress.  Whatever it had applied since the last checkpoint
+    // exists nowhere but in the front tier's resend buffer.
+    rebuild_service();
+  }
+  killed_.store(true, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void WorkerServer::restart() {
+  if (running()) return;
+  start();
+}
+
+void WorkerServer::serve_forever() {
+  if (!listener_.valid()) {
+    listener_.listen(port_ != 0 ? port_ : cfg_.port);
+    port_ = listener_.port();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!svc_->running()) svc_->start();
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  serve_loop();
+  running_.store(false, std::memory_order_release);
+}
+
+WorkerStats WorkerServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkerServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Conn conn;
+    try {
+      conn = listener_.accept(Clock::now() + Millis(200));
+    } catch (const RpcTimeout&) {
+      continue;  // periodic stopping_ check
+    } catch (const RpcError&) {
+      break;  // listener shut down
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++conns_seen_;
+      if (conns_seen_ > 1) ++stats_.reconnects;
+    }
+    serve_connection(conn);
+  }
+}
+
+void WorkerServer::serve_connection(Conn& conn) {
+  {
+    // A fresh connection means the previous one died, and its last reply may
+    // have died with it: re-queue that reply's egress so the next ack
+    // redelivers it (the front tier dedups if it did arrive).
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!unconfirmed_.empty()) {
+      out_egress_.push_front(std::move(unconfirmed_.back()));
+      unconfirmed_.pop_back();
+    }
+  }
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!conn.readable()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    Message req;
+    try {
+      req = conn.recv_msg(Clock::now() + cfg_.io_timeout);
+    } catch (const RpcError&) {
+      // Disconnect (or a mid-message stall, which leaves the stream in an
+      // undefined position — same remedy): drop the connection and go back
+      // to accept().  The front tier reconnects and re-sends; seq dedup
+      // absorbs anything we already applied.
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+      // Lockstep: a new request on this connection proves the previous
+      // reply was received — its egress is now safely the front's problem.
+      unconfirmed_.clear();
+    }
+    try {
+      if (!handle(conn, req)) return;
+    } catch (const FramingError& e) {
+      reply_error(conn, std::string("bad payload: ") + e.what());
+    } catch (const RpcError&) {
+      return;  // reply failed: connection is gone
+    }
+  }
+}
+
+bool WorkerServer::handle(Conn& conn, const Message& req) {
+  switch (req.type) {
+    case MsgType::kHello:
+      handle_hello(conn, req);
+      return true;
+    case MsgType::kIngestBatch:
+      handle_ingest(conn, req);
+      return true;
+    case MsgType::kHeartbeat:
+      handle_heartbeat(conn, req);
+      return true;
+    case MsgType::kSnapshotReq:
+      handle_snapshot(conn, req);
+      return true;
+    case MsgType::kRestoreReq:
+      handle_restore(conn, req);
+      return true;
+    case MsgType::kSwapEngine:
+      handle_swap(conn, req);
+      return true;
+    case MsgType::kFlushReq:
+      handle_flush(conn);
+      return true;
+    case MsgType::kStop:
+      stopping_.store(true, std::memory_order_release);
+      return false;
+    default:
+      reply_error(conn, std::string("unexpected message type: ") +
+                            to_string(req.type));
+      return true;
+  }
+}
+
+void WorkerServer::reply(Conn& conn, MsgType type,
+                         const std::vector<std::uint8_t>& payload) {
+  conn.send_msg(type, payload, Clock::now() + cfg_.io_timeout);
+}
+
+void WorkerServer::reply_error(Conn& conn, const std::string& what) {
+  try {
+    reply(conn, MsgType::kError, encode_error(ErrorMsg{what}));
+  } catch (const RpcError&) {
+    // Connection already gone; the serve loop notices on the next read.
+  }
+}
+
+void WorkerServer::harvest_egress() {
+  auto frames = svc_->drain_egress_frames();
+  for (auto& f : frames) {
+    // The service settles egress strictly in ingest order and the worker is
+    // lossless (kBlock, no DropTail), so settled frames pair 1:1 FIFO with
+    // the global seqs of accepted ingest.
+    if (pending_seq_.empty())
+      throw std::logic_error("egress without a pending sequence number");
+    EgressRecord rec;
+    rec.seq = pending_seq_.front();
+    pending_seq_.pop_front();
+    rec.bytes = std::move(f);
+    out_egress_.push_back(std::move(rec));
+  }
+}
+
+std::vector<EgressRecord> WorkerServer::take_egress(std::size_t limit) {
+  std::vector<EgressRecord> out;
+  while (!out_egress_.empty() && out.size() < limit) {
+    unconfirmed_.push_back(out_egress_.front());  // until the next request
+    out.push_back(std::move(out_egress_.front()));
+    out_egress_.pop_front();
+  }
+  stats_.egress_returned += out.size();
+  return out;
+}
+
+void WorkerServer::handle_hello(Conn& conn, const Message& req) {
+  const Hello hello = decode_hello(req.payload.data(), req.payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hello.version != kProtocolVersion) {
+    reply_error(conn, "protocol version mismatch");
+    return;
+  }
+  if (!cfg_.algorithm.empty() && hello.algorithm != cfg_.algorithm) {
+    reply_error(conn, "algorithm mismatch: worker runs " + cfg_.algorithm);
+    return;
+  }
+  if (hello.num_slots != cfg_.num_slots) {
+    reply_error(conn, "slot count mismatch");
+    return;
+  }
+  if (hello.header_bytes != rx_->header_bytes()) {
+    reply_error(conn, "wire header size mismatch");
+    return;
+  }
+  HelloAck ack;
+  ack.num_slots = static_cast<std::uint32_t>(cfg_.num_slots);
+  ack.engine = static_cast<std::uint8_t>(proto_.active_engine());
+  reply(conn, MsgType::kHelloAck, encode_hello_ack(ack));
+}
+
+void WorkerServer::handle_ingest(Conn& conn, const Message& req) {
+  const IngestBatch batch =
+      decode_ingest_batch(req.payload.data(), req.payload.size());
+  IngestAck ack;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const FrameRecord& f : batch.frames) {
+      ack.seqs.push_back(f.seq);
+      if (f.slot >= applied_seq_.size()) {
+        ack.statuses.push_back(FrameStatus::kRejectBadValue);
+        ++stats_.frames_rejected;
+        continue;
+      }
+      if (f.seq <= applied_seq_[f.slot]) {
+        // Already applied (a retry or a network duplicate): the
+        // at-least-once channel meeting the exactly-once state machine.
+        ack.statuses.push_back(FrameStatus::kDuplicate);
+        ++stats_.frames_duplicate;
+        continue;
+      }
+      const auto res = svc_->ingest_frame(f.bytes.data(), f.bytes.size());
+      if (res.accepted) {
+        applied_seq_[f.slot] = f.seq;
+        pending_seq_.push_back(f.seq);
+        ack.statuses.push_back(FrameStatus::kAccepted);
+        ++stats_.frames_accepted;
+      } else {
+        ack.statuses.push_back(reject_status(res.parse.status));
+        ++stats_.frames_rejected;
+      }
+    }
+    harvest_egress();
+    ack.egress = take_egress(out_egress_.size());
+    ++ingest_count_;
+  }
+  if (cfg_.stall_every != 0 && ingest_count_ % cfg_.stall_every == 0) {
+    // Chaos knob: the frames above are APPLIED but the ack is late — the
+    // front tier times out, retries, and must see kDuplicate. Sleeping
+    // outside mu_ keeps kill()/stats() responsive.
+    std::this_thread::sleep_for(cfg_.stall_for);
+  }
+  reply(conn, MsgType::kIngestAck, encode_ingest_ack(ack));
+}
+
+void WorkerServer::handle_heartbeat(Conn& conn, const Message& req) {
+  const Heartbeat hb = decode_heartbeat(req.payload.data(), req.payload.size());
+  HeartbeatAck ack;
+  ack.nonce = hb.nonce;
+  std::lock_guard<std::mutex> lock(mu_);
+  harvest_egress();
+  ack.delivered = svc_->stats().delivered;
+  ack.egress = take_egress(out_egress_.size());
+  reply(conn, MsgType::kHeartbeatAck, encode_heartbeat_ack(ack));
+}
+
+void WorkerServer::handle_flush(Conn& conn) {
+  FlushAck ack;
+  std::lock_guard<std::mutex> lock(mu_);
+  svc_->flush();
+  harvest_egress();
+  ack.egress = take_egress(out_egress_.size());
+  reply(conn, MsgType::kFlushAck, encode_flush_ack(ack));
+}
+
+void WorkerServer::handle_snapshot(Conn& conn, const Message& req) {
+  const SnapshotReq snap_req =
+      decode_snapshot_req(req.payload.data(), req.payload.size());
+  SnapshotResp resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Checkpoint barrier: settle everything accepted so far, so the snapshot
+  // plus the returned egress together account for every applied frame —
+  // applied_seq_[slot] is exact for the state in the blob.
+  svc_->flush();
+  harvest_egress();
+  svc_->stop();
+  const banzai::ServiceSnapshot snap = svc_->snapshot();
+  svc_->start();
+  std::vector<std::uint32_t> slots = snap_req.slots;
+  if (slots.empty())
+    for (std::uint32_t s = 0; s < snap.num_slots; ++s) slots.push_back(s);
+  for (std::uint32_t s : slots) {
+    if (s >= snap.num_slots) {
+      reply_error(conn, "snapshot: slot out of range");
+      return;
+    }
+    SlotState st;
+    st.slot = s;
+    st.applied_seq = applied_seq_[s];
+    st.state = serialize_state_store(snap.slot_state[s]);
+    resp.slots.push_back(std::move(st));
+  }
+  resp.egress = take_egress(out_egress_.size());
+  reply(conn, MsgType::kSnapshotResp, encode_snapshot_resp(resp));
+}
+
+void WorkerServer::handle_restore(Conn& conn, const Message& req) {
+  const RestoreReq restore =
+      decode_restore_req(req.payload.data(), req.payload.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  svc_->flush();
+  svc_->stop();
+  // Validate the WHOLE payload before touching ANY slot: decode every blob
+  // and shape-check it against the live store.  A corrupt migration payload
+  // must reject cleanly with the worker's state untouched — this is the
+  // guard tests/dist_test.cc pins.
+  std::vector<banzai::StateStore> stores;
+  stores.reserve(restore.slots.size());
+  for (const SlotState& s : restore.slots) {
+    if (s.slot >= svc_cfg_.num_slots) {
+      svc_->start();
+      ++stats_.restore_rejects;
+      reply_error(conn, "restore: slot out of range");
+      return;
+    }
+    banzai::StateStore store;
+    try {
+      store = deserialize_state_store(s.state.data(), s.state.size());
+    } catch (const FramingError& e) {
+      svc_->start();
+      ++stats_.restore_rejects;
+      reply_error(conn, std::string("restore: corrupt state blob: ") +
+                            e.what());
+      return;
+    }
+    if (!store.same_shape(svc_->slot_machine(s.slot).snapshot_state())) {
+      svc_->start();
+      ++stats_.restore_rejects;
+      reply_error(conn, "restore: state shape mismatch");
+      return;
+    }
+    stores.push_back(std::move(store));
+  }
+  for (std::size_t i = 0; i < restore.slots.size(); ++i) {
+    const SlotState& s = restore.slots[i];
+    svc_->slot_machine(s.slot).restore_state(stores[i]);
+    applied_seq_[s.slot] = s.applied_seq;
+    ++stats_.restores;
+  }
+  svc_->start();
+  reply(conn, MsgType::kRestoreAck, {});
+}
+
+void WorkerServer::handle_swap(Conn& conn, const Message& req) {
+  const SwapEngine swap =
+      decode_swap_engine(req.payload.data(), req.payload.size());
+  if (swap.engine > static_cast<std::uint8_t>(banzai::ExecEngine::kNative)) {
+    reply_error(conn, "swap: unknown engine");
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drain-and-cutover: settle all in-flight packets, checkpoint, rebuild the
+  // whole service on the new engine, restore the checkpoint, resume.  The
+  // same barrier a recompiled pipeline would use to hot-swap mid-stream.
+  svc_->flush();
+  harvest_egress();
+  svc_->stop();
+  const banzai::ServiceSnapshot snap = svc_->snapshot();
+  proto_.set_engine(static_cast<banzai::ExecEngine>(swap.engine));
+  auto next = std::make_unique<banzai::FleetService>(proto_, svc_cfg_);
+  next->set_wire(rx_, tx_);
+  next->restore(snap);
+  next->start();
+  svc_ = std::move(next);
+  ++stats_.engine_swaps;
+  SwapAck ack;
+  ack.active_engine = static_cast<std::uint8_t>(proto_.active_engine());
+  reply(conn, MsgType::kSwapAck, encode_swap_ack(ack));
+}
+
+}  // namespace dist

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <random>
 #include <set>
 #include <string>
@@ -16,6 +18,7 @@
 #include "sim/partition.h"
 #include "sim/zipf.h"
 #include "test_util.h"
+#include "wire/codec.h"
 
 namespace {
 
@@ -403,6 +406,67 @@ TEST(AutoscalingServiceTest, ControllerDrivenReshardsStayBitExact) {
   ASSERT_EQ(egress2.size(), expected2.size());
   for (std::size_t i = 0; i < egress2.size(); ++i)
     ASSERT_EQ(egress2[i], expected2[i]) << "packet " << i;
+}
+
+// The wire path scales too: frames in, frames out, through forced reshards.
+// set_wire() hands the codecs to every future generation, reshard_to() must
+// drain the retiring generation's settled egress as frames (not packets),
+// and the folded wire counters must account for every frame across the
+// generation swaps.
+TEST(AutoscalingServiceTest, WireFramePathSurvivesReshardsBitExact) {
+  ServiceFixture fx(3000);
+  const auto& alg = algorithms::algorithm("flowlets");
+  const auto& ft = fx.compiled.machine().fields();
+  const wire::WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+  auto rx = std::make_shared<const wire::WireCodec>(spec, ft);
+  auto tx = std::make_shared<const wire::WireCodec>(spec, ft,
+                                                    fx.compiled.output_map());
+
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const Packet& p : fx.reference_egress())
+    expected.push_back(tx->deparse(p));
+
+  AutoscalingService svc(fx.compiled.machine(), fx.config());
+  svc.set_wire(rx, tx);
+  svc.start();
+
+  std::vector<std::vector<std::uint8_t>> egress;
+  const std::vector<std::uint8_t> runt = {0xD0};
+  std::uint64_t rejected = 0;
+  const std::size_t quarter = fx.trace.size() / 4;
+  const std::size_t targets[3] = {4, 8, 2};  // forced 2→4→8→2
+  for (std::size_t seg = 0; seg < 4; ++seg) {
+    const std::size_t begin = seg * quarter;
+    const std::size_t end = seg == 3 ? fx.trace.size() : begin + quarter;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::vector<std::uint8_t> frame = rx->deparse(fx.trace[i]);
+      const auto in = svc.ingest_frame(frame.data(), frame.size());
+      ASSERT_TRUE(in.parse.ok());
+      ASSERT_TRUE(in.accepted);
+      if (i % 500 == 0) {  // malformed runts must reject, typed and counted
+        EXPECT_FALSE(svc.ingest_frame(runt.data(), runt.size()).accepted);
+        ++rejected;
+      }
+    }
+    if (seg < 3) {
+      svc.reshard_to(targets[seg]);
+      EXPECT_EQ(svc.num_shards(), targets[seg]);
+    }
+    for (auto& f : svc.drain_egress_frames()) egress.push_back(std::move(f));
+  }
+  svc.flush();
+  svc.stop();
+  for (auto& f : svc.drain_egress_frames()) egress.push_back(std::move(f));
+
+  EXPECT_EQ(svc.reshards(), 3u);
+  ASSERT_EQ(egress.size(), expected.size());
+  for (std::size_t i = 0; i < egress.size(); ++i)
+    ASSERT_EQ(egress[i], expected[i]) << "frame " << i;
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.wire.frames_parsed, fx.trace.size());
+  EXPECT_EQ(st.wire.frames_rejected, rejected);
+  EXPECT_EQ(st.wire.reject_truncated, rejected);
 }
 
 TEST(AutoscalingServiceTest, ConfigValidation) {

@@ -68,6 +68,53 @@ TEST(StateStoreTest, DeclareAndAccess) {
   EXPECT_THROW(s.var("y"), std::out_of_range);
 }
 
+// restore() guards every migration and reshard in the repo: a snapshot whose
+// shape differs in ANY way — missing var, extra var, different cell count,
+// scalar flag flipped — must throw and leave the target store byte-for-byte
+// untouched, because a half-applied restore would silently corrupt a slot.
+TEST(StateStoreTest, RestoreRejectsShapeMismatchAndLeavesStoreUntouched) {
+  StateStore target;
+  target.declare("x", 1, true, 10);
+  target.declare("arr", 4, false);
+  target.var("arr").store(2, -7);
+  const std::uint64_t gen_before = target.generation();
+
+  StateStore missing_var;
+  missing_var.declare("x", 1, true);
+
+  StateStore extra_var;
+  extra_var.declare("x", 1, true);
+  extra_var.declare("arr", 4, false);
+  extra_var.declare("stowaway", 1, true);
+
+  StateStore wrong_size;
+  wrong_size.declare("x", 1, true);
+  wrong_size.declare("arr", 8, false);
+
+  StateStore wrong_scalar;
+  wrong_scalar.declare("x", 1, false);
+  wrong_scalar.declare("arr", 4, false);
+
+  for (const StateStore* bad :
+       {&missing_var, &extra_var, &wrong_size, &wrong_scalar}) {
+    EXPECT_THROW(target.restore(*bad), std::invalid_argument);
+    EXPECT_EQ(target.var("x").load_scalar(), 10);
+    EXPECT_EQ(target.var("arr").load(2), -7);
+    EXPECT_FALSE(target.contains("stowaway"));
+    EXPECT_EQ(target.generation(), gen_before)
+        << "a rejected restore must not bump the generation";
+  }
+
+  // Same shape with different values is exactly what restore is for.
+  StateStore good;
+  good.declare("x", 1, true, 99);
+  good.declare("arr", 4, false);
+  EXPECT_NO_THROW(target.restore(good));
+  EXPECT_EQ(target.var("x").load_scalar(), 99);
+  EXPECT_EQ(target.var("arr").load(2), 0);
+  EXPECT_NE(target.generation(), gen_before);
+}
+
 // ---- stage semantics --------------------------------------------------------
 
 // Two atoms that each read field 0 of the stage input and write fields 1 / 2.

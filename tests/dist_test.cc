@@ -1,0 +1,668 @@
+// The distributed fleet (src/dist/): framing round-trips and their paranoia,
+// the reconnect backoff policy, the per-worker health state machine, and the
+// end-to-end contracts — a worker cluster's egress is bit-exact against one
+// sequential per-slot reference through batching, retries, duplicated
+// batches, live slot rebalancing, engine hot-swap, and corrupt-restore
+// rejection.  The seeded fault-injection schedules (kill mid-burst,
+// reconnect storm) live in dist_chaos_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algorithms/corpus.h"
+#include "banzai/machine.h"
+#include "banzai/state.h"
+#include "core/compiler.h"
+#include "dist/framing.h"
+#include "dist/front.h"
+#include "dist/health.h"
+#include "dist/rpc.h"
+#include "dist/worker.h"
+#include "sim/partition.h"
+#include "test_util.h"
+#include "wire/codec.h"
+
+namespace {
+
+using banzai::Packet;
+using dist::FailureDetector;
+using dist::FramingError;
+using dist::FrontConfig;
+using dist::FrontTier;
+using dist::HealthState;
+using dist::MsgType;
+using dist::WorkerConfig;
+using dist::WorkerServer;
+using wire::WireCodec;
+using wire::WireSpec;
+
+// ---- framing ---------------------------------------------------------------
+
+TEST(DistFramingTest, HelloRoundTrips) {
+  dist::Hello h;
+  h.algorithm = "flowlets";
+  h.num_slots = 16;
+  h.header_bytes = 14;
+  const auto bytes = dist::encode_hello(h);
+  const dist::Hello back = dist::decode_hello(bytes.data(), bytes.size());
+  EXPECT_EQ(back.version, dist::kProtocolVersion);
+  EXPECT_EQ(back.algorithm, "flowlets");
+  EXPECT_EQ(back.num_slots, 16u);
+  EXPECT_EQ(back.header_bytes, 14u);
+}
+
+TEST(DistFramingTest, IngestBatchAndAckRoundTrip) {
+  dist::IngestBatch b;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    dist::FrameRecord f;
+    f.seq = i;
+    f.slot = static_cast<std::uint32_t>(i % 2);
+    f.bytes = {static_cast<std::uint8_t>(i), 0xAB};
+    b.frames.push_back(std::move(f));
+  }
+  const auto eb = dist::encode_ingest_batch(b);
+  const dist::IngestBatch bb = dist::decode_ingest_batch(eb.data(), eb.size());
+  ASSERT_EQ(bb.frames.size(), 3u);
+  EXPECT_EQ(bb.frames[2].seq, 3u);
+  EXPECT_EQ(bb.frames[2].bytes, (std::vector<std::uint8_t>{3, 0xAB}));
+
+  dist::IngestAck a;
+  a.seqs = {1, 2, 3};
+  a.statuses = {dist::FrameStatus::kAccepted, dist::FrameStatus::kDuplicate,
+                dist::FrameStatus::kRejectTruncated};
+  a.egress.push_back({7, {0xDE, 0xAD}});
+  const auto ea = dist::encode_ingest_ack(a);
+  const dist::IngestAck ab = dist::decode_ingest_ack(ea.data(), ea.size());
+  ASSERT_EQ(ab.statuses.size(), 3u);
+  EXPECT_EQ(ab.statuses[1], dist::FrameStatus::kDuplicate);
+  ASSERT_EQ(ab.egress.size(), 1u);
+  EXPECT_EQ(ab.egress[0].seq, 7u);
+}
+
+TEST(DistFramingTest, TruncatedAndTrailingBytesThrow) {
+  dist::Hello h;
+  h.algorithm = "x";
+  const auto bytes = dist::encode_hello(h);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+    EXPECT_THROW(dist::decode_hello(bytes.data(), cut), FramingError)
+        << "cut at " << cut;
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(dist::decode_hello(trailing.data(), trailing.size()),
+               FramingError);
+}
+
+TEST(DistFramingTest, StateStoreSerializationIsCanonicalAndValidated) {
+  banzai::StateStore s;
+  s.declare("zeta", 4, false);
+  s.declare("alpha", 1, true);
+  s.var("alpha").store(0, 42);
+  s.var("zeta").store(2, -7);
+  const auto blob = dist::serialize_state_store(s);
+  // Canonical: a same-content store built in another order emits the same
+  // bytes, so migration tests can compare blobs directly.
+  banzai::StateStore t;
+  t.declare("alpha", 1, true);
+  t.declare("zeta", 4, false);
+  t.var("alpha").store(0, 42);
+  t.var("zeta").store(2, -7);
+  EXPECT_EQ(blob, dist::serialize_state_store(t));
+
+  const banzai::StateStore back =
+      dist::deserialize_state_store(blob.data(), blob.size());
+  EXPECT_TRUE(back.same_shape(s));
+  EXPECT_EQ(back.var("alpha").load(0), 42);
+  EXPECT_EQ(back.var("zeta").load(2), -7);
+
+  // Corruption must throw before any store is returned.
+  for (std::size_t cut = 1; cut < blob.size(); ++cut)
+    EXPECT_THROW(dist::deserialize_state_store(blob.data(), cut),
+                 FramingError);
+  auto trailing = blob;
+  trailing.push_back(0xFF);
+  EXPECT_THROW(
+      dist::deserialize_state_store(trailing.data(), trailing.size()),
+      FramingError);
+}
+
+TEST(DistFramingTest, StateStoreDecoderRejectsSemanticGarbage) {
+  // scalar flagged with more than one cell
+  {
+    std::vector<std::uint8_t> out;
+    dist::Writer w(out);
+    w.u32(1);
+    w.str("x");
+    w.u8(1);   // scalar
+    w.u32(2);  // ...with two cells
+    w.u32(0);
+    w.u32(0);
+    EXPECT_THROW(dist::deserialize_state_store(out.data(), out.size()),
+                 FramingError);
+  }
+  // duplicate variable name
+  {
+    std::vector<std::uint8_t> out;
+    dist::Writer w(out);
+    w.u32(2);
+    for (int i = 0; i < 2; ++i) {
+      w.str("dup");
+      w.u8(1);
+      w.u32(1);
+      w.u32(0);
+    }
+    EXPECT_THROW(dist::deserialize_state_store(out.data(), out.size()),
+                 FramingError);
+  }
+  // zero cells
+  {
+    std::vector<std::uint8_t> out;
+    dist::Writer w(out);
+    w.u32(1);
+    w.str("x");
+    w.u8(0);
+    w.u32(0);
+    EXPECT_THROW(dist::deserialize_state_store(out.data(), out.size()),
+                 FramingError);
+  }
+}
+
+// ---- backoff ---------------------------------------------------------------
+
+TEST(DistBackoffTest, BoundedExponentialWithDeterministicJitter) {
+  const dist::Backoff b(dist::Millis(10), dist::Millis(400), 7);
+  std::uint64_t prev_nominal = 0;
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    const std::uint64_t nominal =
+        std::min<std::uint64_t>(10ull << std::min(a, 20u), 400);
+    const auto d = static_cast<std::uint64_t>(b.delay(a).count());
+    EXPECT_GE(d, nominal / 2) << "attempt " << a;
+    EXPECT_LT(d, nominal) << "attempt " << a;
+    EXPECT_GE(nominal, prev_nominal);
+    prev_nominal = nominal;
+  }
+  // Deterministic per seed, decorrelated across seeds.
+  const dist::Backoff same(dist::Millis(10), dist::Millis(400), 7);
+  const dist::Backoff other(dist::Millis(10), dist::Millis(400), 8);
+  bool any_differ = false;
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    EXPECT_EQ(b.delay(a).count(), same.delay(a).count());
+    any_differ = any_differ || b.delay(a) != other.delay(a);
+  }
+  EXPECT_TRUE(any_differ) << "jitter ignores the seed";
+}
+
+// ---- health state machine --------------------------------------------------
+
+TEST(DistHealthTest, WalksHealthySuspectDeadRecovering) {
+  FailureDetector d(dist::HealthConfig{3});
+  const auto now = dist::Clock::now();
+  EXPECT_EQ(d.state(), HealthState::kHealthy);
+  d.on_timeout(now);
+  EXPECT_EQ(d.state(), HealthState::kSuspect);
+  d.on_success(now);
+  EXPECT_EQ(d.state(), HealthState::kHealthy);
+  EXPECT_EQ(d.consecutive_failures(), 0u);
+  d.on_timeout(now);
+  d.on_error(now);
+  EXPECT_EQ(d.state(), HealthState::kSuspect);
+  d.on_timeout(now);
+  EXPECT_EQ(d.state(), HealthState::kDead);
+  EXPECT_FALSE(d.alive());
+  EXPECT_EQ(d.deaths(), 1u);
+  // Dead does not flap back on a stray success; only a reconnect handshake
+  // re-admits, and the next success completes the recovery arc.
+  d.on_success(now);
+  EXPECT_EQ(d.state(), HealthState::kDead);
+  d.on_reconnect(now);
+  EXPECT_EQ(d.state(), HealthState::kRecovering);
+  EXPECT_EQ(d.recoveries(), 0u);
+  d.on_success(now);
+  EXPECT_EQ(d.state(), HealthState::kHealthy);
+  EXPECT_EQ(d.recoveries(), 1u);
+  EXPECT_EQ(d.timeouts(), 3u);
+  EXPECT_EQ(d.errors(), 1u);
+}
+
+// ---- cluster fixture -------------------------------------------------------
+
+constexpr std::size_t kSlots = 8;
+
+struct Cluster {
+  domino::CompileResult compiled;
+  std::shared_ptr<const WireCodec> rx, tx;
+  std::vector<std::unique_ptr<WorkerServer>> workers;
+  std::unique_ptr<FrontTier> front;
+  std::vector<banzai::FieldId> flow_key;
+
+  explicit Cluster(std::size_t n_workers, std::uint64_t seed = 1,
+                   std::uint32_t dup_every = 0, std::uint32_t stall_every = 0)
+      : compiled(domino::compile(algorithms::algorithm("flowlets").source,
+                                 *atoms::find_target("banzai-praw"))) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& ft = compiled.machine().fields();
+    const WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+    rx = std::make_shared<const WireCodec>(spec, ft);
+    tx = std::make_shared<const WireCodec>(spec, ft, compiled.output_map());
+    flow_key = {ft.id_of("sport"), ft.id_of("dport")};
+
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      WorkerConfig wc;
+      wc.algorithm = "flowlets";
+      wc.num_slots = kSlots;
+      wc.num_shards = 2;
+      wc.batch_size = 32;
+      wc.ring_capacity = 256;
+      wc.flow_key = {"sport", "dport"};
+      wc.stall_every = stall_every;
+      wc.stall_for = dist::Millis(stall_every ? 300 : 0);
+      workers.push_back(std::make_unique<WorkerServer>(compiled.machine(), rx,
+                                                       tx, wc));
+      workers.back()->start();
+    }
+
+    FrontConfig fc;
+    fc.algorithm = "flowlets";
+    fc.num_slots = kSlots;
+    fc.flow_key = flow_key;
+    fc.seed = seed;
+    fc.dup_every = dup_every;
+    fc.rpc_timeout = dist::Millis(stall_every ? 150 : 2000);
+    fc.max_batch = 16;
+    fc.dead_after = 2;
+    front = std::make_unique<FrontTier>(rx, fc);
+    for (auto& w : workers) front->add_worker(w->port());
+    front->connect();
+  }
+
+  ~Cluster() {
+    for (auto& w : workers) w->stop();
+  }
+
+  // The acceptance bar's reference: ONE sequential per-slot machine set fed
+  // the same frames in offer order.
+  std::vector<std::vector<std::uint8_t>> sequential_reference(
+      const std::vector<std::vector<std::uint8_t>>& frames) {
+    std::vector<banzai::Machine> slots;
+    for (std::size_t v = 0; v < kSlots; ++v)
+      slots.push_back(compiled.machine().clone());
+    Packet scratch(compiled.machine().fields().size());
+    std::vector<std::vector<std::uint8_t>> out;
+    for (const auto& f : frames) {
+      if (!rx->parse_exact(f.data(), f.size(), scratch).ok()) continue;
+      std::uint64_t h = 0;
+      for (banzai::FieldId fk : flow_key)
+        h = netsim::mix64(h ^ static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(
+                                      scratch.get(fk))));
+      out.push_back(tx->deparse(slots[h % kSlots].process(scratch)));
+    }
+    return out;
+  }
+
+  std::vector<std::vector<std::uint8_t>> make_frames(std::size_t n,
+                                                     unsigned rng_seed) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& ft = compiled.machine().fields();
+    std::mt19937 rng(rng_seed);
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::map<std::string, banzai::Value> f;
+      alg.workload(rng, static_cast<int>(i), f);
+      Packet p(ft.size());
+      for (const auto& [k, v] : f)
+        if (ft.try_id_of(k).has_value()) p.set(ft.id_of(k), v);
+      frames.push_back(rx->deparse(p));
+    }
+    return frames;
+  }
+};
+
+// ---- end-to-end contracts --------------------------------------------------
+
+TEST(DistClusterTest, SingleWorkerMatchesSequentialReference) {
+  Cluster c(1);
+  const auto frames = c.make_frames(600, 11);
+  const auto expected = c.sequential_reference(frames);
+  for (const auto& f : frames) c.front->offer(f);
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+  EXPECT_TRUE(c.front->settled());
+}
+
+TEST(DistClusterTest, FourWorkersMatchSequentialReferenceWithRejects) {
+  Cluster c(4);
+  auto frames = c.make_frames(1200, 23);
+  // Interleave malformed frames: they must tombstone, not disturb order.
+  const std::vector<std::uint8_t> runt = {0xD0};
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < frames.size(); i += 100) {
+    frames.insert(frames.begin() + static_cast<std::ptrdiff_t>(i), runt);
+    ++rejected;
+  }
+  const auto expected = c.sequential_reference(frames);
+  for (const auto& f : frames) c.front->offer(f);
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+  const auto st = c.front->stats();
+  EXPECT_EQ(st.frames_offered, frames.size());
+  EXPECT_EQ(st.rejects, rejected);
+  EXPECT_EQ(st.frames_acked + st.rejects, frames.size());
+}
+
+TEST(DistClusterTest, DuplicatedBatchesAreFullyDeduplicated) {
+  Cluster c(2, /*seed=*/3, /*dup_every=*/3);
+  const auto frames = c.make_frames(500, 31);
+  const auto expected = c.sequential_reference(frames);
+  for (const auto& f : frames) c.front->offer(f);
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+  const auto st = c.front->stats();
+  EXPECT_GT(st.dup_acks, 0u) << "the dup schedule never fired";
+  // A duplicate batch on a healthy connection carries no egress (its arrival
+  // confirmed the original reply), so the window stays duplicate-free here;
+  // the window-dedup path is exercised by post-kill replay below.
+  EXPECT_EQ(st.egress_duplicates, 0u);
+  EXPECT_EQ(st.frames_acked, frames.size());
+}
+
+TEST(DistClusterTest, LiveSlotRebalanceUnderLoadStaysBitExact) {
+  Cluster c(3);
+  const auto frames = c.make_frames(900, 47);
+  const auto expected = c.sequential_reference(frames);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    c.front->offer(frames[i]);
+    // Shuffle ownership mid-stream, repeatedly: slot s hops to a different
+    // worker while its flows are in flight.
+    if (i == 300) c.front->move_slot(0, c.front->owner_of(0) == 2 ? 0 : 2);
+    if (i == 450) c.front->move_slot(3, c.front->owner_of(3) == 1 ? 0 : 1);
+    if (i == 600) c.front->move_slot(0, 1);
+  }
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+  const auto st = c.front->stats();
+  EXPECT_GE(st.slot_moves, 3u);
+  // Every sent frame (originals + post-move replays) got exactly one status:
+  // fresh apply or worker-side dedup.
+  EXPECT_EQ(st.frames_acked + st.dup_acks, st.frames_sent);
+}
+
+TEST(DistClusterTest, EngineHotSwapMidStreamStaysBitExact) {
+  Cluster c(2);
+  const auto frames = c.make_frames(800, 53);
+  const auto expected = c.sequential_reference(frames);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    c.front->offer(frames[i]);
+    if (i == 250)
+      c.front->swap_engine(
+          static_cast<std::uint8_t>(banzai::ExecEngine::kKernel));
+    if (i == 550)
+      c.front->swap_engine(
+          static_cast<std::uint8_t>(banzai::ExecEngine::kClosure));
+  }
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+}
+
+TEST(DistClusterTest, WorkerKillMidBurstRecoversViaMigrationAndReplay) {
+  Cluster c(3);
+  const auto frames = c.make_frames(900, 61);
+  const auto expected = c.sequential_reference(frames);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == 300) c.front->checkpoint();
+    if (i == 450) {
+      c.workers[1]->kill();  // SIGKILL stand-in: all state gone
+      c.front->evict(1);     // the harness knows; detectors would too, slower
+    }
+    c.front->offer(frames[i]);
+  }
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+  const auto st = c.front->stats();
+  EXPECT_EQ(st.migrations, 1u);
+  EXPECT_GT(st.replays, 0u);
+  EXPECT_GT(st.checkpoints, 0u);
+  // Frames the dead worker acked after the checkpoint were replayed onto the
+  // survivor, which re-applied them and re-emitted their egress — the
+  // exactly-once window must have swallowed those.
+  EXPECT_GT(st.egress_duplicates, 0u);
+  EXPECT_EQ(c.front->worker_view(1).health, HealthState::kDead);
+}
+
+TEST(DistClusterTest, KillWithoutAnyCheckpointReplaysFromScratch) {
+  Cluster c(2);
+  const auto frames = c.make_frames(400, 67);
+  const auto expected = c.sequential_reference(frames);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == 200) {
+      c.workers[0]->kill();
+      c.front->evict(0);
+    }
+    c.front->offer(frames[i]);
+  }
+  c.front->flush();
+  const auto got = c.front->drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+}
+
+// ---- the corrupt-restore guard (raw protocol) ------------------------------
+
+// The worker serves one connection at a time, so these tests skip the front
+// tier entirely and speak the protocol over a raw Conn — which is the point:
+// the restore guard must hold against arbitrary bytes, not just what a
+// well-behaved FrontTier would send.
+struct RawWorker {
+  domino::CompileResult compiled;
+  std::shared_ptr<const WireCodec> rx, tx;
+  std::unique_ptr<WorkerServer> worker;
+  std::vector<banzai::FieldId> flow_key;
+  dist::Conn conn;
+  std::uint64_t next_seq = 1;
+
+  RawWorker()
+      : compiled(domino::compile(algorithms::algorithm("flowlets").source,
+                                 *atoms::find_target("banzai-praw"))) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& ft = compiled.machine().fields();
+    const WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+    rx = std::make_shared<const WireCodec>(spec, ft);
+    tx = std::make_shared<const WireCodec>(spec, ft, compiled.output_map());
+    flow_key = {ft.id_of("sport"), ft.id_of("dport")};
+    WorkerConfig wc;
+    wc.algorithm = "flowlets";
+    wc.num_slots = kSlots;
+    wc.flow_key = {"sport", "dport"};
+    worker =
+        std::make_unique<WorkerServer>(compiled.machine(), rx, tx, wc);
+    worker->start();
+    conn = dist::connect_local(worker->port(), dist::Millis(2000));
+    dist::Hello h;
+    h.algorithm = "flowlets";
+    h.num_slots = kSlots;
+    h.header_bytes = static_cast<std::uint32_t>(rx->header_bytes());
+    const auto resp = call(MsgType::kHello, dist::encode_hello(h));
+    EXPECT_EQ(resp.type, MsgType::kHelloAck);
+  }
+
+  ~RawWorker() { worker->stop(); }
+
+  dist::Message call(MsgType type, const std::vector<std::uint8_t>& payload) {
+    const auto deadline = dist::Clock::now() + dist::Millis(2000);
+    conn.send_msg(type, payload, deadline);
+    return conn.recv_msg(deadline);
+  }
+
+  std::uint32_t slot_of(const std::vector<std::uint8_t>& frame) {
+    Packet scratch(compiled.machine().fields().size());
+    EXPECT_TRUE(rx->parse_exact(frame.data(), frame.size(), scratch).ok());
+    std::uint64_t h = 0;
+    for (banzai::FieldId fk : flow_key)
+      h = netsim::mix64(
+          h ^ static_cast<std::uint64_t>(
+                  static_cast<std::uint32_t>(scratch.get(fk))));
+    return static_cast<std::uint32_t>(h % kSlots);
+  }
+
+  std::vector<std::vector<std::uint8_t>> make_frames(std::size_t n,
+                                                     unsigned rng_seed) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& ft = compiled.machine().fields();
+    std::mt19937 rng(rng_seed);
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::map<std::string, banzai::Value> f;
+      alg.workload(rng, static_cast<int>(i), f);
+      Packet p(ft.size());
+      for (const auto& [k, v] : f)
+        if (ft.try_id_of(k).has_value()) p.set(ft.id_of(k), v);
+      frames.push_back(rx->deparse(p));
+    }
+    return frames;
+  }
+
+  // Ingests frames in one batch and returns the per-frame statuses.
+  std::vector<dist::FrameStatus> ingest(
+      const std::vector<std::vector<std::uint8_t>>& frames) {
+    dist::IngestBatch b;
+    for (const auto& f : frames) {
+      dist::FrameRecord rec;
+      rec.seq = next_seq++;
+      rec.slot = slot_of(f);
+      rec.bytes = f;
+      b.frames.push_back(std::move(rec));
+    }
+    const auto resp =
+        call(MsgType::kIngestBatch, dist::encode_ingest_batch(b));
+    EXPECT_EQ(resp.type, MsgType::kIngestAck);
+    const auto ack =
+        dist::decode_ingest_ack(resp.payload.data(), resp.payload.size());
+    EXPECT_EQ(ack.statuses.size(), frames.size());
+    return ack.statuses;
+  }
+
+  std::vector<std::uint8_t> snapshot_blob(std::uint32_t slot) {
+    dist::SnapshotReq req;
+    req.slots.push_back(slot);
+    const auto resp = call(MsgType::kSnapshotReq,
+                           dist::encode_snapshot_req(req));
+    EXPECT_EQ(resp.type, MsgType::kSnapshotResp);
+    const auto sr =
+        dist::decode_snapshot_resp(resp.payload.data(), resp.payload.size());
+    EXPECT_EQ(sr.slots.size(), 1u);
+    return sr.slots.at(0).state;
+  }
+};
+
+TEST(DistRestoreGuardTest, CorruptBlobRejectsCleanlyAndStateIsUntouched) {
+  RawWorker w;
+  // Put real state into slot machines first.
+  for (const dist::FrameStatus st : w.ingest(w.make_frames(200, 71)))
+    ASSERT_EQ(st, dist::FrameStatus::kAccepted);
+  const auto before = w.snapshot_blob(2);
+
+  // (a) garbage bytes: framing-level corruption.
+  {
+    dist::RestoreReq req;
+    dist::SlotState s;
+    s.slot = 2;
+    s.applied_seq = 999;
+    s.state = {0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+    req.slots.push_back(std::move(s));
+    const auto resp =
+        w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
+    EXPECT_EQ(resp.type, MsgType::kError);
+  }
+  // (b) well-formed blob of the wrong shape.
+  {
+    dist::RestoreReq req;
+    dist::SlotState s;
+    s.slot = 2;
+    s.state = dist::serialize_state_store(banzai::StateStore{});
+    req.slots.push_back(std::move(s));
+    const auto resp =
+        w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
+    EXPECT_EQ(resp.type, MsgType::kError);
+  }
+  // (c) slot out of range.
+  {
+    dist::RestoreReq req;
+    dist::SlotState s;
+    s.slot = 999;
+    s.state = before;
+    req.slots.push_back(std::move(s));
+    const auto resp =
+        w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
+    EXPECT_EQ(resp.type, MsgType::kError);
+  }
+  // (d) a batch where the LAST entry is corrupt must not apply the first:
+  // all-or-nothing validation.
+  {
+    dist::RestoreReq req;
+    dist::SlotState good;
+    good.slot = 2;
+    good.applied_seq = 1u << 20;  // would poison the dedup table if applied
+    good.state = before;
+    dist::SlotState bad;
+    bad.slot = 3;
+    bad.state = {0x00};
+    req.slots.push_back(std::move(good));
+    req.slots.push_back(std::move(bad));
+    const auto resp =
+        w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
+    EXPECT_EQ(resp.type, MsgType::kError);
+  }
+
+  // The worker keeps serving and its state is byte-identical.
+  const auto after = w.snapshot_blob(2);
+  EXPECT_EQ(before, after);
+  EXPECT_GE(w.worker->stats().restore_rejects, 4u);
+
+  // And the dedup table was not poisoned by the rejected applied_seq: fresh
+  // frames (seqs far below the rejected 2^20) still apply.
+  for (const dist::FrameStatus st : w.ingest(w.make_frames(50, 73)))
+    EXPECT_EQ(st, dist::FrameStatus::kAccepted);
+}
+
+TEST(DistRestoreGuardTest, ValidRestoreIsAcceptedAndApplied) {
+  RawWorker w;
+  for (const dist::FrameStatus st : w.ingest(w.make_frames(200, 79)))
+    ASSERT_EQ(st, dist::FrameStatus::kAccepted);
+  const auto blob = w.snapshot_blob(1);
+
+  dist::RestoreReq req;
+  dist::SlotState s;
+  s.slot = 4;  // restore slot 1's state into slot 4 (same shape: same proto)
+  s.applied_seq = 0;
+  s.state = blob;
+  req.slots.push_back(std::move(s));
+  const auto resp =
+      w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
+  EXPECT_EQ(resp.type, MsgType::kRestoreAck);
+  EXPECT_EQ(w.snapshot_blob(4), blob);
+}
+
+}  // namespace

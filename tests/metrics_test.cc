@@ -460,4 +460,42 @@ TEST(MetricsEndpointTest, ServesRegisteredSourcesOverTcp) {
   EXPECT_EQ(http_get(endpoint.port()).find("200 OK"), std::string::npos);
 }
 
+// The hardening contract: clients that connect and vanish — some with an RST
+// in flight — must cost the endpoint nothing.  The page is made big enough
+// that the send loop has to survive partial writes AND a reset mid-response,
+// and a well-behaved scrape afterwards still gets the whole body.
+TEST(MetricsEndpointTest, SurvivesAbruptClientsAndKeepsServing) {
+  banzai::MetricsEndpoint endpoint;
+  const std::string filler(1 << 20, 'x');
+  endpoint.add_source(
+      [&](std::ostream& os) { os << "# filler\n" << filler << '\n'; });
+  endpoint.start();
+
+  for (int round = 0; round < 8; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.port());
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    if (round % 2 == 0) {
+      // SO_LINGER(0): close() sends RST, so the server's in-flight send()
+      // sees ECONNRESET instead of a graceful FIN.
+      linger lg{};
+      lg.l_onoff = 1;
+      lg.l_linger = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    }
+    ::close(fd);  // never sends a request, never reads the response
+  }
+
+  const std::string resp = http_get(endpoint.port());
+  ASSERT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find(filler), std::string::npos)
+      << "a full scrape must still work after the abrupt clients";
+  endpoint.stop();
+}
+
 }  // namespace

@@ -339,6 +339,23 @@ TEST(ServiceLifecycleTest, SnapshotAndRestoreRequireStoppedService) {
   EXPECT_THROW(other_slots.restore(snap), std::invalid_argument);
   FleetService other_shards(ca.machine(), ca.service_config(8, 8));
   EXPECT_NO_THROW(other_shards.restore(snap));
+
+  // A rejected restore is a no-op, not a wound: the refusing service still
+  // starts and processes as if the bad snapshot never arrived.
+  other_slots.start();
+  Packet pkt(ca.machine().fields().size());
+  EXPECT_TRUE(other_slots.ingest(pkt));
+  other_slots.flush();
+  EXPECT_EQ(other_slots.drain_egress().size(), 1u);
+  EXPECT_EQ(other_slots.stats().delivered, 1u);
+  other_slots.stop();
+
+  // Same slot count but a truncated slot_state vector must also reject:
+  // shape is (num_slots, per-slot stores), not just the header.
+  banzai::ServiceSnapshot truncated = snap;
+  truncated.slot_state.pop_back();
+  FleetService same_slots(ca.machine(), ca.service_config(2, 8));
+  EXPECT_THROW(same_slots.restore(truncated), std::invalid_argument);
 }
 
 TEST(ServiceLifecycleTest, ServiceRequiresEnoughSlotsAndAFlowKey) {
