@@ -28,8 +28,9 @@
 namespace dist {
 
 // Protocol version, checked in the HELLO exchange; bump on any change to the
-// message encodings below.
-constexpr std::uint32_t kProtocolVersion = 1;
+// message encodings below or their semantics (v2: an empty RestoreReq state
+// blob means "reset the slot to pristine initial state").
+constexpr std::uint32_t kProtocolVersion = 2;
 
 // Upper bound on one message's payload: a full-fleet snapshot of corpus-sized
 // state is well under a megabyte, so 64 MiB is generous headroom while still

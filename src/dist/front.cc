@@ -174,7 +174,18 @@ void FrontTier::on_rpc_failure(WorkerLink& w, bool timeout) {
     w.detector.on_error(Clock::now());
 }
 
+bool FrontTier::valid_egress_seq(std::uint64_t seq) {
+  // The front assigned every real seq from [1, next_seq_): anything else in
+  // a decoded reply is corruption that framing alone can't catch, and
+  // feeding it to the window would drive a resize of (seq - watermark)
+  // cells — a ~2^63 seq means a multi-exabyte allocation.
+  if (seq != 0 && seq < next_seq_) return true;
+  ++stats_.egress_corrupt;
+  return false;
+}
+
 void FrontTier::deliver_tombstone(std::uint64_t seq) {
+  if (!valid_egress_seq(seq)) return;
   if (window_.tombstone(seq)) ++stats_.rejects;
 }
 
@@ -199,7 +210,10 @@ void FrontTier::process_ack_frames(const std::vector<std::uint64_t>& seqs,
 }
 
 void FrontTier::process_egress(const std::vector<EgressRecord>& egress) {
-  for (const EgressRecord& rec : egress) window_.deliver(rec.seq, rec.bytes);
+  for (const EgressRecord& rec : egress) {
+    if (!valid_egress_seq(rec.seq)) continue;
+    window_.deliver(rec.seq, rec.bytes);
+  }
 }
 
 bool FrontTier::flush_worker(std::size_t wi) {
@@ -432,13 +446,11 @@ void FrontTier::migrate(std::size_t dead) {
     const std::size_t slot = pending.front();
     pending.pop_front();
     const std::size_t target = pick_survivor(dead, salt++);
-    RestoreReq req;
-    const auto it = checkpoint_.find(slot);
-    // No checkpoint means nothing was ever applied durably: the survivor's
-    // copy of the slot is pristine initial state, which is exactly the
-    // correct restore point — replay rebuilds everything from seq 1.
-    if (it != checkpoint_.end()) req.slots.push_back(it->second);
-    if (!req.slots.empty() && !restore_to(target, req)) {
+    // ALWAYS restore — the last checkpoint, or the explicit reset-to-initial
+    // order when there is none.  Skipping the restore would trust the
+    // target's own copy of the slot, which can be stale (a worker the
+    // detector declared dead over a partition keeps its memory).
+    if (!restore_to(target, restore_payload(slot))) {
       pending.push_back(slot);  // target just died; pick another survivor
       continue;
     }
@@ -446,6 +458,22 @@ void FrontTier::migrate(std::size_t dead) {
     ++stats_.slot_moves;
     replay_slot(slot);
   }
+}
+
+RestoreReq FrontTier::restore_payload(std::size_t slot) const {
+  RestoreReq req;
+  const auto it = checkpoint_.find(slot);
+  if (it != checkpoint_.end()) {
+    req.slots.push_back(it->second);
+  } else {
+    // No checkpoint means nothing was ever applied durably; replay rebuilds
+    // everything from seq 1 — but only on top of PRISTINE state, so order an
+    // explicit reset (empty blob, applied_seq 0) instead of assuming it.
+    SlotState reset;
+    reset.slot = static_cast<std::uint32_t>(slot);
+    req.slots.push_back(std::move(reset));
+  }
+  return req;
 }
 
 bool FrontTier::restore_to(std::size_t target, const RestoreReq& req) {
@@ -461,7 +489,7 @@ bool FrontTier::restore_to(std::size_t target, const RestoreReq& req) {
         // connection problem and will not improve with retries.
         const ErrorMsg err =
             decode_error(resp.payload.data(), resp.payload.size());
-        throw RpcError("restore rejected: " + err.message);
+        throw RestoreRejected("restore rejected: " + err.message);
       }
       if (resp.type != MsgType::kRestoreAck)
         throw FramingError("unexpected reply to restore");
@@ -469,7 +497,17 @@ bool FrontTier::restore_to(std::size_t target, const RestoreReq& req) {
       return true;
     } catch (const RpcTimeout&) {
       on_rpc_failure(w, true);
+    } catch (const RestoreRejected&) {
+      throw;  // deliberate refusal, not a transport failure
     } catch (const FramingError&) {
+      on_rpc_failure(w, false);
+    } catch (const RpcError&) {
+      // Connection-level failure (reset, peer closed mid-restore): same
+      // remedy as a timeout — reconnect and retry against the detector's
+      // failure budget, or report false so the caller picks another
+      // survivor.  Must NOT escape: migrate()/move_slot() rely on the
+      // false return to re-route, per the "later failures are handled,
+      // not thrown" contract.
       on_rpc_failure(w, false);
     }
   }
@@ -488,41 +526,53 @@ void FrontTier::move_slot(std::size_t slot, std::size_t to_worker) {
   from = owner_[slot];
   if (from == to_worker) return;
   WorkerLink& src = workers_[from];
-  if (src.detector.alive() && ensure_connected(src)) {
+  if (src.detector.alive()) {
     // Live rebalance: barrier-snapshot just this slot so the restore point
-    // is current and the replay tail is empty (or nearly so).
-    SnapshotReq sreq;
-    sreq.slots.push_back(static_cast<std::uint32_t>(slot));
-    try {
-      const Message resp =
-          call(src, MsgType::kSnapshotReq, encode_snapshot_req(sreq));
-      if (resp.type != MsgType::kSnapshotResp)
-        throw FramingError("unexpected reply to snapshot");
-      SnapshotResp sr =
-          decode_snapshot_resp(resp.payload.data(), resp.payload.size());
-      src.detector.on_success(Clock::now());
-      process_egress(sr.egress);
-      for (SlotState& ss : sr.slots) {
-        if (ss.slot != slot) continue;
-        auto& buf = resend_[slot];
-        while (!buf.empty() && buf.front().seq <= ss.applied_seq) {
-          buf.pop_front();
-          --resend_total_;
+    // is current and the replay tail is empty (or nearly so).  The barrier
+    // is retried through transport failures; if the source stays alive but
+    // will not snapshot, the move is ABORTED — shipping a stale checkpoint
+    // while the source keeps newer applied state would leave two versions
+    // of the slot in the fleet.  If the source dies during the barrier, fall
+    // through: the move degrades to the migration path (last checkpoint, or
+    // an explicit reset, plus replay of the whole resend tail).
+    bool barrier_ok = false;
+    for (std::uint32_t attempts = 0;
+         attempts < cfg_.max_attempts && !barrier_ok && src.detector.alive();
+         ++attempts) {
+      if (!ensure_connected(src)) continue;
+      SnapshotReq sreq;
+      sreq.slots.push_back(static_cast<std::uint32_t>(slot));
+      try {
+        const Message resp =
+            call(src, MsgType::kSnapshotReq, encode_snapshot_req(sreq));
+        if (resp.type != MsgType::kSnapshotResp)
+          throw FramingError("unexpected reply to snapshot");
+        SnapshotResp sr =
+            decode_snapshot_resp(resp.payload.data(), resp.payload.size());
+        src.detector.on_success(Clock::now());
+        process_egress(sr.egress);
+        for (SlotState& ss : sr.slots) {
+          if (ss.slot != slot) continue;
+          auto& buf = resend_[slot];
+          while (!buf.empty() && buf.front().seq <= ss.applied_seq) {
+            buf.pop_front();
+            --resend_total_;
+          }
+          checkpoint_[slot] = std::move(ss);
+          barrier_ok = true;
         }
-        checkpoint_[slot] = std::move(ss);
+      } catch (const RpcTimeout&) {
+        on_rpc_failure(src, true);
+      } catch (const RpcError&) {
+        on_rpc_failure(src, false);
+      } catch (const FramingError&) {
+        on_rpc_failure(src, false);
       }
-    } catch (const RpcTimeout&) {
-      on_rpc_failure(src, true);
-    } catch (const RpcError&) {
-      on_rpc_failure(src, false);
-    } catch (const FramingError&) {
-      on_rpc_failure(src, false);
     }
+    if (!barrier_ok && src.detector.alive())
+      throw RpcError("move_slot: barrier snapshot failed on the source");
   }
-  RestoreReq req;
-  const auto it = checkpoint_.find(slot);
-  if (it != checkpoint_.end()) req.slots.push_back(it->second);
-  if (!req.slots.empty() && !restore_to(to_worker, req))
+  if (!restore_to(to_worker, restore_payload(slot)))
     throw RpcError("move_slot: target would not accept the slot");
   owner_[slot] = to_worker;
   ++stats_.slot_moves;

@@ -47,6 +47,17 @@
 
 namespace dist {
 
+// A worker refused a RestoreReq at the protocol level (corrupt blob, shape
+// mismatch, bad slot).  Retrying cannot help, so restore_to() lets this
+// escape instead of treating it as a transport failure — distinct from the
+// RpcError/RpcTimeout a dying connection throws, which restore_to absorbs
+// and retries.  Still an RpcError subtype so callers that only distinguish
+// "the RPC tier gave up" keep working.
+class RestoreRejected : public RpcError {
+ public:
+  using RpcError::RpcError;
+};
+
 struct FrontConfig {
   std::string algorithm;          // sent in HELLO; workers cross-check
   std::size_t num_slots = 16;     // must match every worker
@@ -86,6 +97,9 @@ struct FrontStats {
   std::uint64_t replays = 0;          // frames replayed from resend buffers
   std::uint64_t egress_frames = 0;    // settled egress drained so far
   std::uint64_t egress_duplicates = 0;  // dropped by the window dedup
+  // Ack/egress seqs outside the issued range [1, next_seq): a corrupted (but
+  // well-framed) worker reply; dropped before they can touch the window.
+  std::uint64_t egress_corrupt = 0;
   std::uint64_t heartbeats = 0;
 };
 
@@ -173,7 +187,11 @@ class FrontTier {
   // Moves one slot to another worker under load: checkpoint the slot on its
   // current owner (drain barrier), restore on the target, replay the
   // unapplied tail.  Works whether the current owner is alive (live
-  // rebalance) or dead (the migration path with the *last* checkpoint).
+  // rebalance) or dead (the migration path with the *last* checkpoint).  If
+  // the owner is alive but the barrier snapshot keeps failing, the move is
+  // ABORTED (throws RpcError, ownership unchanged) rather than shipping a
+  // stale restore point while the owner holds newer state; if the owner
+  // dies during the barrier, the move degrades to the migration path.
   void move_slot(std::size_t slot, std::size_t to_worker);
 
   // Hot-swaps every worker onto another execution engine mid-stream.
@@ -223,15 +241,26 @@ class FrontTier {
   bool flush_worker(std::size_t wi);
   void flush_all_outboxes();
   void migrate(std::size_t dead);
-  // Installs slot blobs on `target`, retrying through connection failures.
-  // Returns false when the target itself ran out of failure budget; throws
-  // RpcError when the worker refuses the payload (corrupt blob — retrying
-  // cannot help).
+  // Installs slot blobs on `target`, retrying through connection failures
+  // (RpcTimeout / RpcError / FramingError all burn an attempt).  Returns
+  // false when the target itself ran out of failure budget; throws
+  // RestoreRejected when the worker refuses the payload (corrupt blob —
+  // retrying cannot help).
   bool restore_to(std::size_t target, const RestoreReq& req);
   void replay_slot(std::size_t slot);
   std::vector<std::size_t> owned_slots(std::size_t wi) const;
   std::size_t pick_survivor(std::size_t excluding, std::size_t salt) const;
   void deliver_tombstone(std::uint64_t seq);
+  // True when a worker-reported seq is one the front actually issued;
+  // otherwise counts it corrupt.  Gates every seq decoded from a reply
+  // before it can reach the window (a huge seq would drive an unbounded
+  // window resize).
+  bool valid_egress_seq(std::uint64_t seq);
+  // The restore payload for handing `slot` to a new owner: the last
+  // checkpoint if there is one, else the explicit empty-blob "reset to
+  // initial state" order — a target is never left trusting its own
+  // (possibly stale) copy of the slot.
+  RestoreReq restore_payload(std::size_t slot) const;
 
   std::shared_ptr<const wire::WireCodec> rx_;
   FrontConfig cfg_;

@@ -85,6 +85,9 @@ void render_dist_metrics(std::ostream& os, const FrontStats& stats,
             "Egress records suppressed by the exactly-once window");
   os << "domino_dist_egress_duplicates_total " << stats.egress_duplicates
      << '\n';
+  help_line(os, "domino_dist_egress_corrupt_total", "counter",
+            "Reply seqs outside the issued range, dropped before the window");
+  os << "domino_dist_egress_corrupt_total " << stats.egress_corrupt << '\n';
   help_line(os, "domino_dist_heartbeats_total", "counter",
             "Heartbeat probes answered");
   os << "domino_dist_heartbeats_total " << stats.heartbeats << '\n';

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "wire/codec.h"
+
 namespace dist {
 
 namespace {
@@ -26,7 +28,9 @@ WorkerServer::WorkerServer(const banzai::Machine& prototype,
     : proto_(prototype.clone()),
       rx_(std::move(rx)),
       tx_(std::move(tx)),
-      cfg_(std::move(cfg)) {
+      cfg_(std::move(cfg)),
+      initial_state_(proto_.snapshot_state()),
+      scratch_(rx_->num_table_fields()) {
   svc_cfg_.num_shards = cfg_.num_shards;
   svc_cfg_.num_slots = cfg_.num_slots;
   svc_cfg_.batch_size = cfg_.batch_size;
@@ -293,10 +297,24 @@ void WorkerServer::handle_ingest(Conn& conn, const Message& req) {
         continue;
       }
       if (f.seq <= applied_seq_[f.slot]) {
-        // Already applied (a retry or a network duplicate): the
-        // at-least-once channel meeting the exactly-once state machine.
-        ack.statuses.push_back(FrameStatus::kDuplicate);
-        ++stats_.frames_duplicate;
+        // A retry or a network duplicate: the at-least-once channel meeting
+        // the exactly-once state machine.  An APPLIED frame dedups to
+        // kDuplicate — but a REJECTED frame never advanced applied_seq_,
+        // and once a later frame in the slot did, a retried reject (after a
+        // lost ack) lands here too.  Answering it kDuplicate would be fatal:
+        // the front only tombstones reject statuses, so the seq would never
+        // settle and the egress watermark would stall forever.  Parsing is
+        // deterministic and stateless on identical bytes, so re-parsing
+        // reconstructs the original verdict exactly.
+        const wire::ParseResult pr =
+            rx_->parse_exact(f.bytes.data(), f.bytes.size(), scratch_);
+        if (!pr.ok()) {
+          ack.statuses.push_back(reject_status(pr.status));
+          ++stats_.frames_rejected;
+        } else {
+          ack.statuses.push_back(FrameStatus::kDuplicate);
+          ++stats_.frames_duplicate;
+        }
         continue;
       }
       const auto res = svc_->ingest_frame(f.bytes.data(), f.bytes.size());
@@ -394,20 +412,29 @@ void WorkerServer::handle_restore(Conn& conn, const Message& req) {
       return;
     }
     banzai::StateStore store;
-    try {
-      store = deserialize_state_store(s.state.data(), s.state.size());
-    } catch (const FramingError& e) {
-      svc_->start();
-      ++stats_.restore_rejects;
-      reply_error(conn, std::string("restore: corrupt state blob: ") +
-                            e.what());
-      return;
-    }
-    if (!store.same_shape(svc_->slot_machine(s.slot).snapshot_state())) {
-      svc_->start();
-      ++stats_.restore_rejects;
-      reply_error(conn, "restore: state shape mismatch");
-      return;
+    if (s.state.empty()) {
+      // The explicit "start from scratch" restore: the front has no
+      // checkpoint for the slot and orders a reset to the prototype's
+      // initial state, so the target starts from a known point even if it
+      // silently kept stale state for the slot (it trivially matches the
+      // live shape — it IS the live shape).
+      store = initial_state_;
+    } else {
+      try {
+        store = deserialize_state_store(s.state.data(), s.state.size());
+      } catch (const FramingError& e) {
+        svc_->start();
+        ++stats_.restore_rejects;
+        reply_error(conn, std::string("restore: corrupt state blob: ") +
+                              e.what());
+        return;
+      }
+      if (!store.same_shape(svc_->slot_machine(s.slot).snapshot_state())) {
+        svc_->start();
+        ++stats_.restore_rejects;
+        reply_error(conn, "restore: state shape mismatch");
+        return;
+      }
     }
     stores.push_back(std::move(store));
   }

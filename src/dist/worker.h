@@ -10,13 +10,24 @@
 //   * At-least-once ingest, exactly-once apply: the front tier may re-send
 //     any frame (retry after a timeout, replay after a migration).  The
 //     worker tracks the highest applied sequence number per slot; a frame
-//     with seq <= applied_seq[slot] is acknowledged kDuplicate and never
-//     touches the service.  Per-slot frames arrive in sequence order, so the
-//     monotonic check is an exact dedup, not a heuristic.
+//     with seq <= applied_seq[slot] never touches the service.  Per-slot
+//     frames arrive in sequence order, so the monotonic check is an exact
+//     dedup, not a heuristic.  An APPLIED frame at-or-below the watermark is
+//     acknowledged kDuplicate; a REJECTED one (which never advanced the
+//     watermark) is re-answered its original reject status — parsing is
+//     deterministic on identical bytes, so re-parsing reconstructs the
+//     verdict exactly and the front's tombstone stays redeliverable even
+//     after a later frame in the slot moved the watermark past it.
 //   * Corrupt migration payloads reject cleanly: a RestoreReq is fully
 //     validated (framing decode, state-shape check against the live store,
 //     slot bounds) BEFORE any slot is touched; on any failure the worker
-//     answers kError and keeps serving with its state untouched.
+//     answers kError and keeps serving with its state untouched.  An EMPTY
+//     state blob is the one exception to "blob must decode": it is the
+//     front's explicit "start from scratch" order, resetting the slot to
+//     the prototype's initial state (and applied_seq to the given value) so
+//     a target that silently kept stale state for the slot — e.g. a
+//     partitioned-but-alive worker being re-admitted — starts from the same
+//     known point a pristine worker would.
 //   * A lost connection is not a crash: the serve loop returns to accept(),
 //     so a front tier that reconnects (with a fresh HELLO) resumes against
 //     the same state and the same dedup table.
@@ -37,7 +48,9 @@
 #include <vector>
 
 #include "banzai/machine.h"
+#include "banzai/packet.h"
 #include "banzai/service.h"
+#include "banzai/state.h"
 #include "dist/framing.h"
 #include "dist/rpc.h"
 
@@ -139,6 +152,9 @@ class WorkerServer {
   std::shared_ptr<const wire::WireCodec> rx_, tx_;
   WorkerConfig cfg_;
   banzai::ServiceConfig svc_cfg_;
+  // The prototype's pristine state: the restore point an empty-blob
+  // RestoreReq resets a slot to.  Captured once; engine swaps don't touch it.
+  banzai::StateStore initial_state_;
 
   // Everything below mu_ is touched by the serve thread and by the control
   // surface (kill/restart/stats) — coarse lock, zero contention in steady
@@ -157,6 +173,7 @@ class WorkerServer {
   WorkerStats stats_;
   std::uint64_t conns_seen_ = 0;
   std::uint32_t ingest_count_ = 0;          // for the stall_every knob
+  banzai::Packet scratch_;                  // re-parse target for dedup acks
 
   Listener listener_;
   std::uint16_t port_ = 0;

@@ -241,6 +241,46 @@ TEST(DistChaosTest, StallingWorkerDrivesTimeoutRetryDedup) {
   EXPECT_EQ(st.frames_acked + st.dup_acks, st.frames_sent);
 }
 
+// A dropped ack for a batch CONTAINING REJECTS, re-sent after the timeout:
+// the worker must re-answer the original reject verdicts even when later
+// frames in the same slot already advanced its dedup watermark.  A blanket
+// kDuplicate answer would never tombstone the rejected seqs, the egress
+// window would never settle, and flush() would throw.
+TEST(DistChaosTest, StalledBatchWithRejectsStillSettles) {
+  ChaosKnobs k;
+  k.n_workers = 1;
+  k.seed = 19;
+  k.stall_every = 3;
+  k.stall_for = dist::Millis(400);
+  k.rpc_timeout = dist::Millis(120);
+  k.dead_after = 1000;  // stay on the timeout-retry path, never migrate
+  ChaosCluster c(k);
+
+  auto frames = c.make_frames(400, 109);
+  // A runt every 5th frame: with max_batch = 16 nearly every batch carries a
+  // reject, so the stall schedule is guaranteed to drop acks that contain
+  // reject verdicts alongside accepted frames.
+  const std::vector<std::uint8_t> runt = {0xD0};
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < frames.size(); i += 5) {
+    frames.insert(frames.begin() + static_cast<std::ptrdiff_t>(i), runt);
+    ++dropped;
+  }
+  const auto expected = c.sequential_reference(frames);
+  for (const auto& f : frames) c.front->offer(f);
+  c.front->flush();
+  expect_bit_exact(c.front->drain_egress(), expected);
+
+  const auto st = c.front->stats();
+  EXPECT_GT(st.retries, 0u) << "the stall schedule never blew a deadline";
+  EXPECT_GT(st.dup_acks, 0u)
+      << "re-sent batches must hit the worker-side seq dedup";
+  EXPECT_EQ(st.rejects, dropped);
+  EXPECT_EQ(st.egress_frames + st.rejects, st.frames_offered);
+  EXPECT_EQ(st.migrations, 0u);
+  EXPECT_TRUE(c.front->settled());
+}
+
 // Kill/restart/readmit cycles: a worker dies, its slots migrate, the process
 // comes back empty on the same port, rejoins through the recovering state,
 // and is handed a slot back — repeatedly, without losing a byte.

@@ -7,11 +7,13 @@
 // reconnect storm) live in dist_chaos_test.cc.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algorithms/corpus.h"
@@ -647,6 +649,98 @@ TEST(DistRestoreGuardTest, CorruptBlobRejectsCleanlyAndStateIsUntouched) {
     EXPECT_EQ(st, dist::FrameStatus::kAccepted);
 }
 
+// The retried-reject regression: a rejected frame never advances the slot
+// watermark, so once a LATER frame in the slot does, a retry of the reject
+// (after a lost ack) hits the dedup guard.  It must be re-answered its
+// original reject status — a kDuplicate there is fatal, because the front
+// only tombstones reject statuses and the seq would never settle.
+TEST(DistWorkerDedupTest, RetriedRejectKeepsItsStatusAfterWatermarkAdvance) {
+  RawWorker w;
+  const auto valid = w.make_frames(1, 131).at(0);
+  dist::IngestBatch b;
+  dist::FrameRecord runt;
+  runt.seq = 1;
+  runt.slot = w.slot_of(valid);  // same slot: the accept advances past it
+  runt.bytes = {0xD0};
+  dist::FrameRecord ok;
+  ok.seq = 2;
+  ok.slot = runt.slot;
+  ok.bytes = valid;
+  b.frames.push_back(runt);
+  b.frames.push_back(ok);
+  const auto payload = dist::encode_ingest_batch(b);
+
+  auto resp = w.call(MsgType::kIngestBatch, payload);
+  ASSERT_EQ(resp.type, MsgType::kIngestAck);
+  auto ack = dist::decode_ingest_ack(resp.payload.data(), resp.payload.size());
+  ASSERT_EQ(ack.statuses.size(), 2u);
+  const dist::FrameStatus reject = ack.statuses[0];
+  EXPECT_NE(reject, dist::FrameStatus::kAccepted);
+  EXPECT_NE(reject, dist::FrameStatus::kDuplicate);
+  EXPECT_EQ(ack.statuses[1], dist::FrameStatus::kAccepted);
+
+  // Lost-ack retry: the identical batch again.  Both frames now sit at or
+  // below the slot watermark (2); the applied one dedups, the reject must
+  // reproduce its verdict.
+  resp = w.call(MsgType::kIngestBatch, payload);
+  ASSERT_EQ(resp.type, MsgType::kIngestAck);
+  ack = dist::decode_ingest_ack(resp.payload.data(), resp.payload.size());
+  ASSERT_EQ(ack.statuses.size(), 2u);
+  EXPECT_EQ(ack.statuses[0], reject);
+  EXPECT_EQ(ack.statuses[1], dist::FrameStatus::kDuplicate);
+}
+
+// An empty state blob in a RestoreReq is the front's explicit "start from
+// scratch" order: the slot resets to the prototype's pristine initial state
+// and the dedup watermark to the given applied_seq — so a migration target
+// that silently kept stale state for the slot starts from a known point.
+TEST(DistRestoreGuardTest, EmptyStateBlobResetsSlotToInitialState) {
+  RawWorker w;
+  const auto pristine = w.snapshot_blob(0);  // canonical: same for any slot
+  const auto frames = w.make_frames(120, 83);
+  for (const dist::FrameStatus st : w.ingest(frames))
+    ASSERT_EQ(st, dist::FrameStatus::kAccepted);
+
+  // Find a slot the workload dirtied (and a frame that routes to it).
+  std::uint32_t slot = kSlots;
+  for (std::uint32_t s = 0; s < kSlots; ++s)
+    if (w.snapshot_blob(s) != pristine) {
+      slot = s;
+      break;
+    }
+  ASSERT_LT(slot, kSlots) << "workload never touched any slot state";
+  const std::vector<std::uint8_t>* frame = nullptr;
+  for (const auto& f : frames)
+    if (w.slot_of(f) == slot) {
+      frame = &f;
+      break;
+    }
+  ASSERT_NE(frame, nullptr);
+
+  dist::RestoreReq req;
+  dist::SlotState reset;
+  reset.slot = slot;  // applied_seq 0, state empty: the reset order
+  req.slots.push_back(std::move(reset));
+  const auto resp =
+      w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
+  EXPECT_EQ(resp.type, MsgType::kRestoreAck);
+  EXPECT_EQ(w.snapshot_blob(slot), pristine);
+
+  // The dedup table reset too: seq 1 for the slot applies fresh.
+  dist::IngestBatch b;
+  dist::FrameRecord rec;
+  rec.seq = 1;
+  rec.slot = slot;
+  rec.bytes = *frame;
+  b.frames.push_back(std::move(rec));
+  const auto r2 = w.call(MsgType::kIngestBatch, dist::encode_ingest_batch(b));
+  ASSERT_EQ(r2.type, MsgType::kIngestAck);
+  const auto ack =
+      dist::decode_ingest_ack(r2.payload.data(), r2.payload.size());
+  ASSERT_EQ(ack.statuses.size(), 1u);
+  EXPECT_EQ(ack.statuses[0], dist::FrameStatus::kAccepted);
+}
+
 TEST(DistRestoreGuardTest, ValidRestoreIsAcceptedAndApplied) {
   RawWorker w;
   for (const dist::FrameStatus st : w.ingest(w.make_frames(200, 79)))
@@ -663,6 +757,266 @@ TEST(DistRestoreGuardTest, ValidRestoreIsAcceptedAndApplied) {
       w.call(MsgType::kRestoreReq, dist::encode_restore_req(req));
   EXPECT_EQ(resp.type, MsgType::kRestoreAck);
   EXPECT_EQ(w.snapshot_blob(4), blob);
+}
+
+// ---- hostile peers (front-tier hardening) ----------------------------------
+
+// A scripted peer speaking just enough of the worker protocol to misbehave
+// on purpose: it acks every ingest (optionally echoing frame bytes back as
+// egress), can prepend one corrupt-seq egress record, and can slam the
+// connection shut on RestoreReq — the failure modes the front tier must
+// absorb without crashing or corrupting its window.
+struct ScriptedWorker {
+  dist::Listener listener;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::uint32_t num_slots;
+  bool echo_egress = false;      // return each frame's bytes as its egress
+  bool close_on_restore = false;
+  std::uint64_t inject_seq = 0;  // nonzero: prepend {inject_seq, junk} once
+  std::atomic<bool> injected{false};
+
+  explicit ScriptedWorker(std::uint32_t slots) : num_slots(slots) {
+    listener.listen(0);
+    thread = std::thread([this] { run(); });
+  }
+  ~ScriptedWorker() {
+    stop.store(true);
+    listener.shutdown();
+    if (thread.joinable()) thread.join();
+    listener.close();
+  }
+  std::uint16_t port() const { return listener.port(); }
+
+  void run() {
+    while (!stop.load()) {
+      dist::Conn conn;
+      try {
+        conn = listener.accept(dist::Clock::now() + dist::Millis(100));
+      } catch (const dist::RpcTimeout&) {
+        continue;
+      } catch (const dist::RpcError&) {
+        return;
+      }
+      serve(conn);
+    }
+  }
+
+  void reply(dist::Conn& conn, MsgType type,
+             const std::vector<std::uint8_t>& payload) {
+    conn.send_msg(type, payload, dist::Clock::now() + dist::Millis(2000));
+  }
+
+  void serve(dist::Conn& conn) {
+    while (!stop.load()) {
+      dist::Message req;
+      try {
+        req = conn.recv_msg(dist::Clock::now() + dist::Millis(200));
+      } catch (const dist::RpcTimeout&) {
+        continue;
+      } catch (const dist::RpcError&) {
+        return;
+      }
+      try {
+        switch (req.type) {
+          case MsgType::kHello: {
+            dist::HelloAck ack;
+            ack.num_slots = num_slots;
+            reply(conn, MsgType::kHelloAck, dist::encode_hello_ack(ack));
+            break;
+          }
+          case MsgType::kIngestBatch: {
+            const auto batch = dist::decode_ingest_batch(req.payload.data(),
+                                                         req.payload.size());
+            dist::IngestAck ack;
+            if (inject_seq != 0 && !injected.exchange(true))
+              ack.egress.push_back({inject_seq, {0xEE}});
+            for (const auto& f : batch.frames) {
+              ack.seqs.push_back(f.seq);
+              ack.statuses.push_back(dist::FrameStatus::kAccepted);
+              if (echo_egress) ack.egress.push_back({f.seq, f.bytes});
+            }
+            reply(conn, MsgType::kIngestAck, dist::encode_ingest_ack(ack));
+            break;
+          }
+          case MsgType::kRestoreReq:
+            if (close_on_restore) return;  // die mid-restore
+            reply(conn, MsgType::kRestoreAck, {});
+            break;
+          case MsgType::kSnapshotReq:
+            reply(conn, MsgType::kSnapshotResp,
+                  dist::encode_snapshot_resp(dist::SnapshotResp{}));
+            break;
+          case MsgType::kFlushReq:
+            reply(conn, MsgType::kFlushAck,
+                  dist::encode_flush_ack(dist::FlushAck{}));
+            break;
+          case MsgType::kHeartbeat: {
+            const auto hb =
+                dist::decode_heartbeat(req.payload.data(), req.payload.size());
+            dist::HeartbeatAck ack;
+            ack.nonce = hb.nonce;
+            reply(conn, MsgType::kHeartbeatAck,
+                  dist::encode_heartbeat_ack(ack));
+            break;
+          }
+          case MsgType::kStop:
+            return;
+          default:
+            reply(conn, MsgType::kError,
+                  dist::encode_error(dist::ErrorMsg{"scripted: unexpected"}));
+            break;
+        }
+      } catch (const dist::RpcError&) {
+        return;
+      }
+    }
+  }
+};
+
+// Codec + workload plumbing without any real worker attached.
+struct CodecRig {
+  domino::CompileResult compiled;
+  std::shared_ptr<const WireCodec> rx, tx;
+  std::vector<banzai::FieldId> flow_key;
+
+  CodecRig()
+      : compiled(domino::compile(algorithms::algorithm("flowlets").source,
+                                 *atoms::find_target("banzai-praw"))) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& ft = compiled.machine().fields();
+    const WireSpec spec = wire::parse_wire_spec(alg.wire_spec);
+    rx = std::make_shared<const WireCodec>(spec, ft);
+    tx = std::make_shared<const WireCodec>(spec, ft, compiled.output_map());
+    flow_key = {ft.id_of("sport"), ft.id_of("dport")};
+  }
+
+  std::vector<std::vector<std::uint8_t>> make_frames(std::size_t n,
+                                                     unsigned rng_seed) {
+    const auto& alg = algorithms::algorithm("flowlets");
+    const auto& ft = compiled.machine().fields();
+    std::mt19937 rng(rng_seed);
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::map<std::string, banzai::Value> f;
+      alg.workload(rng, static_cast<int>(i), f);
+      Packet p(ft.size());
+      for (const auto& [k, v] : f)
+        if (ft.try_id_of(k).has_value()) p.set(ft.id_of(k), v);
+      frames.push_back(rx->deparse(p));
+    }
+    return frames;
+  }
+};
+
+// A corrupted (but well-framed) reply carrying a seq the front never issued
+// must be dropped and counted, not fed to the egress window — a ~2^64 seq
+// would otherwise drive a multi-exabyte window resize and kill the front.
+TEST(DistFrontGuardTest, CorruptEgressSeqIsDroppedNotFatal) {
+  CodecRig rig;
+  ScriptedWorker fake(kSlots);
+  fake.echo_egress = true;
+  fake.inject_seq = ~0ull;
+
+  FrontConfig fc;
+  fc.algorithm = "flowlets";
+  fc.num_slots = kSlots;
+  fc.flow_key = rig.flow_key;
+  FrontTier front(rig.rx, fc);
+  front.add_worker(fake.port());
+  front.connect();
+
+  const auto frames = rig.make_frames(40, 137);
+  for (const auto& f : frames) front.offer(f);
+  front.flush();
+
+  // The scripted worker echoes ingress as egress, so the stream settles and
+  // comes back byte-identical; the poisoned record vanished into a counter.
+  const auto got = front.drain_egress();
+  ASSERT_EQ(got.size(), frames.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], frames[i]) << "frame " << i;
+  EXPECT_TRUE(front.settled());
+  EXPECT_EQ(front.stats().egress_corrupt, 1u);
+}
+
+// A migration target dying mid-restore is a transport failure, not a fatal
+// error: restore_to must absorb the connection reset, burn the target's
+// failure budget, and let migrate() pick another survivor — the documented
+// "later failures are handled, not thrown" contract.
+TEST(DistFrontGuardTest, MigrationSurvivesTargetDyingMidRestore) {
+  CodecRig rig;
+  std::vector<std::unique_ptr<WorkerServer>> workers;
+  for (int i = 0; i < 2; ++i) {
+    WorkerConfig wc;
+    wc.algorithm = "flowlets";
+    wc.num_slots = kSlots;
+    wc.num_shards = 2;
+    wc.flow_key = {"sport", "dport"};
+    workers.push_back(std::make_unique<WorkerServer>(rig.compiled.machine(),
+                                                     rig.rx, rig.tx, wc));
+    workers.back()->start();
+  }
+  ScriptedWorker fake(kSlots);
+  fake.close_on_restore = true;  // acks ingest, dies on every RestoreReq
+
+  FrontConfig fc;
+  fc.algorithm = "flowlets";
+  fc.num_slots = kSlots;
+  fc.flow_key = rig.flow_key;
+  fc.max_batch = 16;
+  fc.dead_after = 2;
+  FrontTier front(rig.rx, fc);
+  front.add_worker(workers[0]->port());
+  front.add_worker(workers[1]->port());
+  front.add_worker(fake.port());
+  front.connect();
+
+  // Real state on the real workers; the scripted one acks its slots' frames
+  // without egress (protocol-legal: the piggyback is opportunistic), so its
+  // seqs stay pending until post-migration replay re-applies them for real.
+  const auto frames = rig.make_frames(600, 139);
+  const auto expected = [&] {
+    std::vector<banzai::Machine> slots;
+    for (std::size_t v = 0; v < kSlots; ++v)
+      slots.push_back(rig.compiled.machine().clone());
+    Packet scratch(rig.compiled.machine().fields().size());
+    std::vector<std::vector<std::uint8_t>> out;
+    for (const auto& f : frames) {
+      if (!rig.rx->parse_exact(f.data(), f.size(), scratch).ok()) continue;
+      std::uint64_t h = 0;
+      for (banzai::FieldId fk : rig.flow_key)
+        h = netsim::mix64(h ^ static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(
+                                      scratch.get(fk))));
+      out.push_back(rig.tx->deparse(slots[h % kSlots].process(scratch)));
+    }
+    return out;
+  }();
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == 200) front.checkpoint();  // makes the migration restore real
+    if (i == 400) {
+      workers[1]->kill();
+      // Migration fans the dead worker's slots across survivors; every
+      // restore aimed at the scripted worker hits a connection reset and
+      // must re-route to the real survivor instead of throwing.
+      front.evict(1);
+    }
+    front.offer(frames[i]);
+  }
+  front.flush();
+
+  const auto got = front.drain_egress();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "frame " << i;
+  EXPECT_TRUE(front.settled());
+  // The scripted worker ran out of failure budget and every slot ended on
+  // the one real survivor.
+  EXPECT_EQ(front.worker_view(2).health, HealthState::kDead);
+  for (std::size_t s = 0; s < kSlots; ++s) EXPECT_EQ(front.owner_of(s), 0u);
+  for (auto& w : workers) w->stop();
 }
 
 }  // namespace
